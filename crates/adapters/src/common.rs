@@ -1,0 +1,263 @@
+//! Shared converter plumbing: the execution context adapters bind raw
+//! tool output to, and small PTdf emission helpers.
+
+use perftrack_ptdf::{AttrType, PtdfResourceSet, PtdfStatement};
+use std::collections::HashSet;
+
+/// Errors from tool-output conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertError {
+    pub tool: &'static str,
+    pub message: String,
+}
+
+impl ConvertError {
+    pub fn new(tool: &'static str, message: impl Into<String>) -> Self {
+        ConvertError {
+            tool,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} converter: {}", self.tool, self.message)
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// Result alias for converters.
+pub type Result<T> = std::result::Result<T, ConvertError>;
+
+/// The execution an output file belongs to, plus optional machine
+/// binding (rank → processor resource full name) so per-rank data can be
+/// tied to hardware resources.
+#[derive(Debug, Clone, Default)]
+pub struct ExecContext {
+    pub exec_name: String,
+    pub application: String,
+    /// Processor resource names per MPI rank, when the machine description
+    /// is loaded (from `perftrack-collect::MachineModel`).
+    pub rank_processors: Vec<String>,
+}
+
+impl ExecContext {
+    /// Context without machine binding.
+    pub fn new(exec_name: &str, application: &str) -> Self {
+        ExecContext {
+            exec_name: exec_name.to_string(),
+            application: application.to_string(),
+            rank_processors: Vec::new(),
+        }
+    }
+
+    /// Attach rank → processor bindings.
+    pub fn with_rank_processors(mut self, procs: Vec<String>) -> Self {
+        self.rank_processors = procs;
+        self
+    }
+
+    /// The execution-hierarchy run resource name (`/exec-run`).
+    pub fn run_resource(&self) -> String {
+        format!("/{}-run", self.exec_name)
+    }
+
+    /// The process resource name for a rank.
+    pub fn process_resource(&self, rank: usize) -> String {
+        format!("{}/process{rank}", self.run_resource())
+    }
+}
+
+/// Incrementally builds a PTdf document, emitting each resource
+/// definition at most once (parents first is the caller's duty; helpers
+/// here emit full chains).
+pub struct PtdfBuilder {
+    stmts: Vec<PtdfStatement>,
+    defined: HashSet<String>,
+}
+
+impl Default for PtdfBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PtdfBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        PtdfBuilder {
+            stmts: Vec::new(),
+            defined: HashSet::new(),
+        }
+    }
+
+    /// Start a document for an execution: Application + Execution
+    /// statements and the run resource.
+    pub fn for_execution(ctx: &ExecContext) -> Self {
+        let mut b = PtdfBuilder::new();
+        b.stmts.push(PtdfStatement::Application {
+            name: ctx.application.clone(),
+        });
+        b.stmts.push(PtdfStatement::Execution {
+            name: ctx.exec_name.clone(),
+            application: ctx.application.clone(),
+        });
+        b.resource(&ctx.run_resource(), "execution");
+        b
+    }
+
+    /// Emit a ResourceType statement (idempotent per builder).
+    pub fn resource_type(&mut self, type_path: &str) {
+        let key = format!("type:{type_path}");
+        if self.defined.insert(key) {
+            self.stmts.push(PtdfStatement::ResourceType {
+                type_path: type_path.to_string(),
+            });
+        }
+    }
+
+    /// Emit a Resource statement once per name.
+    pub fn resource(&mut self, name: &str, type_path: &str) {
+        if self.defined.insert(name.to_string()) {
+            self.stmts.push(PtdfStatement::Resource {
+                name: name.to_string(),
+                type_path: type_path.to_string(),
+                execution: None,
+            });
+        }
+    }
+
+    /// Emit a chain of resources `root/seg1/seg2...` with types
+    /// `types[0..]` at each level. `root` must start with `/`.
+    pub fn resource_chain(&mut self, segments: &[&str], types: &[&str]) {
+        debug_assert_eq!(segments.len(), types.len());
+        let mut name = String::new();
+        for (seg, ty) in segments.iter().zip(types) {
+            name.push('/');
+            name.push_str(seg);
+            self.resource(&name, ty);
+        }
+    }
+
+    /// Emit a string attribute.
+    pub fn attr(&mut self, resource: &str, name: &str, value: &str) {
+        self.stmts.push(PtdfStatement::ResourceAttribute {
+            resource: resource.to_string(),
+            attribute: name.to_string(),
+            value: value.to_string(),
+            attr_type: AttrType::String,
+        });
+    }
+
+    /// Emit a single-primary-set performance result.
+    pub fn result(
+        &mut self,
+        exec: &str,
+        resources: Vec<String>,
+        tool: &str,
+        metric: &str,
+        value: f64,
+        units: &str,
+    ) {
+        self.stmts.push(PtdfStatement::PerfResult {
+            execution: exec.to_string(),
+            resource_sets: vec![PtdfResourceSet {
+                resources,
+                set_type: "primary".into(),
+            }],
+            tool: tool.to_string(),
+            metric: metric.to_string(),
+            value,
+            units: units.to_string(),
+        });
+    }
+
+    /// Emit a multi-set performance result (`(resources, role)` pairs).
+    pub fn result_multi(
+        &mut self,
+        exec: &str,
+        sets: Vec<(Vec<String>, &str)>,
+        tool: &str,
+        metric: &str,
+        value: f64,
+        units: &str,
+    ) {
+        self.stmts.push(PtdfStatement::PerfResult {
+            execution: exec.to_string(),
+            resource_sets: sets
+                .into_iter()
+                .map(|(resources, role)| PtdfResourceSet {
+                    resources,
+                    set_type: role.to_string(),
+                })
+                .collect(),
+            tool: tool.to_string(),
+            metric: metric.to_string(),
+            value,
+            units: units.to_string(),
+        });
+    }
+
+    /// Whether a resource with this full name has been emitted.
+    pub fn has_resource(&self, name: &str) -> bool {
+        self.defined.contains(name)
+    }
+
+    /// Finish, returning the statements.
+    pub fn finish(self) -> Vec<PtdfStatement> {
+        self.stmts
+    }
+
+    /// Number of statements so far.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_dedups_resources_and_types() {
+        let mut b = PtdfBuilder::new();
+        b.resource("/a", "grid");
+        b.resource("/a", "grid");
+        b.resource_type("syncObject");
+        b.resource_type("syncObject");
+        assert_eq!(b.len(), 2);
+        assert!(b.has_resource("/a"));
+        assert!(!b.has_resource("/b"));
+    }
+
+    #[test]
+    fn resource_chain_emits_parents_first() {
+        let mut b = PtdfBuilder::new();
+        b.resource_chain(
+            &["G", "M", "batch"],
+            &["grid", "grid/machine", "grid/machine/partition"],
+        );
+        let stmts = b.finish();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(&stmts[0], PtdfStatement::Resource { name, .. } if name == "/G"));
+        assert!(matches!(&stmts[2], PtdfStatement::Resource { name, .. } if name == "/G/M/batch"));
+    }
+
+    #[test]
+    fn for_execution_header() {
+        let ctx = ExecContext::new("e1", "IRS");
+        let b = PtdfBuilder::for_execution(&ctx);
+        let stmts = b.finish();
+        assert!(matches!(&stmts[0], PtdfStatement::Application { name } if name == "IRS"));
+        assert!(matches!(&stmts[1], PtdfStatement::Execution { name, .. } if name == "e1"));
+        assert!(matches!(&stmts[2], PtdfStatement::Resource { name, .. } if name == "/e1-run"));
+        assert_eq!(ctx.process_resource(3), "/e1-run/process3");
+    }
+}

@@ -1,0 +1,248 @@
+//! IRS benchmark output → PTdf (the §4.1 Purple benchmark study).
+//!
+//! Parses the six files of an IRS run: `timing.dat` becomes one
+//! performance result per (function, metric, statistic) — skipping the
+//! benchmark's occasional "-" (not applicable) entries, which is why
+//! executions end up with "slightly varying numbers of performance
+//! results" — plus per-rank memory high-water marks, aggregate hardware
+//! counters, I/O phase stats, and run attributes.
+
+use crate::common::{ConvertError, ExecContext, PtdfBuilder, Result};
+use perftrack_ptdf::PtdfStatement;
+
+/// Tool name recorded on IRS results.
+pub const TOOL: &str = "IRS";
+
+/// The statistics reported per metric, in column order.
+pub const STATS: [&str; 4] = ["aggregate", "average", "max", "min"];
+
+/// Build-hierarchy root shared by all executions of the application.
+fn code_root(app: &str) -> String {
+    format!("/{app}-code")
+}
+
+/// Convert one IRS execution's files. `files` is `(file name, content)`;
+/// only recognized suffixes are consumed.
+pub fn convert(ctx: &ExecContext, files: &[(String, String)]) -> Result<Vec<PtdfStatement>> {
+    let mut b = PtdfBuilder::for_execution(ctx);
+    let exec = &ctx.exec_name;
+    // Application resource participates in every context.
+    let app_res = format!("/{}", ctx.application);
+    b.resource(&app_res, "application");
+    // Shared code tree.
+    let code = code_root(&ctx.application);
+    b.resource(&code, "build");
+    let module = format!("{code}/irs.c");
+    b.resource(&module, "build/module");
+
+    let find = |suffix: &str| -> Option<&String> {
+        files
+            .iter()
+            .find(|(n, _)| n.ends_with(suffix))
+            .map(|(_, c)| c)
+    };
+
+    // --- run_info.txt → attributes on the run resource ---------------------
+    if let Some(text) = find("run_info.txt") {
+        let run = ctx.run_resource();
+        for line in text.lines() {
+            if let Some((k, v)) = line.split_once(':') {
+                b.attr(&run, k.trim(), v.trim());
+            }
+        }
+    }
+
+    // --- timing.dat → (function, metric, stat) results ----------------------
+    let timing = find("timing.dat")
+        .ok_or_else(|| ConvertError::new(TOOL, "missing timing.dat"))?;
+    for (lineno, line) in timing.lines().enumerate() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 6 {
+            return Err(ConvertError::new(
+                TOOL,
+                format!("timing.dat line {}: expected 6 fields", lineno + 1),
+            ));
+        }
+        let (func, metric) = (parts[0], parts[1]);
+        let func_res = format!("{module}/{func}");
+        b.resource(&func_res, "build/module/function");
+        for (stat, raw) in STATS.iter().zip(&parts[2..]) {
+            if *raw == "-" {
+                continue; // not applicable for this function/metric
+            }
+            let value: f64 = raw.parse().map_err(|_| {
+                ConvertError::new(
+                    TOOL,
+                    format!("timing.dat line {}: bad value {raw:?}", lineno + 1),
+                )
+            })?;
+            let units = if metric.contains("time") { "seconds" } else { "count" };
+            b.result(
+                exec,
+                vec![app_res.clone(), func_res.clone(), ctx.run_resource()],
+                TOOL,
+                &format!("{metric} ({stat})"),
+                value,
+                units,
+            );
+        }
+    }
+
+    // --- mem.dat → per-rank memory high-water --------------------------------
+    if let Some(text) = find("mem.dat") {
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut it = line.split_whitespace();
+            let (Some(rank), Some(mb)) = (it.next(), it.next()) else {
+                continue;
+            };
+            let rank: usize = rank
+                .parse()
+                .map_err(|_| ConvertError::new(TOOL, format!("mem.dat bad rank {rank:?}")))?;
+            let mb: f64 = mb
+                .parse()
+                .map_err(|_| ConvertError::new(TOOL, format!("mem.dat bad value {mb:?}")))?;
+            let proc = ctx.process_resource(rank);
+            b.resource(&proc, "execution/process");
+            let mut context = vec![app_res.clone(), proc.clone()];
+            // Tie the process to hardware when the machine binding exists.
+            if let Some(cpu) = ctx.rank_processors.get(rank) {
+                context.push(cpu.clone());
+            }
+            b.result(exec, context, TOOL, "memory high water", mb, "MB");
+        }
+    }
+
+    // --- counters.dat → whole-run hardware counters ---------------------------
+    if let Some(text) = find("counters.dat") {
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut it = line.split_whitespace();
+            let (Some(name), Some(value)) = (it.next(), it.next()) else {
+                continue;
+            };
+            let value: f64 = value.parse().map_err(|_| {
+                ConvertError::new(TOOL, format!("counters.dat bad value for {name}"))
+            })?;
+            b.result(
+                exec,
+                vec![app_res.clone(), ctx.run_resource()],
+                TOOL,
+                name,
+                value,
+                "count",
+            );
+        }
+    }
+
+    // --- io.dat → per-phase I/O stats ----------------------------------------
+    if let Some(text) = find("io.dat") {
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 3 {
+                continue;
+            }
+            let (phase, bytes, secs) = (parts[0], parts[1], parts[2]);
+            let ctx_res = vec![app_res.clone(), ctx.run_resource()];
+            if let Ok(v) = bytes.parse::<f64>() {
+                b.result(exec, ctx_res.clone(), TOOL, &format!("io bytes: {phase}"), v, "bytes");
+            }
+            if let Ok(v) = secs.parse::<f64>() {
+                b.result(exec, ctx_res, TOOL, &format!("io time: {phase}"), v, "seconds");
+            }
+        }
+    }
+
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perftrack::PTDataStore;
+    use perftrack_workloads::irs::{generate, IrsConfig};
+
+    fn files_of(cfg: &IrsConfig) -> Vec<(String, String)> {
+        generate(cfg)
+            .into_iter()
+            .map(|f| (f.name, f.content))
+            .collect()
+    }
+
+    #[test]
+    fn converts_and_loads_a_full_execution() {
+        let cfg = IrsConfig::new("irs-mcr-0001", "MCR", 8, 42);
+        let files = files_of(&cfg);
+        let ctx = ExecContext::new("irs-mcr-0001", "IRS");
+        let stmts = convert(&ctx, &files).unwrap();
+        let store = PTDataStore::in_memory().unwrap();
+        let stats = store.load_statements(&stmts).unwrap();
+        // ~80×5×4 timing results (minus ~5% "-") + 8 ranks + 8 counters + 6 io.
+        assert!(
+            stats.results > 1_400 && stats.results < 1_650,
+            "paper-shaped result count, got {}",
+            stats.results
+        );
+        // Function resources exist under the shared code tree.
+        assert!(store.resource_id("/IRS-code/irs.c/rmatmult3").is_some());
+        // Run attributes captured.
+        let run = store.resource_by_name("/irs-mcr-0001-run").unwrap().unwrap();
+        let attrs = store.attributes_of(run.id).unwrap();
+        assert!(attrs.iter().any(|(n, v, _)| n == "processes" && v == "8"));
+        assert!(attrs.iter().any(|(n, v, _)| n == "machine" && v == "MCR"));
+    }
+
+    #[test]
+    fn rank_processor_binding_joins_hardware() {
+        let cfg = IrsConfig::new("e1", "MCR", 2, 1);
+        let files = files_of(&cfg);
+        let procs = vec!["/G/M/batch/n0/p0".to_string(), "/G/M/batch/n0/p1".to_string()];
+        let ctx = ExecContext::new("e1", "IRS").with_rank_processors(procs);
+        let stmts = convert(&ctx, &files).unwrap();
+        // Memory results reference the processor resources.
+        let has_hw = stmts.iter().any(|s| match s {
+            PtdfStatement::PerfResult { metric, resource_sets, .. } => {
+                metric == "memory high water"
+                    && resource_sets[0].resources.iter().any(|r| r == "/G/M/batch/n0/p1")
+            }
+            _ => false,
+        });
+        assert!(has_hw);
+    }
+
+    #[test]
+    fn missing_values_reduce_result_count() {
+        // Two different seeds give different numbers of "-" entries, hence
+        // different result counts — the paper's observation.
+        let ctx = ExecContext::new("e", "IRS");
+        let n1 = convert(&ctx, &files_of(&IrsConfig::new("e", "M", 8, 1)))
+            .unwrap()
+            .iter()
+            .filter(|s| matches!(s, PtdfStatement::PerfResult { .. }))
+            .count();
+        let n2 = convert(&ctx, &files_of(&IrsConfig::new("e", "M", 8, 2)))
+            .unwrap()
+            .iter()
+            .filter(|s| matches!(s, PtdfStatement::PerfResult { .. }))
+            .count();
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn errors_on_missing_or_malformed_timing() {
+        let ctx = ExecContext::new("e", "IRS");
+        assert!(convert(&ctx, &[]).is_err());
+        let bad = vec![(
+            "e.timing.dat".to_string(),
+            "func CPU_time 1.0 2.0\n".to_string(), // 4 fields
+        )];
+        let err = convert(&ctx, &bad).unwrap_err();
+        assert!(err.to_string().contains("expected 6 fields"));
+        let bad = vec![(
+            "e.timing.dat".to_string(),
+            "func CPU_time x 1 1 1\n".to_string(),
+        )];
+        assert!(convert(&ctx, &bad).unwrap_err().to_string().contains("bad value"));
+    }
+}

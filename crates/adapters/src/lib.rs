@@ -1,0 +1,24 @@
+//! # perftrack-adapters
+//!
+//! Converters from raw performance-tool output into PTdf, covering every
+//! format the paper's three case studies consumed: IRS benchmark files
+//! (§4.1), SMG2000 stdout with PMAPI hardware counters (§4.2, Fig. 7),
+//! mpiP profiles with caller/callee callsites (§4.2, Fig. 8), and Paradyn
+//! exports with the Figure 11 hierarchy mapping (§4.3) — plus PTdfGen,
+//! the index-driven batch converter (§3.3).
+//!
+//! The converters are the paper's extensibility story: "providing
+//! conversion support is the most useful way to keep PerfTrack useful to
+//! the widest range of users." Each one is a pure function from raw text
+//! to `Vec<PtdfStatement>`.
+
+pub mod common;
+pub mod irs;
+pub mod mpip;
+pub mod paradyn;
+pub mod ptdfgen;
+pub mod smg;
+
+pub use common::{ConvertError, ExecContext, PtdfBuilder};
+pub use paradyn::ParadynFiles;
+pub use ptdfgen::{generate_all, generate_for_entry, parse_index, write_index, IndexEntry};

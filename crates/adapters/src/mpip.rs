@@ -1,0 +1,318 @@
+//! mpiP profile report → PTdf (§4.2, Figure 8).
+//!
+//! mpiP's callsite statistics break MPI time down by *calling function* —
+//! so each callsite result carries two resource sets: the primary set
+//! names the MPI function (environment hierarchy) and the process, and a
+//! `parent` set names the caller (build hierarchy). This is exactly the
+//! data that motivated the paper's extension to multiple resource sets
+//! per performance result, "so we have no loss of granularity".
+
+use crate::common::{ConvertError, ExecContext, PtdfBuilder, Result};
+use perftrack_ptdf::PtdfStatement;
+use std::collections::HashMap;
+
+/// Tool name recorded on results.
+pub const TOOL: &str = "mpiP";
+
+#[derive(Debug, Clone)]
+struct Callsite {
+    file: String,
+    line: u32,
+    caller: String,
+    mpi_call: String,
+}
+
+/// Convert one mpiP report.
+pub fn convert(ctx: &ExecContext, report: &str) -> Result<Vec<PtdfStatement>> {
+    if !report.starts_with("@ mpiP") {
+        return Err(ConvertError::new(TOOL, "missing @ mpiP header"));
+    }
+    let mut b = PtdfBuilder::for_execution(ctx);
+    let exec = &ctx.exec_name;
+    let app_res = format!("/{}", ctx.application);
+    b.resource(&app_res, "application");
+    let run = ctx.run_resource();
+    // Environment tree for MPI functions.
+    let env = format!("/{}-mpi", ctx.application);
+    b.resource(&env, "environment");
+    let libmpi = format!("{env}/libmpi");
+    b.resource(&libmpi, "environment/module");
+    // Build tree for calling functions.
+    let code = format!("/{}-code", ctx.application);
+    b.resource(&code, "build");
+
+    let mut mode = Mode::None;
+    let mut callsites: HashMap<u32, Callsite> = HashMap::new();
+
+    #[derive(PartialEq)]
+    enum Mode {
+        None,
+        TaskTime,
+        Callsites,
+        CallsiteStats,
+        MessageSizes,
+    }
+
+    let process_resource = |b: &mut PtdfBuilder, rank: usize| -> Vec<String> {
+        let proc = ctx.process_resource(rank);
+        b.resource(&proc, "execution/process");
+        let mut v = vec![proc];
+        if let Some(cpu) = ctx.rank_processors.get(rank) {
+            v.push(cpu.clone());
+        }
+        v
+    };
+
+    for (lineno, line) in report.lines().enumerate() {
+        let n = lineno + 1;
+        if line.starts_with("@--- MPI Time") {
+            mode = Mode::TaskTime;
+            continue;
+        }
+        if line.starts_with("@--- Callsites") {
+            mode = Mode::Callsites;
+            continue;
+        }
+        if line.starts_with("@--- Callsite Time") {
+            mode = Mode::CallsiteStats;
+            continue;
+        }
+        if line.starts_with("@--- Aggregate Sent Message Size") {
+            mode = Mode::MessageSizes;
+            continue;
+        }
+        if line.starts_with('@') || line.trim().is_empty() {
+            if line.trim().is_empty() {
+                // blank line ends a table
+                mode = Mode::None;
+            }
+            continue;
+        }
+        match mode {
+            Mode::None => {}
+            Mode::TaskTime => {
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() != 4 || parts[0] == "Task" {
+                    continue;
+                }
+                let (app_t, mpi_t, pct) = (
+                    parts[1].parse::<f64>(),
+                    parts[2].parse::<f64>(),
+                    parts[3].parse::<f64>(),
+                );
+                let (Ok(app_t), Ok(mpi_t), Ok(pct)) = (app_t, mpi_t, pct) else {
+                    return Err(ConvertError::new(TOOL, format!("line {n}: bad task row")));
+                };
+                let context = if parts[0] == "*" {
+                    vec![app_res.clone(), run.clone()]
+                } else {
+                    let rank: usize = parts[0]
+                        .parse()
+                        .map_err(|_| ConvertError::new(TOOL, format!("line {n}: bad task id")))?;
+                    let mut v = vec![app_res.clone()];
+                    v.extend(process_resource(&mut b, rank));
+                    v
+                };
+                b.result(exec, context.clone(), TOOL, "AppTime", app_t, "seconds");
+                b.result(exec, context.clone(), TOOL, "MPITime", mpi_t, "seconds");
+                b.result(exec, context, TOOL, "MPI%", pct, "percent");
+            }
+            Mode::Callsites => {
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() != 6 || parts[0] == "ID" {
+                    continue;
+                }
+                let id: u32 = parts[0]
+                    .parse()
+                    .map_err(|_| ConvertError::new(TOOL, format!("line {n}: bad callsite id")))?;
+                callsites.insert(
+                    id,
+                    Callsite {
+                        file: parts[2].to_string(),
+                        line: parts[3].parse().unwrap_or(0),
+                        caller: parts[4].to_string(),
+                        mpi_call: parts[5].to_string(),
+                    },
+                );
+            }
+            Mode::MessageSizes => {
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() != 6 || parts[0] == "Call" {
+                    continue;
+                }
+                let site: u32 = parts[1]
+                    .parse()
+                    .map_err(|_| ConvertError::new(TOOL, format!("line {n}: bad site id")))?;
+                let cs = callsites.get(&site).ok_or_else(|| {
+                    ConvertError::new(TOOL, format!("line {n}: unknown callsite {site}"))
+                })?;
+                let mpi_func = format!("{libmpi}/MPI_{}", cs.mpi_call);
+                b.resource(&mpi_func, "environment/module/function");
+                let module = format!("{code}/{}", cs.file);
+                b.resource(&module, "build/module");
+                let caller = format!("{module}/{}", cs.caller);
+                b.resource(&caller, "build/module/function");
+                let primary = vec![app_res.clone(), mpi_func, run.clone()];
+                for (metric, idx, units) in [
+                    ("Sent Message Count", 2usize, "count"),
+                    ("Sent Message Total", 3, "bytes"),
+                    ("Sent Message Avg", 4, "bytes"),
+                ] {
+                    let value: f64 = parts[idx].parse().map_err(|_| {
+                        ConvertError::new(TOOL, format!("line {n}: bad {metric} value"))
+                    })?;
+                    b.result_multi(
+                        exec,
+                        vec![
+                            (primary.clone(), "primary"),
+                            (vec![caller.clone()], "parent"),
+                        ],
+                        TOOL,
+                        metric,
+                        value,
+                        units,
+                    );
+                }
+            }
+            Mode::CallsiteStats => {
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() != 7 || parts[0] == "Name" {
+                    continue;
+                }
+                let site: u32 = parts[1]
+                    .parse()
+                    .map_err(|_| ConvertError::new(TOOL, format!("line {n}: bad site id")))?;
+                let cs = callsites.get(&site).ok_or_else(|| {
+                    ConvertError::new(TOOL, format!("line {n}: unknown callsite {site}"))
+                })?;
+                // Primary set: MPI function (+ process for per-rank rows).
+                let mpi_func = format!("{libmpi}/MPI_{}", cs.mpi_call);
+                b.resource(&mpi_func, "environment/module/function");
+                // Parent set: the calling function in the build tree.
+                let module = format!("{code}/{}", cs.file);
+                b.resource(&module, "build/module");
+                let caller = format!("{module}/{}", cs.caller);
+                if !b.has_resource(&caller) {
+                    b.resource(&caller, "build/module/function");
+                    b.attr(&caller, "source line", &cs.line.to_string());
+                }
+                let mut primary = vec![app_res.clone(), mpi_func];
+                if parts[2] == "*" {
+                    primary.push(run.clone());
+                } else {
+                    let rank: usize = parts[2].parse().map_err(|_| {
+                        ConvertError::new(TOOL, format!("line {n}: bad rank"))
+                    })?;
+                    primary.extend(process_resource(&mut b, rank));
+                }
+                for (metric, idx, units) in [
+                    ("Count", 3usize, "count"),
+                    ("Max", 4, "milliseconds"),
+                    ("Mean", 5, "milliseconds"),
+                    ("Min", 6, "milliseconds"),
+                ] {
+                    let value: f64 = parts[idx].parse().map_err(|_| {
+                        ConvertError::new(TOOL, format!("line {n}: bad {metric} value"))
+                    })?;
+                    b.result_multi(
+                        exec,
+                        vec![
+                            (primary.clone(), "primary"),
+                            (vec![caller.clone()], "parent"),
+                        ],
+                        TOOL,
+                        &format!("Callsite {metric}"),
+                        value,
+                        units,
+                    );
+                }
+            }
+        }
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perftrack::PTDataStore;
+    use perftrack_workloads::mpip::{generate, MpipConfig};
+
+    fn sample() -> String {
+        generate(&MpipConfig::new("smg-uv-0001", 8, 7)).content
+    }
+
+    #[test]
+    fn converts_and_loads() {
+        let ctx = ExecContext::new("smg-uv-0001", "SMG2000");
+        let stmts = convert(&ctx, &sample()).unwrap();
+        let store = PTDataStore::in_memory().unwrap();
+        let stats = store.load_statements(&stmts).unwrap();
+        // Task rows: 8 ranks + 1 aggregate, ×3 metrics.
+        // Callsite stats: 30 sites × (8 + 1) rows × 4 metrics.
+        // Plus 3 metrics per sender row in the message-size section.
+        assert!(stats.results >= 9 * 3 + 30 * 9 * 4);
+        // Message-size metrics landed.
+        assert!(store.metrics().iter().any(|m| m == "Sent Message Total"));
+        // MPI functions landed in the environment hierarchy, callers in build.
+        assert!(store
+            .resource_id("/SMG2000-mpi/libmpi/MPI_Waitall")
+            .is_some() || store.resource_id("/SMG2000-mpi/libmpi/MPI_Allreduce").is_some());
+        assert!(store.resource_id("/SMG2000-code/smg_solve.c").is_some()
+            || store.resource_id("/SMG2000-code/smg_relax.c").is_some());
+    }
+
+    #[test]
+    fn callsite_results_carry_caller_and_callee() {
+        let ctx = ExecContext::new("smg-uv-0001", "SMG2000");
+        let stmts = convert(&ctx, &sample()).unwrap();
+        let multi = stmts.iter().find_map(|s| match s {
+            PtdfStatement::PerfResult {
+                metric,
+                resource_sets,
+                ..
+            } if metric == "Callsite Mean" => Some(resource_sets.clone()),
+            _ => None,
+        });
+        let sets = multi.expect("callsite results present");
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].set_type, "primary");
+        assert!(sets[0].resources.iter().any(|r| r.contains("/MPI_")));
+        assert_eq!(sets[1].set_type, "parent");
+        assert!(sets[1].resources[0].contains("-code/"));
+    }
+
+    #[test]
+    fn caller_callee_queryable_after_load() {
+        // The paper's point: no loss of granularity — one can ask for MPI
+        // time *by calling function*.
+        let ctx = ExecContext::new("e", "SMG2000");
+        let stmts = convert(&ctx, &sample().replace("smg-uv-0001", "e")).unwrap();
+        let store = PTDataStore::in_memory().unwrap();
+        store.load_statements(&stmts).unwrap();
+        let engine = perftrack::QueryEngine::new(&store);
+        // Pick an existing caller function.
+        let caller = store
+            .resource_by_name("/SMG2000-code/smg_solve.c")
+            .unwrap()
+            .map(|_| "smg_solve.c");
+        if let Some(module) = caller {
+            let rows = engine
+                .run(&[perftrack_model::ResourceFilter::by_name(module)])
+                .unwrap();
+            assert!(!rows.is_empty(), "results reachable via the caller set");
+            assert!(rows
+                .iter()
+                .all(|r| r.metric.starts_with("Callsite") || r.metric.starts_with("Sent Message")));
+        }
+    }
+
+    #[test]
+    fn rejects_non_mpip_and_inconsistent_reports() {
+        let ctx = ExecContext::new("e", "A");
+        assert!(convert(&ctx, "not mpip").is_err());
+        let bad = "@ mpiP\n@--- Callsite Time statistics (all, milliseconds): 1 ---\nName Site Rank Count Max Mean Min\nWaitall 99 0 10 1.0 0.5 0.1\n";
+        let err = convert(&ctx, bad).unwrap_err();
+        assert!(err.to_string().contains("unknown callsite"));
+    }
+}

@@ -1,0 +1,501 @@
+//! Paradyn export → PTdf (§4.3, Figures 10–11).
+//!
+//! Implements the paper's three-step integration: map Paradyn's resource
+//! hierarchy onto PerfTrack's type system, parse the exported files
+//! (resources list, histogram index, histogram data), and emit PTdf.
+//!
+//! The mapping (Figure 11):
+//! * `/Code/<module>/<function>` → the **build** hierarchy (PerfTrack
+//!   distinguishes static from dynamic modules; when Paradyn can't tell —
+//!   including `DEFAULT_MODULE` — we default to build, as the paper does);
+//! * `/Machine/<node>/<process>/<thread>` → the **execution** hierarchy,
+//!   with the machine node stored as a resource *attribute* of the
+//!   process;
+//! * `/SyncObject/...` → a **new top-level hierarchy** `syncObject`
+//!   mirroring Paradyn's exactly;
+//! * the global phase and histogram bins → the **time** hierarchy; bin
+//!   resources carry start/end-time attributes. `nan` bins (no data
+//!   before instrumentation insertion) produce no performance results.
+
+use crate::common::{ConvertError, ExecContext, PtdfBuilder, Result};
+use perftrack_ptdf::PtdfStatement;
+
+/// Tool name recorded on results.
+pub const TOOL: &str = "Paradyn";
+
+/// The exported files of one Paradyn session.
+#[derive(Debug, Clone)]
+pub struct ParadynFiles {
+    /// The resources list (one Paradyn path per line).
+    pub resources: String,
+    /// The index: `histogram_file metric focus` per line.
+    pub index: String,
+    /// Histogram files: `(file name, content)`.
+    pub histograms: Vec<(String, String)>,
+    /// The Performance Consultant's search history graph, if exported.
+    pub shg: Option<String>,
+}
+
+/// Units for a Paradyn metric.
+fn units_for(metric: &str) -> &'static str {
+    if metric.contains("bytes") {
+        "bytes"
+    } else if metric.contains("calls") {
+        "count"
+    } else {
+        "seconds"
+    }
+}
+
+struct Mapper<'c> {
+    ctx: &'c ExecContext,
+}
+
+impl<'c> Mapper<'c> {
+    /// Map one Paradyn resource path to a PerfTrack resource, emitting the
+    /// definitions (chain included) into `b`. Returns the mapped full
+    /// name, or `None` for pure roots that have no PerfTrack counterpart.
+    fn map(&self, b: &mut PtdfBuilder, path: &str) -> Result<Option<String>> {
+        let segs: Vec<&str> = path.trim_start_matches('/').split('/').collect();
+        match segs[0] {
+            "Code" => {
+                let root = format!("/{}-pd", self.ctx.application);
+                b.resource(&root, "build");
+                match segs.len() {
+                    1 => Ok(Some(root)),
+                    2 => {
+                        let module = format!("{root}/{}", segs[1]);
+                        b.resource(&module, "build/module");
+                        Ok(Some(module))
+                    }
+                    3 => {
+                        let module = format!("{root}/{}", segs[1]);
+                        b.resource(&module, "build/module");
+                        let func = format!("{module}/{}", segs[2]);
+                        b.resource(&func, "build/module/function");
+                        Ok(Some(func))
+                    }
+                    _ => Err(ConvertError::new(
+                        TOOL,
+                        format!("Code path too deep: {path}"),
+                    )),
+                }
+            }
+            "Machine" => {
+                // /Machine/<node>[/<process>[/<thread>]]
+                match segs.len() {
+                    1 => Ok(None),
+                    2 => Ok(None), // bare nodes become process attributes only
+                    3 | 4 => {
+                        let run = self.ctx.run_resource();
+                        let proc = format!("{run}/{}", sanitize(segs[2]));
+                        if !b.has_resource(&proc) {
+                            b.resource(&proc, "execution/process");
+                            // The node is an attribute of the process (§4.3).
+                            b.attr(&proc, "node", segs[1]);
+                        }
+                        if segs.len() == 4 {
+                            let thread = format!("{proc}/{}", sanitize(segs[3]));
+                            b.resource(&thread, "execution/process/thread");
+                            Ok(Some(thread))
+                        } else {
+                            Ok(Some(proc))
+                        }
+                    }
+                    _ => Err(ConvertError::new(
+                        TOOL,
+                        format!("Machine path too deep: {path}"),
+                    )),
+                }
+            }
+            "SyncObject" => {
+                b.resource_type("syncObject");
+                b.resource_type("syncObject/class");
+                b.resource_type("syncObject/class/instance");
+                let root = format!("/{}-sync", self.ctx.exec_name);
+                b.resource(&root, "syncObject");
+                match segs.len() {
+                    1 => Ok(Some(root)),
+                    2 => {
+                        let class = format!("{root}/{}", segs[1]);
+                        b.resource(&class, "syncObject/class");
+                        Ok(Some(class))
+                    }
+                    3 => {
+                        let class = format!("{root}/{}", segs[1]);
+                        b.resource(&class, "syncObject/class");
+                        let inst = format!("{class}/{}", sanitize(segs[2]));
+                        b.resource(&inst, "syncObject/class/instance");
+                        Ok(Some(inst))
+                    }
+                    _ => Err(ConvertError::new(
+                        TOOL,
+                        format!("SyncObject path too deep: {path}"),
+                    )),
+                }
+            }
+            other => Err(ConvertError::new(
+                TOOL,
+                format!("unknown Paradyn hierarchy {other:?} in {path}"),
+            )),
+        }
+    }
+}
+
+/// Paradyn process names contain `{pid}`; strip characters that would be
+/// awkward in resource names.
+fn sanitize(seg: &str) -> String {
+    seg.replace(['{', '}'], "_")
+}
+
+/// Convert one Paradyn export.
+pub fn convert(ctx: &ExecContext, files: &ParadynFiles) -> Result<Vec<PtdfStatement>> {
+    let mut b = PtdfBuilder::for_execution(ctx);
+    let mapper = Mapper { ctx };
+    // Global phase in the time hierarchy.
+    let phase = format!("/{}-time", ctx.exec_name);
+    b.resource(&phase, "time");
+    b.attr(&phase, "phase", "global");
+
+    // Step 1+2: map every exported resource.
+    for line in files.resources.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        mapper.map(&mut b, line)?;
+    }
+
+    // Step 3: histograms. The index names each file's metric-focus pair;
+    // the histogram headers repeat it (we trust the file header, checking
+    // consistency with the index).
+    let mut index_of: std::collections::HashMap<&str, (&str, &str)> =
+        std::collections::HashMap::new();
+    for line in files.index.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(file), Some(metric), Some(focus)) = (it.next(), it.next(), it.next()) else {
+            return Err(ConvertError::new(TOOL, format!("bad index line {line:?}")));
+        };
+        index_of.insert(file, (metric, focus));
+    }
+
+    for (name, content) in &files.histograms {
+        let mut metric = String::new();
+        let mut focus = String::new();
+        let mut num_bins = 0usize;
+        let mut bin_width = 0.0f64;
+        let mut start_time = 0.0f64;
+        let mut lines = content.lines().peekable();
+        for line in lines.by_ref() {
+            let line = line.trim();
+            if line == "values:" {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                match k.trim() {
+                    "metric" => metric = v.trim().to_string(),
+                    "focus" => focus = v.trim().to_string(),
+                    "numBins" => {
+                        num_bins = v.trim().parse().map_err(|_| {
+                            ConvertError::new(TOOL, format!("{name}: bad numBins"))
+                        })?;
+                    }
+                    "binWidth" => {
+                        bin_width = v.trim().parse().map_err(|_| {
+                            ConvertError::new(TOOL, format!("{name}: bad binWidth"))
+                        })?;
+                    }
+                    "startTime" => {
+                        start_time = v.trim().parse().unwrap_or(0.0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if metric.is_empty() || focus.is_empty() || num_bins == 0 {
+            return Err(ConvertError::new(
+                TOOL,
+                format!("{name}: incomplete histogram header"),
+            ));
+        }
+        if let Some((imetric, ifocus)) = index_of.get(name.as_str()) {
+            if *imetric != metric || *ifocus != focus {
+                return Err(ConvertError::new(
+                    TOOL,
+                    format!("{name}: header disagrees with index"),
+                ));
+            }
+        }
+        // Map the focus resources.
+        let mut focus_resources = Vec::new();
+        for part in focus.split(',') {
+            if let Some(mapped) = mapper.map(&mut b, part.trim())? {
+                focus_resources.push(mapped);
+            }
+        }
+        // One result per non-nan bin, in the bin's time interval.
+        let units = units_for(&metric);
+        for (i, raw) in lines.enumerate() {
+            if i >= num_bins {
+                return Err(ConvertError::new(
+                    TOOL,
+                    format!("{name}: more values than numBins"),
+                ));
+            }
+            let raw = raw.trim();
+            if raw.eq_ignore_ascii_case("nan") {
+                continue; // no data before instrumentation was inserted
+            }
+            let value: f64 = raw
+                .parse()
+                .map_err(|_| ConvertError::new(TOOL, format!("{name}: bad bin value {raw:?}")))?;
+            let bin = format!("{phase}/bin{i}");
+            if !b.has_resource(&bin) {
+                b.resource(&bin, "time/interval");
+                let start = start_time + bin_width * i as f64;
+                b.attr(&bin, "start time", &format!("{start:.4}"));
+                b.attr(&bin, "end time", &format!("{:.4}", start + bin_width));
+            }
+            let mut context = focus_resources.clone();
+            context.push(bin);
+            b.result(&ctx.exec_name, context, TOOL, &metric, value, units);
+        }
+    }
+
+    // --- search history graph (§6: multi-faceted Performance Consultant
+    // data). Each node becomes a `searchHistory/node` resource whose
+    // attributes carry the hypothesis, truth state, parent, and focus —
+    // so diagnoses are queryable alongside the measurements they explain.
+    if let Some(shg) = &files.shg {
+        b.resource_type("searchHistory");
+        b.resource_type("searchHistory/node");
+        let shg_root = format!("/{}-shg", ctx.exec_name);
+        b.resource(&shg_root, "searchHistory");
+        for (lineno, line) in shg.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 6 || parts[0] != "node" {
+                return Err(ConvertError::new(
+                    TOOL,
+                    format!("bad shg line {}: {line:?}", lineno + 1),
+                ));
+            }
+            let (id, parent, hypothesis, focus, state) =
+                (parts[1], parts[2], parts[3], parts[4], parts[5]);
+            if !["true", "false", "unknown"].contains(&state) {
+                return Err(ConvertError::new(
+                    TOOL,
+                    format!("bad shg state {state:?} on line {}", lineno + 1),
+                ));
+            }
+            let node = format!("{shg_root}/node{id}");
+            b.resource(&node, "searchHistory/node");
+            b.attr(&node, "hypothesis", hypothesis);
+            b.attr(&node, "state", state);
+            if parent != "root" {
+                b.attr(&node, "parent node", &format!("{shg_root}/node{parent}"));
+            }
+            // Map the focus so diagnoses link to real resources.
+            let mut mapped_names = Vec::new();
+            for part in focus.split(',') {
+                if let Some(mapped) = mapper.map(&mut b, part.trim())? {
+                    mapped_names.push(mapped);
+                }
+            }
+            b.attr(&node, "focus", &mapped_names.join(","));
+        }
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perftrack::PTDataStore;
+    use perftrack_workloads::paradyn::{generate, ParadynConfig};
+
+    fn sample(seed: u64) -> ParadynFiles {
+        let e = generate(&ParadynConfig::small("irs-pd-01", seed));
+        ParadynFiles {
+            resources: e.resources.content,
+            index: e.index.content,
+            histograms: e
+                .histograms
+                .into_iter()
+                .map(|f| (f.name, f.content))
+                .collect(),
+            shg: Some(e.shg.content),
+        }
+    }
+
+    #[test]
+    fn converts_and_loads_with_new_hierarchy() {
+        let ctx = ExecContext::new("irs-pd-01", "IRS");
+        let stmts = convert(&ctx, &sample(3)).unwrap();
+        let store = PTDataStore::in_memory().unwrap();
+        let stats = store.load_statements(&stmts).unwrap();
+        assert!(stats.results > 0);
+        // syncObject hierarchy registered and populated.
+        assert!(store.registry().contains("syncObject/class/instance"));
+        assert!(store
+            .resource_id("/irs-pd-01-sync/Message/MPI_COMM_WORLD")
+            .is_some());
+        // Code mapped into the build hierarchy.
+        assert!(store.resource_id("/IRS-pd/irs_mod_00.c/func_00_00").is_some());
+        // Time bins exist with interval attributes.
+        let bin = store.resource_by_name("/irs-pd-01-time/bin10").unwrap();
+        if let Some(bin) = bin {
+            let attrs = store.attributes_of(bin.id).unwrap();
+            assert!(attrs.iter().any(|(n, _, _)| n == "start time"));
+            assert!(attrs.iter().any(|(n, _, _)| n == "end time"));
+        }
+    }
+
+    #[test]
+    fn machine_nodes_become_process_attributes() {
+        let ctx = ExecContext::new("irs-pd-01", "IRS");
+        let stmts = convert(&ctx, &sample(3)).unwrap();
+        let store = PTDataStore::in_memory().unwrap();
+        store.load_statements(&stmts).unwrap();
+        // Find a process resource and check its node attribute.
+        let engine = perftrack::QueryEngine::new(&store);
+        let fam = engine
+            .family(&perftrack_model::ResourceFilter::by_type(
+                perftrack_model::TypePath::new("execution/process").unwrap(),
+            ))
+            .unwrap();
+        assert!(!fam.is_empty());
+        let mut found_node_attr = false;
+        for id in fam {
+            let attrs = store.attributes_of(id).unwrap();
+            if attrs.iter().any(|(n, v, _)| n == "node" && v.starts_with("mcr")) {
+                found_node_attr = true;
+            }
+        }
+        assert!(found_node_attr, "node stored as process attribute (§4.3)");
+    }
+
+    #[test]
+    fn nan_bins_produce_no_results() {
+        let ctx = ExecContext::new("irs-pd-01", "IRS");
+        let files = sample(5);
+        let nan_bins: usize = files
+            .histograms
+            .iter()
+            .flat_map(|(_, c)| c.lines())
+            .filter(|l| *l == "nan")
+            .count();
+        let total_bins: usize = files.histograms.len() * 20;
+        let stmts = convert(&ctx, &files).unwrap();
+        let results = stmts
+            .iter()
+            .filter(|s| matches!(s, PtdfStatement::PerfResult { .. }))
+            .count();
+        assert_eq!(results, total_bins - nan_bins);
+        assert!(nan_bins > 0, "sample must exercise the nan path");
+    }
+
+    #[test]
+    fn executions_vary_in_counts() {
+        // §4.3: result counts differ between executions.
+        let ctx = ExecContext::new("irs-pd-01", "IRS");
+        let count = |seed| {
+            convert(&ctx, &sample(seed))
+                .unwrap()
+                .iter()
+                .filter(|s| matches!(s, PtdfStatement::PerfResult { .. }))
+                .count()
+        };
+        // Across several seeds, nan prefixes differ, so result counts
+        // can't all coincide.
+        let counts: Vec<usize> = (1..=6).map(count).collect();
+        assert!(
+            counts.windows(2).any(|w| w[0] != w[1]),
+            "all equal: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let ctx = ExecContext::new("e", "A");
+        let mut files = sample(1);
+        files.resources = "/Unknown/x\n".into();
+        assert!(convert(&ctx, &files).is_err());
+        let mut files = sample(1);
+        files.index = "onlyonefield\n".into();
+        assert!(convert(&ctx, &files).is_err());
+        let mut files = sample(1);
+        files.histograms[0].1 = "metric: m\nvalues:\n1.0\n".into();
+        assert!(convert(&ctx, &files)
+            .unwrap_err()
+            .to_string()
+            .contains("incomplete histogram header"));
+    }
+
+    #[test]
+    fn search_history_graph_loads_as_queryable_diagnoses() {
+        let ctx = ExecContext::new("irs-pd-01", "IRS");
+        let stmts = convert(&ctx, &sample(7)).unwrap();
+        let store = PTDataStore::in_memory().unwrap();
+        store.load_statements(&stmts).unwrap();
+        assert!(store.registry().contains("searchHistory/node"));
+        let root = store.resource_by_name("/irs-pd-01-shg").unwrap();
+        assert!(root.is_some());
+        // Node 0 exists with the top-level hypothesis.
+        let node0 = store.resource_by_name("/irs-pd-01-shg/node0").unwrap().unwrap();
+        let attrs = store.attributes_of(node0.id).unwrap();
+        assert!(attrs
+            .iter()
+            .any(|(n, v, _)| n == "hypothesis" && v == "TopLevelHypothesis"));
+        assert!(attrs.iter().any(|(n, v, _)| n == "state" && v == "true"));
+        // True non-root nodes reference their parents.
+        let engine = perftrack::QueryEngine::new(&store);
+        let nodes = engine
+            .family(&perftrack_model::ResourceFilter::by_type(
+                perftrack_model::TypePath::new("searchHistory/node").unwrap(),
+            ))
+            .unwrap();
+        assert!(nodes.len() > 1);
+        let mut with_parent = 0;
+        for id in nodes {
+            let attrs = store.attributes_of(id).unwrap();
+            if attrs.iter().any(|(n, _, _)| n == "parent node") {
+                with_parent += 1;
+            }
+        }
+        assert!(with_parent >= 1);
+    }
+
+    #[test]
+    fn malformed_shg_rejected() {
+        let ctx = ExecContext::new("e", "A");
+        let mut files = sample(1);
+        files.shg = Some("node 0 root OnlyFive fields\n".into());
+        assert!(convert(&ctx, &files).unwrap_err().to_string().contains("bad shg line"));
+        let mut files = sample(1);
+        files.shg = Some("node 0 root H /Code maybe\n".into());
+        assert!(convert(&ctx, &files).unwrap_err().to_string().contains("bad shg state"));
+        // Absent SHG is fine.
+        let mut files = sample(1);
+        files.shg = None;
+        assert!(convert(&ctx, &files).is_ok());
+    }
+
+    #[test]
+    fn index_header_mismatch_detected() {
+        let ctx = ExecContext::new("irs-pd-01", "A");
+        let mut files = sample(1);
+        // Point the index at the wrong metric for the first histogram.
+        let first_file = files.histograms[0].0.clone();
+        files.index = format!("{first_file} wrong_metric /Code\n");
+        let err = convert(&ctx, &files).unwrap_err();
+        assert!(err.to_string().contains("disagrees with index"));
+    }
+}

@@ -1,0 +1,354 @@
+//! PTdfGen: batch conversion of a directory of raw tool output into PTdf
+//! (§3.3). The user writes an *index file* with one entry per execution —
+//! execution name, application name, concurrency model, process and
+//! thread counts, and build/run timestamps — and PTdfGen converts every
+//! listed execution's files, sniffing each file's format.
+
+use crate::common::{ConvertError, ExecContext, Result};
+use crate::paradyn::ParadynFiles;
+use perftrack_ptdf::lexer::{quote, tokenize};
+use perftrack_ptdf::{AttrType, PtdfStatement};
+
+/// One execution entry of a PTdfGen index file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    pub execution: String,
+    pub application: String,
+    /// `MPI`, `OpenMP`, `MPI+OpenMP`, or `sequential`.
+    pub concurrency: String,
+    pub processes: usize,
+    pub threads: usize,
+    pub build_timestamp: String,
+    pub run_timestamp: String,
+}
+
+/// Parse an index file (one entry per line; `#` comments allowed).
+pub fn parse_index(text: &str) -> Result<Vec<IndexEntry>> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let tokens = tokenize(line, i + 1)
+            .map_err(|e| ConvertError::new("PTdfGen", e.to_string()))?;
+        if tokens.is_empty() {
+            continue;
+        }
+        if tokens.len() != 7 {
+            return Err(ConvertError::new(
+                "PTdfGen",
+                format!("index line {}: expected 7 fields, got {}", i + 1, tokens.len()),
+            ));
+        }
+        let parse_count = |s: &str, what: &str| -> Result<usize> {
+            s.parse().map_err(|_| {
+                ConvertError::new("PTdfGen", format!("index line {}: bad {what} {s:?}", i + 1))
+            })
+        };
+        out.push(IndexEntry {
+            execution: tokens[0].clone(),
+            application: tokens[1].clone(),
+            concurrency: tokens[2].clone(),
+            processes: parse_count(&tokens[3], "process count")?,
+            threads: parse_count(&tokens[4], "thread count")?,
+            build_timestamp: tokens[5].clone(),
+            run_timestamp: tokens[6].clone(),
+        });
+    }
+    Ok(out)
+}
+
+/// Render an index file (inverse of [`parse_index`]).
+pub fn write_index(entries: &[IndexEntry]) -> String {
+    let mut out = String::from("# execution application concurrency np threads build_ts run_ts\n");
+    for e in entries {
+        out.push_str(&format!(
+            "{} {} {} {} {} {} {}\n",
+            quote(&e.execution),
+            quote(&e.application),
+            quote(&e.concurrency),
+            e.processes,
+            e.threads,
+            quote(&e.build_timestamp),
+            quote(&e.run_timestamp)
+        ));
+    }
+    out
+}
+
+/// Sniffed format of a raw file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    Mpip,
+    Smg,
+    IrsTiming,
+    IrsAux,
+    ParadynResources,
+    ParadynIndex,
+    ParadynHistogram,
+    ParadynShg,
+    Unknown,
+}
+
+/// Identify a file by name and content.
+pub fn sniff(name: &str, content: &str) -> FileKind {
+    if content.starts_with("@ mpiP") || name.ends_with(".mpiP") {
+        FileKind::Mpip
+    } else if name.ends_with(".resources") {
+        FileKind::ParadynResources
+    } else if name.ends_with(".index") {
+        FileKind::ParadynIndex
+    } else if name.ends_with(".hist") || content.starts_with("# Paradyn histogram") {
+        FileKind::ParadynHistogram
+    } else if name.ends_with(".shg") || content.starts_with("# Paradyn search history") {
+        FileKind::ParadynShg
+    } else if name.ends_with("timing.dat") || content.starts_with("# IRS timing summary") {
+        FileKind::IrsTiming
+    } else if content.contains("SMG Solve:") {
+        FileKind::Smg
+    } else if name.ends_with("run_info.txt")
+        || name.ends_with("mem.dat")
+        || name.ends_with("io.dat")
+        || name.ends_with("residual.dat")
+        || name.ends_with("counters.dat")
+    {
+        FileKind::IrsAux
+    } else {
+        FileKind::Unknown
+    }
+}
+
+/// Convert one execution's files per its index entry. Files are selected
+/// by prefix match on the execution name.
+pub fn generate_for_entry(
+    entry: &IndexEntry,
+    files: &[(String, String)],
+) -> Result<Vec<PtdfStatement>> {
+    let ctx = ExecContext::new(&entry.execution, &entry.application);
+    // Files belong to this execution when named `<exec>.<suffix>` or
+    // `<exec>_<suffix>` (Paradyn histograms). A bare prefix match would
+    // misattribute files when one execution name extends another
+    // (`run1` vs `run10`).
+    let dot = format!("{}.", entry.execution);
+    let underscore = format!("{}_", entry.execution);
+    let mine: Vec<&(String, String)> = files
+        .iter()
+        .filter(|(n, _)| n.starts_with(&dot) || n.starts_with(&underscore))
+        .collect();
+    if mine.is_empty() {
+        return Err(ConvertError::new(
+            "PTdfGen",
+            format!("no files for execution {}", entry.execution),
+        ));
+    }
+    let mut stmts: Vec<PtdfStatement> = Vec::new();
+    // IRS files are converted together (the converter needs the set).
+    let irs_files: Vec<(String, String)> = mine
+        .iter()
+        .filter(|(n, c)| matches!(sniff(n, c), FileKind::IrsTiming | FileKind::IrsAux))
+        .map(|(n, c)| (n.clone(), c.clone()))
+        .collect();
+    if irs_files.iter().any(|(n, c)| sniff(n, c) == FileKind::IrsTiming) {
+        stmts.extend(crate::irs::convert(&ctx, &irs_files)?);
+    }
+    // Paradyn files likewise form a set.
+    let pd_resources = mine
+        .iter()
+        .find(|(n, c)| sniff(n, c) == FileKind::ParadynResources);
+    if let Some((_, resources)) = pd_resources {
+        let index = mine
+            .iter()
+            .find(|(n, c)| sniff(n, c) == FileKind::ParadynIndex)
+            .map(|(_, c)| c.clone())
+            .ok_or_else(|| ConvertError::new("PTdfGen", "paradyn export missing index file"))?;
+        let histograms: Vec<(String, String)> = mine
+            .iter()
+            .filter(|(n, c)| sniff(n, c) == FileKind::ParadynHistogram)
+            .map(|(n, c)| (n.clone(), c.clone()))
+            .collect();
+        let shg = mine
+            .iter()
+            .find(|(n, c)| sniff(n, c) == FileKind::ParadynShg)
+            .map(|(_, c)| c.clone());
+        stmts.extend(crate::paradyn::convert(
+            &ctx,
+            &ParadynFiles {
+                resources: resources.clone(),
+                index,
+                histograms,
+                shg,
+            },
+        )?);
+    }
+    // Standalone formats.
+    for (name, content) in &mine {
+        match sniff(name, content) {
+            FileKind::Mpip => stmts.extend(crate::mpip::convert(&ctx, content)?),
+            FileKind::Smg => stmts.extend(crate::smg::convert(&ctx, content)?),
+            FileKind::Unknown => {
+                return Err(ConvertError::new(
+                    "PTdfGen",
+                    format!("unrecognized file format: {name}"),
+                ));
+            }
+            _ => {} // handled above
+        }
+    }
+    // Record the index metadata as run-resource attributes.
+    let run = ctx.run_resource();
+    if !stmts
+        .iter()
+        .any(|s| matches!(s, PtdfStatement::Resource { name, .. } if *name == run))
+    {
+        stmts.push(PtdfStatement::Resource {
+            name: run.clone(),
+            type_path: "execution".into(),
+            execution: Some(entry.execution.clone()),
+        });
+    }
+    let attr = |name: &str, value: String| PtdfStatement::ResourceAttribute {
+        resource: run.clone(),
+        attribute: name.to_string(),
+        value,
+        attr_type: AttrType::String,
+    };
+    stmts.push(attr("concurrency model", entry.concurrency.clone()));
+    stmts.push(attr("process count", entry.processes.to_string()));
+    stmts.push(attr("thread count", entry.threads.to_string()));
+    stmts.push(attr("build timestamp", entry.build_timestamp.clone()));
+    stmts.push(attr("run timestamp", entry.run_timestamp.clone()));
+    Ok(stmts)
+}
+
+/// Convert every execution in the index; returns `(execution, PTdf)`
+/// pairs.
+pub fn generate_all(
+    index_text: &str,
+    files: &[(String, String)],
+) -> Result<Vec<(String, Vec<PtdfStatement>)>> {
+    let entries = parse_index(index_text)?;
+    entries
+        .iter()
+        .map(|e| Ok((e.execution.clone(), generate_for_entry(e, files)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perftrack::PTDataStore;
+    use perftrack_workloads as wl;
+
+    fn entry(exec: &str, app: &str, np: usize) -> IndexEntry {
+        IndexEntry {
+            execution: exec.into(),
+            application: app.into(),
+            concurrency: "MPI".into(),
+            processes: np,
+            threads: 1,
+            build_timestamp: "2005-06-01T08:00:00".into(),
+            run_timestamp: "2005-06-02T09:30:00".into(),
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let entries = vec![
+            entry("irs-0001", "IRS", 8),
+            IndexEntry {
+                concurrency: "MPI+OpenMP".into(),
+                threads: 4,
+                ..entry("smg with space", "SMG 2000", 128)
+            },
+        ];
+        let text = write_index(&entries);
+        let parsed = parse_index(&text).unwrap();
+        assert_eq!(entries, parsed);
+    }
+
+    #[test]
+    fn index_errors() {
+        assert!(parse_index("too few fields\n").is_err());
+        assert!(parse_index("e a MPI notanumber 1 t1 t2\n").is_err());
+        assert!(parse_index("# only comments\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn sniffing() {
+        assert_eq!(sniff("x.mpiP", ""), FileKind::Mpip);
+        assert_eq!(sniff("r.out", "@ mpiP\n..."), FileKind::Mpip);
+        assert_eq!(sniff("e.timing.dat", ""), FileKind::IrsTiming);
+        assert_eq!(sniff("e.mem.dat", ""), FileKind::IrsAux);
+        assert_eq!(sniff("e.out", "...\nSMG Solve:\n..."), FileKind::Smg);
+        assert_eq!(sniff("e.resources", ""), FileKind::ParadynResources);
+        assert_eq!(sniff("e.index", ""), FileKind::ParadynIndex);
+        assert_eq!(sniff("e_hist_0001.hist", ""), FileKind::ParadynHistogram);
+        assert_eq!(sniff("e.shg", ""), FileKind::ParadynShg);
+        assert_eq!(sniff("mystery.bin", "junk"), FileKind::Unknown);
+    }
+
+    #[test]
+    fn batch_convert_mixed_directory() {
+        // One IRS execution and one SMG+mpiP execution in one directory.
+        let mut files: Vec<(String, String)> = Vec::new();
+        for f in wl::irs::generate(&wl::irs::IrsConfig::new("irs-0001", "MCR", 4, 1)) {
+            files.push((f.name, f.content));
+        }
+        let smg = wl::smg::generate(&wl::smg::SmgConfig::uv("smg-0001", 8, 2));
+        files.push((smg.name, smg.content));
+        let mpip = wl::mpip::generate(&wl::mpip::MpipConfig::new("smg-0001", 8, 2));
+        files.push((mpip.name, mpip.content));
+
+        let index = write_index(&[entry("irs-0001", "IRS", 4), entry("smg-0001", "SMG2000", 8)]);
+        let converted = generate_all(&index, &files).unwrap();
+        assert_eq!(converted.len(), 2);
+
+        let store = PTDataStore::in_memory().unwrap();
+        for (_, stmts) in &converted {
+            store.load_statements(stmts).unwrap();
+        }
+        assert_eq!(store.executions().len(), 2);
+        // Index metadata landed on the run resources.
+        let run = store.resource_by_name("/irs-0001-run").unwrap().unwrap();
+        let attrs = store.attributes_of(run.id).unwrap();
+        assert!(attrs
+            .iter()
+            .any(|(n, v, _)| n == "concurrency model" && v == "MPI"));
+        assert!(attrs
+            .iter()
+            .any(|(n, v, _)| n == "build timestamp" && v.starts_with("2005-06-01")));
+    }
+
+    #[test]
+    fn prefix_execution_names_do_not_capture_each_others_files() {
+        // `run1` must not swallow `run10`'s files.
+        let mk = |exec: &str, seed| {
+            wl::irs::generate(&wl::irs::IrsConfig::new(exec, "MCR", 2, seed))
+                .into_iter()
+                .map(|f| (f.name, f.content))
+                .collect::<Vec<_>>()
+        };
+        let mut files = mk("run1", 1);
+        files.extend(mk("run10", 2));
+        let converted =
+            generate_for_entry(&entry("run1", "IRS", 2), &files).unwrap();
+        let store = PTDataStore::in_memory().unwrap();
+        store.load_statements(&converted).unwrap();
+        // Only run1's execution and its ~1,5xx results; run10's data must
+        // not leak in (which would roughly double the count).
+        assert_eq!(store.executions().len(), 1);
+        let n = store.result_count().unwrap();
+        assert!((700..1_700).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn missing_files_error() {
+        let e = entry("ghost-exec", "A", 1);
+        assert!(generate_for_entry(&e, &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_format_errors() {
+        let e = entry("e1", "A", 1);
+        let files = vec![("e1.mystery".to_string(), "junk data".to_string())];
+        let err = generate_for_entry(&e, &files).unwrap_err();
+        assert!(err.to_string().contains("unrecognized"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Ablation: the paper's `resource_has_ancestor` / `resource_has_descendant`
+//! closure tables were "added for performance reasons" — this bench
+//! measures descendant-family construction with the closure tables versus
+//! walking `parent_id` chains, at increasing resource tree sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perftrack::{ExpandStrategy, PTDataStore, QueryEngine};
+use perftrack_model::ResourceFilter;
+
+/// A machine tree with `nodes` nodes × 4 processors.
+fn store_with_tree(nodes: usize) -> PTDataStore {
+    let store = PTDataStore::in_memory().unwrap();
+    let mut ptdf = String::from("Resource /G grid\nResource /G/M grid/machine\nResource /G/M/batch grid/machine/partition\n");
+    for n in 0..nodes {
+        ptdf.push_str(&format!("Resource /G/M/batch/node{n} grid/machine/partition/node\n"));
+        for p in 0..4 {
+            ptdf.push_str(&format!(
+                "Resource /G/M/batch/node{n}/p{p} grid/machine/partition/node/processor\n"
+            ));
+        }
+    }
+    store.load_ptdf_str(&ptdf).unwrap();
+    store
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure_ablation");
+    group.sample_size(20);
+    for nodes in [50usize, 200, 800] {
+        let store = store_with_tree(nodes);
+        let filter = ResourceFilter::by_name("M"); // descendants of the machine
+        for (label, strategy) in [
+            ("closure_table", ExpandStrategy::ClosureTable),
+            ("parent_walk", ExpandStrategy::ParentWalk),
+        ] {
+            let engine = QueryEngine::with_strategy(&store, strategy);
+            group.bench_with_input(
+                BenchmarkId::new(label, nodes),
+                &nodes,
+                |b, _| b.iter(|| engine.family(std::hint::black_box(&filter)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_closure
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation: B+tree index lookups versus full table scans for the
+//! store's hottest access paths (resource by name, results by metric),
+//! at increasing table sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perftrack_store::{AccessPath, Column, ColumnType, Database, TableQuery, Value};
+
+fn db_with_rows(n: usize) -> (Database, perftrack_store::TableId) {
+    let db = Database::in_memory();
+    let t = db
+        .create_table(
+            "resource_item",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("name", ColumnType::Text),
+            ],
+        )
+        .unwrap();
+    db.create_index("by_name", t, &["name"], true).unwrap();
+    let mut txn = db.begin();
+    for i in 0..n {
+        txn.insert(
+            t,
+            vec![
+                Value::Int(i as i64),
+                Value::Text(format!("/grid/machine/node{i}/p0")),
+            ],
+        )
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    (db, t)
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_ablation");
+    group.sample_size(30);
+    for n in [1_000usize, 10_000, 50_000] {
+        let (db, t) = db_with_rows(n);
+        let name_col = db.column_index(t, "name").unwrap();
+        let target = format!("/grid/machine/node{}/p0", n / 2);
+        // Sanity: the planner picks the index unless forced off.
+        assert!(matches!(
+            TableQuery::new(&db, t).eq(name_col, target.as_str()).plan().unwrap(),
+            AccessPath::IndexEq { .. }
+        ));
+        group.bench_with_input(BenchmarkId::new("index_lookup", n), &n, |b, _| {
+            b.iter(|| {
+                TableQuery::new(&db, t)
+                    .eq(name_col, target.as_str())
+                    .run()
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", n), &n, |b, _| {
+            b.iter(|| {
+                TableQuery::new(&db, t)
+                    .eq(name_col, target.as_str())
+                    .force_scan()
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_index
+);
+criterion_main!(benches);

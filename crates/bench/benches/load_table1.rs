@@ -1,0 +1,44 @@
+//! Load-path benchmark backing Table 1: PTdf conversion + store load
+//! throughput for each of the paper's three dataset shapes. The paper
+//! flags "data load time" (especially the mpiP-heavy SMG-UV data) as the
+//! optimization target; this bench quantifies it.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use perftrack::PTDataStore;
+use perftrack_bench::bundle_to_ptdf;
+use perftrack_workloads as wl;
+
+fn bench_loads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_load");
+    group.sample_size(10);
+
+    for (name, bundle) in [
+        ("irs", wl::irs_purple(7, 1).remove(0)),
+        ("smg_uv", wl::smg_uv(7, 1).remove(0)),
+        ("smg_bgl", wl::smg_bgl(7, 1).remove(0)),
+    ] {
+        let stmts = bundle_to_ptdf(&bundle);
+        group.throughput(Throughput::Elements(stmts.len() as u64));
+        group.bench_function(format!("{name}_statements"), |b| {
+            b.iter_batched(
+                || PTDataStore::in_memory().unwrap(),
+                |store| store.load_statements(&stmts).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+        // Conversion cost alone (raw text → PTdf statements).
+        group.bench_function(format!("{name}_convert"), |b| {
+            b.iter(|| bundle_to_ptdf(std::hint::black_box(&bundle)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_loads
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Serial versus parallel-parse PTdf loading (§4.2 flags load time as the
+//! optimization target). Parsing fans out across threads; application is
+//! serial behind the single-writer engine, so the speedup bound is the
+//! parse fraction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use perftrack::PTDataStore;
+use perftrack_bench::bundle_to_ptdf;
+use perftrack_workloads as wl;
+
+fn bench_parallel(c: &mut Criterion) {
+    // Six IRS executions rendered to PTdf text.
+    let texts: Vec<String> = wl::irs_purple(7, 6)
+        .iter()
+        .map(|b| perftrack_ptdf::to_string(&bundle_to_ptdf(b)))
+        .collect();
+
+    let mut group = c.benchmark_group("parallel_load");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || PTDataStore::in_memory().unwrap(),
+                    |store| store.load_ptdf_texts_parallel(&texts, threads).unwrap(),
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    // Pure parse scaling (the part that actually parallelizes).
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parse_only", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    crossbeam::thread::scope(|s| {
+                        let chunk = texts.len().div_ceil(threads);
+                        let handles: Vec<_> = texts
+                            .chunks(chunk)
+                            .map(|part| {
+                                s.spawn(move |_| {
+                                    part.iter()
+                                        .map(|t| perftrack_ptdf::parse_str(t).unwrap().len())
+                                        .sum::<usize>()
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                    })
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_parallel
+);
+criterion_main!(benches);

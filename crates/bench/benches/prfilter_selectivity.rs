@@ -1,0 +1,54 @@
+//! pr-filter matching cost versus selectivity and family count — the
+//! path behind the GUI's live match counts (§3.2), which re-evaluates on
+//! every selection change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perftrack::{PTDataStore, QueryEngine};
+use perftrack_bench::load_bundles;
+use perftrack_model::{Relatives, ResourceFilter};
+use perftrack_workloads as wl;
+
+fn bench_prfilter(c: &mut Criterion) {
+    let store = PTDataStore::in_memory().unwrap();
+    load_bundles(&store, &wl::irs_purple(7, 6));
+    let engine = QueryEngine::new(&store);
+    let n = store.result_count().unwrap();
+
+    let mut group = c.benchmark_group("prfilter_selectivity");
+    group.sample_size(20);
+    // One narrow family (a single function): high selectivity.
+    let narrow = vec![engine
+        .family(&ResourceFilter::by_name("/IRS-code/irs.c/rmatmult3").relatives(Relatives::Neither))
+        .unwrap()];
+    // One broad family (the whole application): matches everything.
+    let broad = vec![engine
+        .family(&ResourceFilter::by_name("/IRS").relatives(Relatives::Neither))
+        .unwrap()];
+    // Three stacked families.
+    let stacked = vec![
+        broad[0].clone(),
+        engine
+            .family(&ResourceFilter::by_name("irs.c"))
+            .unwrap(),
+        narrow[0].clone(),
+    ];
+    for (label, families) in [
+        ("narrow_1_family", &narrow),
+        ("broad_1_family", &broad),
+        ("stacked_3_families", &stacked),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, n), families, |b, fams| {
+            b.iter(|| engine.match_counts(std::hint::black_box(fams)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_prfilter
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Query-path benchmark backing Figure 5: the pr-filter query that
+//! fetches one function's min/max timings across a scaling sweep, plus
+//! the load-balance aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perftrack::{Compare, QueryEngine};
+use perftrack_bench::bundle_to_ptdf;
+use perftrack_model::{Relatives, ResourceFilter};
+use perftrack_workloads as wl;
+
+fn bench_fig5(c: &mut Criterion) {
+    let store = perftrack::PTDataStore::in_memory().unwrap();
+    for bundle in wl::irs_scaling_sweep(7, "MCR", &[8, 16, 32, 64]) {
+        store.load_statements(&bundle_to_ptdf(&bundle)).unwrap();
+    }
+    let engine = QueryEngine::new(&store);
+    let filter = ResourceFilter::by_name("/IRS-code/irs.c/rmatmult3")
+        .relatives(Relatives::Neither);
+
+    let mut group = c.benchmark_group("fig5_query");
+    group.bench_function("function_results", |b| {
+        b.iter(|| engine.run(std::hint::black_box(std::slice::from_ref(&filter))).unwrap())
+    });
+    group.bench_function("family_only", |b| {
+        b.iter(|| engine.family(std::hint::black_box(&filter)).unwrap())
+    });
+    let rows = engine.run(&[]).unwrap();
+    let mem_rows: Vec<_> = rows
+        .into_iter()
+        .filter(|r| r.metric == "memory high water")
+        .collect();
+    let compare = Compare::new(&store);
+    group.bench_function("load_balance_aggregation", |b| {
+        b.iter(|| compare.load_balance(std::hint::black_box(&mem_rows)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_fig5
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Substrate microbenchmarks: row codec, order-preserving key encoding,
+//! B+tree point ops, buffer-pool hit/miss paths, WAL append+sync, and
+//! transaction commit.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use perftrack_store::btree::BTreeIndex;
+use perftrack_store::buffer::BufferPool;
+use perftrack_store::disk::DiskManager;
+use perftrack_store::value::{decode_row, encode_key_vec, encode_row_vec, Value};
+use perftrack_store::wal::{Wal, WalPayload};
+use perftrack_store::{Column, ColumnType, Database};
+use std::sync::Arc;
+
+fn bench_codec(c: &mut Criterion) {
+    let row = vec![
+        Value::Int(123456),
+        Value::Text("/grid/machine/partition/node17/p3".into()),
+        Value::Real(12.345678),
+        Value::Null,
+        Value::Bool(true),
+    ];
+    let encoded = encode_row_vec(&row);
+    let mut group = c.benchmark_group("store_codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_row", |b| b.iter(|| encode_row_vec(std::hint::black_box(&row))));
+    group.bench_function("decode_row", |b| b.iter(|| decode_row(std::hint::black_box(&encoded)).unwrap()));
+    group.bench_function("encode_key", |b| b.iter(|| encode_key_vec(std::hint::black_box(&row[..2]))));
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut tree = BTreeIndex::new();
+    for i in 0..100_000u64 {
+        tree.insert(format!("key{i:08}").as_bytes(), i);
+    }
+    let mut group = c.benchmark_group("store_btree");
+    group.bench_function("lookup_hit", |b| {
+        b.iter(|| tree.get_eq(std::hint::black_box(b"key00050000")))
+    });
+    group.bench_function("lookup_miss", |b| {
+        b.iter(|| tree.get_eq(std::hint::black_box(b"nosuchkey")))
+    });
+    group.bench_function("insert_remove", |b| {
+        b.iter(|| {
+            tree.insert(b"transient", 1);
+            tree.remove(b"transient", 1);
+        })
+    });
+    group.finish();
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_buffer_pool");
+    // Hit path: pool larger than working set.
+    let disk = Arc::new(DiskManager::in_memory());
+    let pool = BufferPool::new(disk, 64);
+    let pages: Vec<_> = (0..32).map(|_| pool.allocate_page().unwrap()).collect();
+    for &p in &pages {
+        pool.with_page_mut(p, |b| b[0] = 1).unwrap();
+    }
+    group.bench_function("hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % pages.len();
+            pool.with_page(pages[i], |buf| buf[0]).unwrap()
+        })
+    });
+    // Miss path: pool much smaller than working set (every access evicts).
+    let disk = Arc::new(DiskManager::in_memory());
+    let small = BufferPool::new(disk, 2);
+    let pages: Vec<_> = (0..64).map(|_| small.allocate_page().unwrap()).collect();
+    group.bench_function("miss_evict", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % pages.len();
+            small.with_page(pages[i], |buf| buf[0]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_wal_and_txn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_wal_txn");
+    group.sample_size(20);
+    let wal = Wal::in_memory();
+    group.bench_function("wal_append", |b| {
+        b.iter(|| wal.append(1, &WalPayload::Commit).unwrap())
+    });
+    // Full transaction: N inserts + commit (in-memory durability).
+    let schema = || {
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("name", ColumnType::Text),
+        ]
+    };
+    group.bench_function("txn_100_inserts_commit", |b| {
+        b.iter_batched(
+            || {
+                let db = Database::in_memory();
+                let t = db.create_table("t", schema()).unwrap();
+                db.create_index("t_id", t, &["id"], true).unwrap();
+                (db, t)
+            },
+            |(db, t)| {
+                let mut txn = db.begin();
+                for i in 0..100i64 {
+                    txn.insert(t, vec![Value::Int(i), Value::Text(format!("row{i}"))])
+                        .unwrap();
+                }
+                txn.commit().unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_codec,
+    bench_btree,
+    bench_buffer_pool,
+    bench_wal_and_txn
+);
+criterion_main!(benches);

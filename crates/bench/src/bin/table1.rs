@@ -1,0 +1,188 @@
+//! Regenerates **Table 1** of the paper: per-dataset statistics for the
+//! raw data, the PTdf intermediate, and the loaded data store — for the
+//! IRS Purple study, the SMG-UV noise study, and the SMG-BG/L noise study
+//! (plus the §4.3 Paradyn dataset as an extra row).
+//!
+//! Usage: `cargo run --release -p perftrack-bench --bin table1 [-- --scale F]`
+//! `--scale 0.1` loads 10% of the paper's execution counts (default 1.0).
+
+use perftrack::PTDataStore;
+use perftrack_bench::{bundle_to_ptdf, paradyn_to_ptdf};
+use perftrack_ptdf::PtdfStatement;
+use perftrack_workloads as wl;
+
+struct Row {
+    name: &'static str,
+    files_per_exec: usize,
+    raw_bytes_per_exec: usize,
+    resources_per_exec: usize,
+    metrics: usize,
+    results_per_exec: usize,
+    ptdf_files: usize,
+    ptdf_lines: usize,
+    execs_loaded: usize,
+    db_increase: u64,
+    load_secs: f64,
+}
+
+/// Paper values for the shape comparison (Table 1).
+const PAPER: [(&str, usize, usize, usize, usize, usize, usize); 3] = [
+    // name, files/exec, raw bytes, resources, metrics, results/exec, execs
+    ("IRS", 6, 61_100, 280, 25, 1_514, 62),
+    ("SMG-UV", 2, 190_800, 5_657, 259, 9_777, 35),
+    ("SMG-BG/L", 1, 1_000, 522, 8, 8, 60),
+];
+
+fn measure(
+    store: &PTDataStore,
+    name: &'static str,
+    bundles: &[wl::ExecutionBundle],
+) -> Row {
+    let execs = bundles.len();
+    let raw_bytes: usize = bundles.iter().map(|b| wl::total_bytes(&b.files)).sum();
+    let files: usize = bundles.iter().map(|b| b.files.len()).sum();
+    let metrics_before = store.metrics().len();
+    let resources_before = store.resource_count().unwrap();
+    let results_before = store.result_count().unwrap();
+    let size_before = store.size_bytes().unwrap();
+
+    let mut ptdf_lines = 0usize;
+    let docs: Vec<Vec<PtdfStatement>> = bundles.iter().map(bundle_to_ptdf).collect();
+    for d in &docs {
+        ptdf_lines += d.len();
+    }
+    let start = std::time::Instant::now();
+    for d in &docs {
+        store.load_statements(d).unwrap();
+    }
+    let load_secs = start.elapsed().as_secs_f64();
+    store.checkpoint().unwrap();
+
+    Row {
+        name,
+        files_per_exec: files / execs.max(1),
+        raw_bytes_per_exec: raw_bytes / execs.max(1),
+        resources_per_exec: (store.resource_count().unwrap() - resources_before) / execs.max(1),
+        metrics: store.metrics().len() - metrics_before,
+        results_per_exec: (store.result_count().unwrap() - results_before) / execs.max(1),
+        ptdf_files: docs.len(),
+        ptdf_lines,
+        execs_loaded: execs,
+        db_increase: store.size_bytes().unwrap().saturating_sub(size_before),
+        load_secs,
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .skip_while(|a| a != "--scale")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let n = |paper: usize| ((paper as f64 * scale).round() as usize).max(1);
+    let seed = 2005;
+
+    println!("Table 1: statistics for raw data, PTdf, and data store");
+    println!("(scale factor {scale}; paper values in parentheses)\n");
+
+    // Fresh store per dataset so "DB size increase" is clean, matching
+    // the paper's per-dataset accounting.
+    let mut rows = Vec::new();
+    {
+        let store = PTDataStore::in_memory().unwrap();
+        let bundles = wl::irs_purple(seed, n(62));
+        rows.push(measure(&store, "IRS", &bundles));
+    }
+    {
+        let store = PTDataStore::in_memory().unwrap();
+        let bundles = wl::smg_uv(seed, n(35));
+        rows.push(measure(&store, "SMG-UV", &bundles));
+    }
+    {
+        let store = PTDataStore::in_memory().unwrap();
+        let bundles = wl::smg_bgl(seed, n(60));
+        rows.push(measure(&store, "SMG-BG/L", &bundles));
+    }
+
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>12} {:>14} {:>10} {:>12} {:>8} {:>14} {:>9}",
+        "Name",
+        "Files/exec",
+        "Raw B/exec",
+        "Resources/ex",
+        "Metrics",
+        "Results/exec",
+        "PTdf files",
+        "PTdf stmts",
+        "Execs",
+        "DB increase B",
+        "Load s"
+    );
+    for r in &rows {
+        let paper = PAPER.iter().find(|p| p.0 == r.name);
+        let p = |v: usize, idx: usize| -> String {
+            match paper {
+                Some(p) => {
+                    let pv = [p.1, p.2, p.3, p.4, p.5][idx];
+                    format!("{v} ({pv})")
+                }
+                None => v.to_string(),
+            }
+        };
+        println!(
+            "{:<10} {:>10} {:>12} {:>14} {:>12} {:>14} {:>10} {:>12} {:>8} {:>14} {:>9.2}",
+            r.name,
+            p(r.files_per_exec, 0),
+            p(r.raw_bytes_per_exec, 1),
+            p(r.resources_per_exec, 2),
+            p(r.metrics, 3),
+            p(r.results_per_exec, 4),
+            r.ptdf_files,
+            r.ptdf_lines,
+            match paper {
+                Some(p) => format!("{} ({})", r.execs_loaded, p.6),
+                None => r.execs_loaded.to_string(),
+            },
+            r.db_increase,
+            r.load_secs
+        );
+    }
+
+    // Extra row: the §4.3 Paradyn dataset (3 executions at paper scale).
+    println!("\nParadyn dataset (§4.3; paper: ~17,000 resources, 8 metrics, ~25,000 results per execution):");
+    let store = PTDataStore::in_memory().unwrap();
+    let pd = wl::paradyn_irs(seed, (3.0f64 * scale).ceil() as usize, scale < 0.999);
+    for bundle in &pd {
+        let res_before = store.resource_count().unwrap();
+        let results_before = store.result_count().unwrap();
+        let stmts = paradyn_to_ptdf(bundle);
+        let start = std::time::Instant::now();
+        store.load_statements(&stmts).unwrap();
+        println!(
+            "  {:<16} +{:>6} resources  +{:>6} results  ({} metrics) in {:.2}s",
+            bundle.exec_name,
+            store.resource_count().unwrap() - res_before,
+            store.result_count().unwrap() - results_before,
+            store.metrics().len(),
+            start.elapsed().as_secs_f64()
+        );
+    }
+    println!("\nShape checks vs the paper:");
+    println!("  - SMG-UV has the most resources/results per execution: {}", {
+        let uv = &rows[1];
+        let others_max = rows
+            .iter()
+            .filter(|r| r.name != "SMG-UV")
+            .map(|r| r.results_per_exec)
+            .max()
+            .unwrap();
+        if uv.results_per_exec > others_max { "yes" } else { "NO" }
+    });
+    println!("  - SMG-BG/L contributes exactly 8 results/exec: {}", {
+        if rows[2].results_per_exec == 8 { "yes" } else { "NO" }
+    });
+    println!("  - IRS results/exec within ±15% of 1,514: {}", {
+        let v = rows[0].results_per_exec as f64;
+        if (v - 1514.0).abs() / 1514.0 < 0.15 { "yes" } else { "NO" }
+    });
+}

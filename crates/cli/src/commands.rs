@@ -1,0 +1,419 @@
+//! Implementations of the `pt` subcommands.
+
+use crate::args::{parse, Args, CliError};
+use perftrack::{Compare, PTDataStore, Predictor, QueryEngine, Reports, SelectionDialog};
+use perftrack_adapters as adapters;
+use perftrack_collect::MachineModel;
+use perftrack_model::{Relatives, ResourceFilter, TypePath};
+use perftrack_workloads as wl;
+use std::path::{Path, PathBuf};
+
+type Result<T> = std::result::Result<T, CliError>;
+
+fn open_store(dir: &str) -> Result<PTDataStore> {
+    Ok(PTDataStore::open(Path::new(dir))?)
+}
+
+/// `pt init <store-dir>` — create a persistent store with the schema and
+/// base types.
+pub fn init(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &[])?;
+    let dir = a.positional(0, "store directory")?;
+    let store = open_store(dir)?;
+    println!(
+        "initialized PerfTrack store at {dir} ({} base resource types, {} bytes)",
+        store.registry().len(),
+        store.size_bytes()?
+    );
+    Ok(())
+}
+
+/// `pt machines <store-dir>` — load the paper's four machine models.
+pub fn machines(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["nodes"])?;
+    let dir = a.positional(0, "store directory")?;
+    let nodes: usize = a.get_num("nodes", 4)?;
+    let store = open_store(dir)?;
+    for model in [
+        MachineModel::mcr(),
+        MachineModel::frost(),
+        MachineModel::uv(),
+        MachineModel::bgl(),
+    ] {
+        let stats = store.load_statements(&model.to_ptdf(nodes))?;
+        println!("{}: {} resources, {} attributes", model.name, stats.resources, stats.attributes);
+    }
+    Ok(())
+}
+
+/// `pt gen <dataset> <out-dir>` — write a synthetic dataset plus a PTdfGen
+/// index file.
+pub fn gen(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["execs", "seed"])?;
+    let dataset = a.positional(0, "dataset (irs|smg-uv|smg-bgl|paradyn)")?;
+    let out = PathBuf::from(a.positional(1, "output directory")?);
+    let seed: u64 = a.get_num("seed", 2005)?;
+    let (bundles, default_execs): (Box<dyn Fn(usize) -> Vec<wl::ExecutionBundle>>, usize) =
+        match dataset {
+            "irs" => (Box::new(move |n| wl::irs_purple(seed, n)), 62),
+            "smg-uv" => (Box::new(move |n| wl::smg_uv(seed, n)), 35),
+            "smg-bgl" => (Box::new(move |n| wl::smg_bgl(seed, n)), 60),
+            "paradyn" => {
+                let execs: usize = a.get_num("execs", 3)?;
+                std::fs::create_dir_all(&out)?;
+                let mut files = 0usize;
+                for b in wl::paradyn_irs(seed, execs, false) {
+                    wl::write_files(&out, &b.export.all_files())?;
+                    files += b.export.all_files().len();
+                }
+                println!("wrote {files} Paradyn export files to {}", out.display());
+                return Ok(());
+            }
+            other => return Err(format!("unknown dataset {other:?}").into()),
+        };
+    let execs: usize = a.get_num("execs", default_execs)?;
+    std::fs::create_dir_all(&out)?;
+    let bundles = bundles(execs);
+    let mut index_entries = Vec::new();
+    let mut nfiles = 0usize;
+    for b in &bundles {
+        wl::write_files(&out, &b.files)?;
+        nfiles += b.files.len();
+        index_entries.push(adapters::IndexEntry {
+            execution: b.exec_name.clone(),
+            application: b.application.clone(),
+            concurrency: "MPI".into(),
+            processes: b.np,
+            threads: 1,
+            build_timestamp: "2005-06-01T00:00:00".into(),
+            run_timestamp: "2005-06-02T00:00:00".into(),
+        });
+    }
+    let index_path = out.join("ptdfgen.index");
+    std::fs::write(&index_path, adapters::write_index(&index_entries))?;
+    println!(
+        "wrote {nfiles} raw files for {} executions to {} (index: {})",
+        bundles.len(),
+        out.display(),
+        index_path.display()
+    );
+    Ok(())
+}
+
+/// `pt convert <raw-dir> --index <file> --out <dir>` — PTdfGen batch
+/// conversion.
+pub fn convert(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["index", "out"])?;
+    let raw_dir = PathBuf::from(a.positional(0, "raw data directory")?);
+    let index_path = a.get("index").map(PathBuf::from).unwrap_or_else(|| raw_dir.join("ptdfgen.index"));
+    let out = PathBuf::from(a.get("out").ok_or("--out <dir> required")?);
+    std::fs::create_dir_all(&out)?;
+    let index_text = std::fs::read_to_string(&index_path)?;
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&raw_dir)? {
+        let entry = entry?;
+        if entry.path() == index_path {
+            continue;
+        }
+        if entry.file_type()?.is_file() {
+            files.push((
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read_to_string(entry.path())?,
+            ));
+        }
+    }
+    let converted = adapters::generate_all(&index_text, &files)?;
+    for (exec, stmts) in &converted {
+        let path = out.join(format!("{exec}.ptdf"));
+        std::fs::write(&path, perftrack_ptdf::to_string(stmts))?;
+        println!("{}: {} statements", path.display(), stmts.len());
+    }
+    println!("converted {} executions", converted.len());
+    Ok(())
+}
+
+/// `pt load <store-dir> <ptdf-file>...` — load PTdf files.
+pub fn load(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["threads"])?;
+    let dir = a.positional(0, "store directory")?;
+    if a.positional.len() < 2 {
+        return Err("at least one PTdf file required".into());
+    }
+    let threads: usize = a.get_num("threads", 1)?;
+    let store = open_store(dir)?;
+    let paths: Vec<PathBuf> = a.positional[1..].iter().map(PathBuf::from).collect();
+    let start = std::time::Instant::now();
+    let stats = if threads > 1 {
+        store.load_ptdf_files_parallel(&paths, threads)?
+    } else {
+        let mut total = perftrack::LoadStats::default();
+        for p in &paths {
+            total.merge(&store.load_ptdf_file(p)?);
+        }
+        total
+    };
+    println!(
+        "loaded {} files in {:.2?}: {} executions, {} resources, {} attributes, {} results",
+        paths.len(),
+        start.elapsed(),
+        stats.executions,
+        stats.resources,
+        stats.attributes,
+        stats.results
+    );
+    println!("store size: {} bytes", store.size_bytes()?);
+    Ok(())
+}
+
+/// `pt report <store-dir> [kind]` — simple reports (§3.3).
+pub fn report(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &[])?;
+    let dir = a.positional(0, "store directory")?;
+    let kind = a.positional.get(1).map(String::as_str).unwrap_or("summary");
+    let store = open_store(dir)?;
+    match kind {
+        "summary" => {
+            let summary = Reports::new(&store).summary()?;
+            print!("{}", Reports::render_summary(&summary));
+        }
+        "execution" => {
+            let name = a.positional(2, "execution name")?;
+            let detail = Reports::new(&store).execution(name)?;
+            print!("{}", Reports::render_execution(&detail));
+        }
+        "resource" => {
+            let name = a.positional(2, "resource full name")?;
+            let d = Reports::new(&store).resource(name)?;
+            println!("{} ({})", d.name, d.type_path);
+            println!("  children: {}  results in context: {}", d.children, d.results_in_context);
+            for (k, v) in &d.attributes {
+                println!("  {k} = {v}");
+            }
+        }
+        "types" => {
+            for tp in store.registry().all() {
+                println!("{tp}");
+            }
+        }
+        "executions" => {
+            for (id, name) in store.executions() {
+                println!("{id}\t{name}");
+            }
+        }
+        "metrics" => {
+            for m in store.metrics() {
+                println!("{m}");
+            }
+        }
+        "tables" => {
+            for (name, table) in store.schema().all_tables() {
+                println!("{name}\t{} rows", store.db().row_count(table)?);
+            }
+        }
+        other => return Err(format!("unknown report {other:?}").into()),
+    }
+    Ok(())
+}
+
+fn filters_from_args(a: &Args) -> Result<Vec<ResourceFilter>> {
+    let relatives = match a.get("relatives") {
+        Some(code) => {
+            let c = code.chars().next().unwrap_or('D');
+            Relatives::from_code(c).ok_or_else(|| format!("bad relatives code {code:?}"))?
+        }
+        None => Relatives::Descendants,
+    };
+    let mut filters = Vec::new();
+    for name in a.get_all("name") {
+        filters.push(ResourceFilter::by_name(name).relatives(relatives));
+    }
+    for ty in a.get_all("type") {
+        filters.push(ResourceFilter::by_type(
+            TypePath::new(ty).map_err(|e| e.to_string())?,
+        ));
+    }
+    Ok(filters)
+}
+
+/// `pt query <store-dir> [--name PAT]... [--type PATH]...` — run a
+/// pr-filter query and print the result table.
+pub fn query(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["name", "type", "relatives", "add-column"])?;
+    let dir = a.positional(0, "store directory")?;
+    let store = open_store(dir)?;
+    let mut dialog = SelectionDialog::new(&store);
+    for f in filters_from_args(&a)? {
+        match &f.selector {
+            perftrack_model::Selector::ByName(n) => dialog.add_name(n, f.relatives),
+            perftrack_model::Selector::ByType(t) => dialog.add_type(t),
+            perftrack_model::Selector::ByAttrs(_) => {}
+        }
+    }
+    let mut table = dialog.retrieve()?;
+    for col in a.get_all("add-column") {
+        table.add_resource_column(col);
+    }
+    if a.has_flag("csv") {
+        print!("{}", table.to_csv()?);
+    } else {
+        println!("{}", table.columns().join(" | "));
+        for row in table.render()? {
+            println!("{}", row.join(" | "));
+        }
+        println!("({} rows)", table.len());
+    }
+    Ok(())
+}
+
+/// `pt count <store-dir> ...` — the GUI's live match counts.
+pub fn count(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["name", "type", "relatives"])?;
+    let dir = a.positional(0, "store directory")?;
+    let store = open_store(dir)?;
+    let engine = QueryEngine::new(&store);
+    let filters = filters_from_args(&a)?;
+    let families: Vec<_> = filters
+        .iter()
+        .map(|f| engine.family(f))
+        .collect::<std::result::Result<_, _>>()?;
+    let counts = engine.match_counts(&families)?;
+    for (i, (f, n)) in filters.iter().zip(&counts.per_family).enumerate() {
+        println!("family {i} ({:?}): {n} results", f.selector);
+    }
+    println!("whole pr-filter: {} results", counts.whole);
+    Ok(())
+}
+
+/// `pt chart <store-dir> --name PAT --category COL --series COL`.
+pub fn chart(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["name", "type", "relatives", "category", "series", "title", "add-column", "svg"])?;
+    let dir = a.positional(0, "store directory")?;
+    let store = open_store(dir)?;
+    let mut dialog = SelectionDialog::new(&store);
+    for f in filters_from_args(&a)? {
+        if let perftrack_model::Selector::ByName(n) = &f.selector {
+            dialog.add_name(n, f.relatives);
+        }
+    }
+    let mut table = dialog.retrieve()?;
+    for col in a.get_all("add-column") {
+        table.add_resource_column(col);
+    }
+    let category: usize = a.get_num("category", 0)?;
+    let series: usize = a.get_num("series", 1)?;
+    let title = a.get("title").unwrap_or("PerfTrack chart");
+    let chart = table.chart(title, category, series)?;
+    // Write the SVG before printing: stdout may be a pipe that closes
+    // early, and the file artifact should not depend on it.
+    if let Some(path) = a.get("svg") {
+        std::fs::write(path, chart.to_svg(720, 420))?;
+    }
+    println!("{}", chart.render_ascii(78));
+    if a.has_flag("csv") {
+        print!("{}", chart.to_csv());
+    }
+    if let Some(path) = a.get("svg") {
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `pt compare <store-dir> <exec-a> <exec-b>` — comparison operators.
+pub fn compare(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["threshold"])?;
+    let dir = a.positional(0, "store directory")?;
+    let exec_a = a.positional(1, "first execution")?;
+    let exec_b = a.positional(2, "second execution")?;
+    let threshold: f64 = a.get_num("threshold", 1.25)?;
+    let store = open_store(dir)?;
+    let cmp = Compare::new(&store);
+    let report = cmp.compare_executions(exec_a, exec_b)?;
+    println!(
+        "{} vs {}: {} aligned pairs ({} only in A, {} only in B)",
+        exec_a,
+        exec_b,
+        report.rows.len(),
+        report.only_in_a,
+        report.only_in_b
+    );
+    if let Some(g) = report.geo_mean_ratio() {
+        println!("geo-mean ratio B/A: {g:.4}");
+    }
+    let regressions = report.regressions(threshold);
+    println!("\nregressions (B > {threshold}× A): {}", regressions.len());
+    for r in regressions.iter().take(20) {
+        println!(
+            "  {:<60} {:>10.4} → {:>10.4} ({:.2}x)",
+            r.key,
+            r.value_a,
+            r.value_b,
+            r.ratio.unwrap_or(f64::NAN)
+        );
+    }
+    let improvements = report.improvements(threshold);
+    println!("improvements (B < A/{threshold}): {}", improvements.len());
+    Ok(())
+}
+
+/// `pt predict <store-dir> --metric M --train E1,E2,... [--check EXEC]
+/// [--at NP]` — fit a scaling model and optionally validate it against a
+/// held-out execution or predict a new process count (§6 future work).
+pub fn predict(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["metric", "train", "check", "at"])?;
+    let dir = a.positional(0, "store directory")?;
+    let metric = a.get("metric").ok_or("--metric required")?;
+    let train = a.get("train").ok_or("--train E1,E2,... required")?;
+    let store = open_store(dir)?;
+    let predictor = Predictor::new(&store);
+    let execs: Vec<&str> = train.split(',').map(str::trim).collect();
+    let model = predictor.fit_scaling(metric, &execs)?;
+    println!(
+        "fitted T(p) = {:.4} + {:.4}/p over {} observations (R² = {:.4})",
+        model.serial,
+        model.parallel,
+        model.observations.len(),
+        model.r_squared
+    );
+    if let Some(exec) = a.get("check") {
+        let check = predictor.check(&model, exec)?;
+        println!(
+            "holdout {exec} (np={}): predicted {:.4}, actual {:.4}, error {:+.2}%",
+            check.processes,
+            check.predicted,
+            check.actual,
+            check.relative_error * 100.0
+        );
+    }
+    if let Some(at) = a.get("at") {
+        let np: usize = at.parse().map_err(|_| format!("--at: bad count {at:?}"))?;
+        println!(
+            "prediction at np={np}: {:.4} (efficiency {:.1}%)",
+            model.predict(np),
+            model.efficiency(np) * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `pt delete <store-dir> <execution>` — cascade-delete an execution.
+pub fn delete(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &[])?;
+    let dir = a.positional(0, "store directory")?;
+    let exec = a.positional(1, "execution name")?;
+    let store = open_store(dir)?;
+    let (results, foci, links) = store.delete_execution(exec)?;
+    println!("deleted execution {exec}: {results} results, {foci} foci, {links} focus links");
+    Ok(())
+}
+
+/// `pt export <store-dir> <out-file>` — dump the store as PTdf.
+pub fn export(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &[])?;
+    let dir = a.positional(0, "store directory")?;
+    let out = a.positional(1, "output file")?;
+    let store = open_store(dir)?;
+    let stmts = store.export_ptdf()?;
+    std::fs::write(out, perftrack_ptdf::to_string(&stmts))?;
+    println!("exported {} statements to {out}", stmts.len());
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! `pt` — the PerfTrack command-line interface.
+//!
+//! The paper ships a script-based interface beside the GUI; `pt` is its
+//! equivalent: initialize stores, generate the synthetic study datasets,
+//! batch-convert raw tool output (PTdfGen), load PTdf, and run
+//! queries/reports/charts/comparisons from the shell.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pt — PerfTrack performance experiment management
+
+USAGE:
+  pt init <store-dir>
+  pt machines <store-dir> [--nodes N]
+  pt gen <irs|smg-uv|smg-bgl|paradyn> <out-dir> [--execs N] [--seed S]
+  pt convert <raw-dir> --index <file> --out <dir>
+  pt load <store-dir> <ptdf-file>... [--threads N]
+  pt report <store-dir> [summary|types|executions|metrics|tables]
+  pt report <store-dir> execution <name> | resource <full-name>
+  pt delete <store-dir> <execution>
+  pt query <store-dir> [--name PAT]... [--type PATH]... [--relatives D|A|B|N]
+          [--add-column TYPE]... [--csv]
+  pt count <store-dir> [--name PAT]... [--type PATH]...
+  pt chart <store-dir> --name PAT --category COL --series COL [--title T] [--svg F]
+  pt predict <store-dir> --metric M --train E1,E2,.. [--check EXEC] [--at NP]
+  pt compare <store-dir> <exec-a> <exec-b> [--threshold R]
+  pt export <store-dir> <out-file>";
+
+fn main() -> ExitCode {
+    // `pt ... | head` closes stdout early; Rust's println! panics on the
+    // resulting EPIPE. Treat a broken pipe as a normal quiet exit, like
+    // every other Unix CLI.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or_default();
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let cmd = argv[0].as_str();
+    let rest = &argv[1..];
+    let result = match cmd {
+        "init" => commands::init(rest),
+        "machines" => commands::machines(rest),
+        "gen" => commands::gen(rest),
+        "convert" => commands::convert(rest),
+        "load" => commands::load(rest),
+        "report" => commands::report(rest),
+        "query" => commands::query(rest),
+        "count" => commands::count(rest),
+        "chart" => commands::chart(rest),
+        "compare" => commands::compare(rest),
+        "predict" => commands::predict(rest),
+        "delete" => commands::delete(rest),
+        "export" => commands::export(rest),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pt {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! PTbuild: automatic capture of build information (§3.3).
+//!
+//! The paper's wrapper script runs `make`, captures its output, and
+//! records two categories of data: *build environment* (OS, build
+//! machine, shell environment) and *compilation* information (compilers,
+//! versions, flags, linked static libraries — unwrapping MPI compiler
+//! wrappers to find the real compiler underneath).
+//!
+//! Commands run through a [`CommandRunner`] so tests and the simulated
+//! studies are deterministic; [`SystemRunner`] shells out for real use.
+
+use perftrack_ptdf::{AttrType, PtdfStatement};
+use std::collections::BTreeMap;
+
+/// Executes a command line and returns its stdout (or an error string).
+pub trait CommandRunner {
+    /// Run `program args...`, returning stdout.
+    fn run(&self, program: &str, args: &[&str]) -> Result<String, String>;
+}
+
+/// Runs real processes.
+pub struct SystemRunner;
+
+impl CommandRunner for SystemRunner {
+    fn run(&self, program: &str, args: &[&str]) -> Result<String, String> {
+        let out = std::process::Command::new(program)
+            .args(args)
+            .output()
+            .map_err(|e| e.to_string())?;
+        Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+    }
+}
+
+/// Canned command outputs for deterministic capture.
+#[derive(Default)]
+pub struct SimulatedRunner {
+    responses: BTreeMap<String, String>,
+}
+
+impl SimulatedRunner {
+    /// Empty simulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the stdout for `program args...`.
+    pub fn on(mut self, command: &str, stdout: &str) -> Self {
+        self.responses.insert(command.to_string(), stdout.to_string());
+        self
+    }
+}
+
+impl CommandRunner for SimulatedRunner {
+    fn run(&self, program: &str, args: &[&str]) -> Result<String, String> {
+        let key = if args.is_empty() {
+            program.to_string()
+        } else {
+            format!("{program} {}", args.join(" "))
+        };
+        self.responses
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| format!("no canned output for {key:?}"))
+    }
+}
+
+/// One compiler invocation observed in the build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompilerUse {
+    /// The command as invoked (`mpicc`, `gcc`, `xlf`).
+    pub name: String,
+    /// Version string if obtainable.
+    pub version: Option<String>,
+    /// Distinct flags used across invocations.
+    pub flags: Vec<String>,
+    /// Source modules compiled.
+    pub modules: Vec<String>,
+    /// The underlying compiler when `name` is an MPI wrapper.
+    pub wraps: Option<String>,
+}
+
+/// Everything PTbuild captures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Name of the build (becomes the build resource), e.g. `irs-build-01`.
+    pub build_name: String,
+    pub application: String,
+    /// Machine/node the build ran on.
+    pub build_host: String,
+    pub os_name: String,
+    pub os_version: String,
+    /// Captured shell environment (selected variables).
+    pub environment: Vec<(String, String)>,
+    pub compilers: Vec<CompilerUse>,
+    /// `-l` libraries linked.
+    pub static_libs: Vec<String>,
+}
+
+/// Known compiler commands (wrappers listed with their usual backends).
+const COMPILERS: [(&str, Option<&str>); 8] = [
+    ("mpicc", Some("cc")),
+    ("mpif77", Some("f77")),
+    ("mpxlf", Some("xlf")),
+    ("gcc", None),
+    ("cc", None),
+    ("icc", None),
+    ("xlc", None),
+    ("xlf", None),
+];
+
+/// Parse `make` output into compiler usage and linked libraries.
+pub fn parse_make_output(output: &str) -> (Vec<CompilerUse>, Vec<String>) {
+    let mut uses: BTreeMap<String, CompilerUse> = BTreeMap::new();
+    let mut libs: Vec<String> = Vec::new();
+    for line in output.lines() {
+        let mut tokens = line.split_whitespace();
+        let Some(cmd) = tokens.next() else { continue };
+        let Some(&(name, wraps)) = COMPILERS.iter().find(|(c, _)| *c == cmd) else {
+            continue;
+        };
+        let entry = uses.entry(name.to_string()).or_insert_with(|| CompilerUse {
+            name: name.to_string(),
+            version: None,
+            flags: Vec::new(),
+            modules: Vec::new(),
+            wraps: wraps.map(str::to_string),
+        });
+        for tok in tokens {
+            if let Some(lib) = tok.strip_prefix("-l") {
+                if !libs.contains(&lib.to_string()) {
+                    libs.push(lib.to_string());
+                }
+            } else if tok.starts_with('-') {
+                if !entry.flags.contains(&tok.to_string()) {
+                    entry.flags.push(tok.to_string());
+                }
+            } else if (tok.ends_with(".c") || tok.ends_with(".f") || tok.ends_with(".C"))
+                && !entry.modules.contains(&tok.to_string()) {
+                    entry.modules.push(tok.to_string());
+                }
+        }
+    }
+    (uses.into_values().collect(), libs)
+}
+
+/// Run the build through the runner and capture everything.
+///
+/// `env` is the shell environment to record (pass a filtered set; the
+/// paper records the build user's shell settings).
+pub fn capture_build(
+    runner: &dyn CommandRunner,
+    build_name: &str,
+    application: &str,
+    make_args: &[&str],
+    env: &[(String, String)],
+) -> Result<BuildInfo, String> {
+    let make_output = runner.run("make", make_args)?;
+    let (mut compilers, static_libs) = parse_make_output(&make_output);
+    // Unwrap MPI wrappers (`mpicc -show` prints the underlying command)
+    // and collect versions.
+    for c in &mut compilers {
+        if c.wraps.is_some() {
+            if let Ok(show) = runner.run(&c.name, &["-show"]) {
+                if let Some(real) = show.split_whitespace().next() {
+                    c.wraps = Some(real.to_string());
+                }
+            }
+        }
+        if let Ok(v) = runner.run(&c.name, &["--version"]) {
+            c.version = v.lines().next().map(str::to_string);
+        }
+    }
+    let uname_s = runner.run("uname", &["-s"]).unwrap_or_else(|_| "unknown".into());
+    let uname_r = runner.run("uname", &["-r"]).unwrap_or_else(|_| "unknown".into());
+    let hostname = runner.run("hostname", &[]).unwrap_or_else(|_| "unknown".into());
+    Ok(BuildInfo {
+        build_name: build_name.to_string(),
+        application: application.to_string(),
+        build_host: hostname.trim().to_string(),
+        os_name: uname_s.trim().to_string(),
+        os_version: uname_r.trim().to_string(),
+        environment: env.to_vec(),
+        compilers,
+        static_libs,
+    })
+}
+
+/// Convert captured build info to PTdf: a `build` hierarchy resource with
+/// module children, `compiler` and `operatingSystem` resources, and
+/// attributes for flags, versions, libraries, and the environment.
+pub fn to_ptdf(info: &BuildInfo) -> Vec<PtdfStatement> {
+    let mut out = Vec::new();
+    out.push(PtdfStatement::Application {
+        name: info.application.clone(),
+    });
+    let build = format!("/{}", info.build_name);
+    out.push(PtdfStatement::Resource {
+        name: build.clone(),
+        type_path: "build".into(),
+        execution: None,
+    });
+    let attr = |resource: &str, name: &str, value: &str| PtdfStatement::ResourceAttribute {
+        resource: resource.to_string(),
+        attribute: name.to_string(),
+        value: value.to_string(),
+        attr_type: AttrType::String,
+    };
+    out.push(attr(&build, "build host", &info.build_host));
+    for (k, v) in &info.environment {
+        out.push(attr(&build, &format!("env:{k}"), v));
+    }
+    for lib in &info.static_libs {
+        out.push(attr(&build, "static library", lib));
+    }
+    // OS resource.
+    let os = format!("/{}-{}", info.os_name, info.os_version).replace(' ', "_");
+    out.push(PtdfStatement::Resource {
+        name: os.clone(),
+        type_path: "operatingSystem".into(),
+        execution: None,
+    });
+    out.push(attr(&os, "name", &info.os_name));
+    out.push(attr(&os, "version", &info.os_version));
+    out.push(attr(&build, "operating system", &os));
+    // Compilers + modules.
+    for c in &info.compilers {
+        let comp = format!("/{}", c.name);
+        out.push(PtdfStatement::Resource {
+            name: comp.clone(),
+            type_path: "compiler".into(),
+            execution: None,
+        });
+        if let Some(v) = &c.version {
+            out.push(attr(&comp, "version", v));
+        }
+        if let Some(w) = &c.wraps {
+            out.push(attr(&comp, "wraps", w));
+        }
+        if !c.flags.is_empty() {
+            out.push(attr(&comp, "flags", &c.flags.join(" ")));
+        }
+        for m in &c.modules {
+            let module = format!("{build}/{m}");
+            out.push(PtdfStatement::Resource {
+                name: module.clone(),
+                type_path: "build/module".into(),
+                execution: None,
+            });
+            out.push(attr(&module, "compiler", &c.name));
+        }
+    }
+    out
+}
+
+/// A canned runner reproducing a typical MPI application build, for the
+/// simulated case studies.
+pub fn simulated_irs_build() -> SimulatedRunner {
+    SimulatedRunner::new()
+        .on(
+            "make -f Makefile.irs",
+            "mpicc -O2 -qarch=auto -c irs.c\n\
+             mpicc -O2 -qarch=auto -c rmatmult3.c\n\
+             mpicc -O2 -qarch=auto -c SetupHydro.c\n\
+             mpicc -O2 -o irs irs.o rmatmult3.o SetupHydro.o -lm -lmpi\n",
+        )
+        .on("mpicc -show", "xlc -I/usr/lpp/ppe.poe/include -lmpi\n")
+        .on("mpicc --version", "IBM XL C/C++ Enterprise Edition V7.0\n")
+        .on("uname -s", "AIX\n")
+        .on("uname -r", "5.1\n")
+        .on("hostname", "frost017\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_make_output_extracts_compilers_flags_libs() {
+        let (compilers, libs) = parse_make_output(
+            "mpicc -O2 -g -c a.c\nmpicc -O2 -c b.c\ngcc -O3 -c c.c\nmpicc -o app a.o b.o -lm -lmpi\necho done\n",
+        );
+        assert_eq!(compilers.len(), 2);
+        let mpicc = compilers.iter().find(|c| c.name == "mpicc").unwrap();
+        assert_eq!(mpicc.flags, vec!["-O2", "-g", "-c", "-o"]);
+        assert_eq!(mpicc.modules, vec!["a.c", "b.c"]);
+        assert_eq!(mpicc.wraps.as_deref(), Some("cc"));
+        let gcc = compilers.iter().find(|c| c.name == "gcc").unwrap();
+        assert_eq!(gcc.modules, vec!["c.c"]);
+        assert_eq!(gcc.wraps, None);
+        assert_eq!(libs, vec!["m", "mpi"]);
+    }
+
+    #[test]
+    fn capture_build_unwraps_mpi_wrapper() {
+        let runner = simulated_irs_build();
+        let info = capture_build(
+            &runner,
+            "irs-build-01",
+            "IRS",
+            &["-f", "Makefile.irs"],
+            &[("CC".into(), "mpicc".into())],
+        )
+        .unwrap();
+        assert_eq!(info.os_name, "AIX");
+        assert_eq!(info.build_host, "frost017");
+        let mpicc = &info.compilers[0];
+        assert_eq!(mpicc.wraps.as_deref(), Some("xlc"), "wrapper unwrapped");
+        assert!(mpicc.version.as_deref().unwrap().contains("XL C"));
+        assert_eq!(info.static_libs, vec!["m", "mpi"]);
+    }
+
+    #[test]
+    fn ptdf_output_loads() {
+        use perftrack::PTDataStore;
+        let runner = simulated_irs_build();
+        let info = capture_build(&runner, "irs-build-01", "IRS", &["-f", "Makefile.irs"], &[])
+            .unwrap();
+        let stmts = to_ptdf(&info);
+        let store = PTDataStore::in_memory().unwrap();
+        let stats = store.load_statements(&stmts).unwrap();
+        assert!(stats.resources >= 5, "build, os, compiler, modules");
+        assert!(store.resource_id("/irs-build-01/irs.c").is_some());
+        let build = store.resource_by_name("/irs-build-01").unwrap().unwrap();
+        let attrs = store.attributes_of(build.id).unwrap();
+        assert!(attrs.iter().any(|(n, _, _)| n == "build host"));
+        assert!(attrs.iter().any(|(n, v, _)| n == "static library" && v == "mpi"));
+    }
+
+    #[test]
+    fn missing_canned_command_errors() {
+        let runner = SimulatedRunner::new();
+        assert!(capture_build(&runner, "b", "A", &[], &[]).is_err());
+    }
+
+    #[test]
+    fn system_runner_runs_real_commands() {
+        // `true` exists everywhere we run tests.
+        let out = SystemRunner.run("true", &[]).unwrap();
+        assert!(out.is_empty());
+        assert!(SystemRunner.run("definitely-not-a-command-xyz", &[]).is_err());
+    }
+}

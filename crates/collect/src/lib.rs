@@ -1,0 +1,19 @@
+//! # perftrack-collect
+//!
+//! PerfTrack's data-collection modules (§3.3): machine models that emit
+//! the grid hierarchies for the paper's platforms (MCR, Frost, UV, BG/L),
+//! PTbuild-equivalent build capture (compilers, flags, wrapped MPI
+//! compilers, linked libraries, build environment), and PTrun-equivalent
+//! runtime capture (processes, environment variables, dynamic libraries,
+//! input decks, submissions) — all emitting PTdf.
+
+pub mod build;
+pub mod machines;
+pub mod run;
+
+pub use build::{
+    capture_build, parse_make_output, simulated_irs_build, to_ptdf as build_to_ptdf, BuildInfo,
+    CommandRunner, CompilerUse, SimulatedRunner, SystemRunner,
+};
+pub use machines::MachineModel;
+pub use run::{to_ptdf as run_to_ptdf, RunInfo, RuntimeLib};

@@ -1,0 +1,328 @@
+//! Bar-chart construction and rendering (the Figure 5 display).
+//!
+//! The paper's Qt GUI draws multi-series bar charts of selected data (min
+//! and max running time across processors per process count, in the
+//! figure). This module produces the same artifact as a structured value
+//! renderable to ASCII for terminals and to CSV for spreadsheets — the
+//! paper's own fallback path ("users can always export the data").
+
+use std::fmt::Write as _;
+
+/// One named series of values, one value per category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    pub name: String,
+    pub values: Vec<f64>,
+}
+
+/// A multi-series bar chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarChart {
+    pub title: String,
+    /// X-axis labels (e.g. process counts).
+    pub categories: Vec<String>,
+    pub series: Vec<Series>,
+    /// Y-axis unit label.
+    pub units: String,
+}
+
+impl BarChart {
+    /// Create a chart; every series must have one value per category.
+    pub fn new(title: &str, categories: Vec<String>, series: Vec<Series>, units: &str) -> Self {
+        for s in &series {
+            assert_eq!(
+                s.values.len(),
+                categories.len(),
+                "series {} length mismatch",
+                s.name
+            );
+        }
+        BarChart {
+            title: title.to_string(),
+            categories,
+            series,
+            units: units.to_string(),
+        }
+    }
+
+    /// Largest value across all series (0.0 for an empty chart).
+    pub fn max_value(&self) -> f64 {
+        self.series
+            .iter()
+            .flat_map(|s| s.values.iter())
+            .fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// Render as horizontal ASCII bars, grouped by category.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} [{}]", self.title, self.units);
+        let max = self.max_value();
+        let label_w = self
+            .categories
+            .iter()
+            .map(String::len)
+            .chain(self.series.iter().map(|s| s.name.len()))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let bar_w = width.saturating_sub(label_w + 16).max(10);
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let _ = writeln!(out, "{cat:label_w$}");
+            for s in &self.series {
+                let v = s.values[ci];
+                let filled = if max > 0.0 {
+                    ((v / max) * bar_w as f64).round() as usize
+                } else {
+                    0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:label_w$} |{}{}| {:.4}",
+                    s.name,
+                    "█".repeat(filled),
+                    " ".repeat(bar_w - filled.min(bar_w)),
+                    v
+                );
+            }
+        }
+        out
+    }
+
+    /// Render as a standalone SVG document — the §6 "richer visualization
+    /// interface" extension. Grouped vertical bars, one color per series,
+    /// with a legend and y-axis gridlines.
+    pub fn to_svg(&self, width: u32, height: u32) -> String {
+        const COLORS: [&str; 6] = [
+            "#4878a8", "#c85a5a", "#6aa84f", "#8e63ae", "#d8904f", "#5ab4ac",
+        ];
+        let margin_left = 64.0;
+        let margin_bottom = 48.0;
+        let margin_top = 40.0;
+        let margin_right = 16.0;
+        let plot_w = width as f64 - margin_left - margin_right;
+        let plot_h = height as f64 - margin_top - margin_bottom;
+        let max = self.max_value().max(1e-12);
+        let ncat = self.categories.len().max(1);
+        let nser = self.series.len().max(1);
+        let group_w = plot_w / ncat as f64;
+        let bar_w = (group_w * 0.8) / nser as f64;
+
+        let mut svg = String::with_capacity(4096);
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+        ));
+        svg.push_str(&format!(
+            r#"<rect width="{width}" height="{height}" fill="white"/>"#
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{} [{}]</text>"#,
+            width as f64 / 2.0,
+            xml_escape(&self.title),
+            xml_escape(&self.units)
+        ));
+        // Gridlines + y labels.
+        for i in 0..=4 {
+            let frac = i as f64 / 4.0;
+            let y = margin_top + plot_h * (1.0 - frac);
+            svg.push_str(&format!(
+                r##"<line x1="{margin_left}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                margin_left + plot_w
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" text-anchor="end">{:.3}</text>"#,
+                margin_left - 6.0,
+                y + 3.0,
+                max * frac
+            ));
+        }
+        // Bars.
+        for (ci, _cat) in self.categories.iter().enumerate() {
+            for (si, s) in self.series.iter().enumerate() {
+                let v = s.values[ci];
+                let h = plot_h * (v / max);
+                let x = margin_left
+                    + ci as f64 * group_w
+                    + group_w * 0.1
+                    + si as f64 * bar_w;
+                let y = margin_top + plot_h - h;
+                svg.push_str(&format!(
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{h:.1}" fill="{}"><title>{}: {v}</title></rect>"#,
+                    bar_w.max(1.0) - 1.0,
+                    COLORS[si % COLORS.len()],
+                    xml_escape(&s.name)
+                ));
+            }
+        }
+        // Category labels.
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let x = margin_left + (ci as f64 + 0.5) * group_w;
+            svg.push_str(&format!(
+                r#"<text x="{x:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+                margin_top + plot_h + 16.0,
+                xml_escape(cat)
+            ));
+        }
+        // Legend.
+        for (si, s) in self.series.iter().enumerate() {
+            let x = margin_left + si as f64 * 110.0;
+            let y = height as f64 - 12.0;
+            svg.push_str(&format!(
+                r#"<rect x="{x:.1}" y="{:.1}" width="10" height="10" fill="{}"/>"#,
+                y - 9.0,
+                COLORS[si % COLORS.len()]
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{y:.1}" font-family="sans-serif" font-size="11">{}</text>"#,
+                x + 14.0,
+                xml_escape(&s.name)
+            ));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Render as CSV (categories as rows, series as columns) for import
+    /// into a spreadsheet, the workflow §4.1 describes.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "category");
+        for s in &self.series {
+            let _ = write!(out, ",{}", csv_escape(&s.name));
+        }
+        let _ = writeln!(out);
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let _ = write!(out, "{}", csv_escape(cat));
+            for s in &self.series {
+                let _ = write!(out, ",{}", s.values[ci]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Escape text for inclusion in SVG/XML.
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Quote a CSV field when needed.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        BarChart::new(
+            "min/max time per process count",
+            vec!["np=8".into(), "np=16".into(), "np=32".into()],
+            vec![
+                Series {
+                    name: "min".into(),
+                    values: vec![1.0, 0.6, 0.4],
+                },
+                Series {
+                    name: "max".into(),
+                    values: vec![1.4, 1.1, 0.9],
+                },
+            ],
+            "seconds",
+        )
+    }
+
+    #[test]
+    fn ascii_contains_all_labels_and_values() {
+        let text = chart().render_ascii(80);
+        for needle in ["np=8", "np=16", "np=32", "min", "max", "1.4000", "0.4000", "seconds"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn bars_scale_with_values() {
+        let text = chart().render_ascii(80);
+        let count_bars = |line: &str| line.matches('█').count();
+        let lines: Vec<&str> = text.lines().collect();
+        // Within np=8, max (1.4) has more filled cells than min (1.0).
+        let min_line = lines.iter().find(|l| l.contains("min") && l.contains("1.0000")).unwrap();
+        let max_line = lines.iter().find(|l| l.contains("max") && l.contains("1.4000")).unwrap();
+        assert!(count_bars(max_line) > count_bars(min_line));
+    }
+
+    #[test]
+    fn csv_output_parses() {
+        let csv = chart().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "category,min,max");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("np=8,1,"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn svg_output_is_well_formed_and_complete() {
+        let svg = chart().to_svg(640, 360);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One bar per (category, series) pair plus the legend swatches.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 1 + 3 * 2 + 2, "background + bars + legend");
+        for needle in ["np=8", "np=16", "np=32", "min", "max", "seconds"] {
+            assert!(svg.contains(needle), "missing {needle}");
+        }
+        // Balanced tags.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn svg_escapes_markup_in_labels() {
+        let c = BarChart::new(
+            "a < b & \"c\"",
+            vec!["x<y".into()],
+            vec![Series { name: "s>1".into(), values: vec![1.0] }],
+            "u",
+        );
+        let svg = c.to_svg(300, 200);
+        assert!(svg.contains("a &lt; b &amp; &quot;c&quot;"));
+        assert!(svg.contains("x&lt;y"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn empty_chart_renders() {
+        let c = BarChart::new("empty", vec![], vec![], "s");
+        assert_eq!(c.max_value(), 0.0);
+        assert!(c.render_ascii(40).contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        BarChart::new(
+            "bad",
+            vec!["a".into()],
+            vec![Series {
+                name: "s".into(),
+                values: vec![1.0, 2.0],
+            }],
+            "u",
+        );
+    }
+}

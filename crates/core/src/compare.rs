@@ -1,0 +1,344 @@
+//! Comparison operators across executions (§6 lists these as the
+//! enhancement "in progress"; they are grounded in the comparison-based
+//! diagnosis line of work the paper builds on, Karavanic & Miller).
+//!
+//! Two executions rarely share context resources verbatim — process and
+//! time resources are execution-specific — so results are aligned on a
+//! *normalized key*: the metric plus the base names of context resources
+//! whose hierarchy is structural (build, environment, grid,
+//! application, ...), dropping the per-run `execution` and `time`
+//! hierarchies. Difference/ratio operators and a load-balance summary
+//! (the Figure 5 computation) operate on aligned pairs.
+
+use crate::datastore::PTDataStore;
+use crate::error::Result;
+use crate::query::{QueryEngine, ResultRow};
+use std::collections::{BTreeMap, HashMap};
+
+/// An aligned pair of results from two executions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Human-readable alignment key: `metric @ resource,resource,...`.
+    pub key: String,
+    pub value_a: f64,
+    pub value_b: f64,
+    /// `value_b - value_a`.
+    pub difference: f64,
+    /// `value_b / value_a` (`None` when `value_a == 0`).
+    pub ratio: Option<f64>,
+}
+
+/// Summary of a comparison between two executions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonReport {
+    pub execution_a: String,
+    pub execution_b: String,
+    pub rows: Vec<ComparisonRow>,
+    /// Results in A with no aligned partner in B.
+    pub only_in_a: usize,
+    /// Results in B with no aligned partner in A.
+    pub only_in_b: usize,
+}
+
+impl ComparisonReport {
+    /// Rows where B is slower than A by more than `threshold_ratio`
+    /// (regressions when A is the baseline).
+    pub fn regressions(&self, threshold_ratio: f64) -> Vec<&ComparisonRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.ratio.is_some_and(|q| q > threshold_ratio))
+            .collect()
+    }
+
+    /// Rows where B is faster than A by more than the reciprocal of
+    /// `threshold_ratio`.
+    pub fn improvements(&self, threshold_ratio: f64) -> Vec<&ComparisonRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.ratio.is_some_and(|q| q < 1.0 / threshold_ratio))
+            .collect()
+    }
+
+    /// Geometric-mean ratio over aligned rows with positive values — an
+    /// overall speedup/slowdown factor of B relative to A.
+    pub fn geo_mean_ratio(&self) -> Option<f64> {
+        let logs: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.ratio)
+            .filter(|q| *q > 0.0)
+            .map(f64::ln)
+            .collect();
+        if logs.is_empty() {
+            None
+        } else {
+            Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+        }
+    }
+}
+
+/// One group of the load-balance summary (Figure 5: one process count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadBalanceRow {
+    /// Group label (typically the execution or its process count).
+    pub label: String,
+    pub n: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    /// `max / min` (`None` if min is 0) — the paper's "rough indication of
+    /// load balance".
+    pub imbalance: Option<f64>,
+}
+
+/// Comparison engine over a data store.
+pub struct Compare<'s> {
+    store: &'s PTDataStore,
+}
+
+impl<'s> Compare<'s> {
+    /// Bind to a store.
+    pub fn new(store: &'s PTDataStore) -> Self {
+        Compare { store }
+    }
+
+    /// All result rows of one execution.
+    pub fn rows_of_execution(&self, execution: &str) -> Result<Vec<ResultRow>> {
+        let engine = QueryEngine::new(self.store);
+        let all = engine.run(&[])?;
+        Ok(all
+            .into_iter()
+            .filter(|r| r.execution == execution)
+            .collect())
+    }
+
+    /// The normalized alignment key of a result: metric plus sorted base
+    /// names of structural context resources (execution/time hierarchies
+    /// dropped).
+    pub fn alignment_key(&self, row: &ResultRow) -> Result<String> {
+        let engine = QueryEngine::new(self.store);
+        let types = engine.type_path_by_id()?;
+        self.alignment_key_with(row, &types)
+    }
+
+    /// [`Compare::alignment_key`] with a pre-built type map, so per-row
+    /// callers (the comparison loop) scan the type table once, not per row.
+    fn alignment_key_with(
+        &self,
+        row: &ResultRow,
+        types: &std::collections::HashMap<i64, String>,
+    ) -> Result<String> {
+        let mut parts: Vec<String> = Vec::new();
+        for &rid in &row.context {
+            if let Some(rec) = self.store.resource_by_id(rid)? {
+                let tp = types.get(&rec.type_id).cloned().unwrap_or_default();
+                let root = tp.split('/').next().unwrap_or("");
+                if root == "execution" || root == "time" {
+                    continue;
+                }
+                parts.push(rec.base_name);
+            }
+        }
+        parts.sort();
+        parts.dedup();
+        Ok(format!("{} @ {}", row.metric, parts.join(",")))
+    }
+
+    /// Align and compare two executions.
+    pub fn compare_executions(&self, exec_a: &str, exec_b: &str) -> Result<ComparisonReport> {
+        let rows_a = self.rows_of_execution(exec_a)?;
+        let rows_b = self.rows_of_execution(exec_b)?;
+        let types = QueryEngine::new(self.store).type_path_by_id()?;
+        // Key → mean value (several rows can share a normalized key, e.g.
+        // per-process results collapse when process resources are dropped).
+        let collapse = |rows: &[ResultRow]| -> Result<HashMap<String, (f64, usize)>> {
+            let mut m: HashMap<String, (f64, usize)> = HashMap::new();
+            for r in rows {
+                let key = self.alignment_key_with(r, &types)?;
+                let e = m.entry(key).or_insert((0.0, 0));
+                e.0 += r.value;
+                e.1 += 1;
+            }
+            Ok(m)
+        };
+        let map_a = collapse(&rows_a)?;
+        let map_b = collapse(&rows_b)?;
+        let mut rows = Vec::new();
+        let mut only_in_a = 0usize;
+        for (key, (sum_a, n_a)) in &map_a {
+            match map_b.get(key) {
+                Some((sum_b, n_b)) => {
+                    let value_a = sum_a / *n_a as f64;
+                    let value_b = sum_b / *n_b as f64;
+                    rows.push(ComparisonRow {
+                        key: key.clone(),
+                        value_a,
+                        value_b,
+                        difference: value_b - value_a,
+                        ratio: (value_a != 0.0).then(|| value_b / value_a),
+                    });
+                }
+                None => only_in_a += 1,
+            }
+        }
+        let only_in_b = map_b
+            .keys()
+            .filter(|k| !map_a.contains_key(k.as_str()))
+            .count();
+        rows.sort_by(|x, y| x.key.cmp(&y.key));
+        Ok(ComparisonReport {
+            execution_a: exec_a.to_string(),
+            execution_b: exec_b.to_string(),
+            rows,
+            only_in_a,
+            only_in_b,
+        })
+    }
+
+    /// Load-balance summary (Figure 5): group `rows` (already filtered to
+    /// one metric, typically one function) by execution and report
+    /// min/max/mean across the group — e.g. across a run's processors.
+    pub fn load_balance(&self, rows: &[ResultRow]) -> Vec<LoadBalanceRow> {
+        let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for r in rows {
+            groups.entry(r.execution.clone()).or_default().push(r.value);
+        }
+        groups
+            .into_iter()
+            .map(|(label, values)| {
+                let n = values.len();
+                let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mean = values.iter().sum::<f64>() / n as f64;
+                LoadBalanceRow {
+                    label,
+                    n,
+                    min,
+                    max,
+                    mean,
+                    imbalance: (min != 0.0).then(|| max / min),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two executions of the same app on the same machine; v2 is ~2x
+    /// faster on `solve` and has an extra function.
+    fn setup() -> PTDataStore {
+        let store = PTDataStore::in_memory().unwrap();
+        let mut ptdf = String::from(
+            "Application IRS\nResource /G grid\nResource /G/M grid/machine\nResource /irs application\nResource /irs-build build\nResource /irs-build/main.c build/module\nResource /irs-build/main.c/solve build/module/function\nResource /irs-build/main.c/init build/module/function\nResource /irs-build/main.c/extra build/module/function\n",
+        );
+        for (exec, scale) in [("v1", 1.0f64), ("v2", 0.5)] {
+            ptdf.push_str(&format!("Execution {exec} IRS\n"));
+            ptdf.push_str(&format!("Resource /run-{exec} execution\n"));
+            for p in 0..4 {
+                ptdf.push_str(&format!(
+                    "Resource /run-{exec}/p{p} execution/process\n"
+                ));
+                // Per-process solve time with imbalance: process p takes
+                // (10 + p) * scale.
+                ptdf.push_str(&format!(
+                    "PerfResult {exec} \"/irs,/irs-build/main.c/solve,/run-{exec}/p{p}(primary)\" IRS \"CPU time\" {} seconds\n",
+                    (10.0 + p as f64) * scale
+                ));
+            }
+            ptdf.push_str(&format!(
+                "PerfResult {exec} \"/irs,/irs-build/main.c/init(primary)\" IRS \"CPU time\" {} seconds\n",
+                2.0 * scale
+            ));
+        }
+        // Function only measured in v2.
+        ptdf.push_str(
+            "PerfResult v2 \"/irs,/irs-build/main.c/extra(primary)\" IRS \"CPU time\" 1.0 seconds\n",
+        );
+        store.load_ptdf_str(&ptdf).unwrap();
+        store
+    }
+
+    #[test]
+    fn alignment_drops_execution_specific_resources() {
+        let store = setup();
+        let c = Compare::new(&store);
+        let rows = c.rows_of_execution("v1").unwrap();
+        let solve_row = rows
+            .iter()
+            .find(|r| r.value == 10.0)
+            .expect("p0 solve row");
+        let key = c.alignment_key(solve_row).unwrap();
+        assert!(key.contains("solve"));
+        assert!(!key.contains("p0"), "process resource must be dropped: {key}");
+        assert!(!key.contains("run-v1"));
+    }
+
+    #[test]
+    fn compare_executions_reports_speedup() {
+        let store = setup();
+        let c = Compare::new(&store);
+        let report = c.compare_executions("v1", "v2").unwrap();
+        // Aligned keys: solve (collapsed over 4 processes) and init.
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.only_in_a, 0);
+        assert_eq!(report.only_in_b, 1, "extra function only in v2");
+        for row in &report.rows {
+            let q = row.ratio.unwrap();
+            assert!((q - 0.5).abs() < 1e-9, "v2 should be exactly 2x faster: {row:?}");
+            assert!(row.difference < 0.0);
+        }
+        let gm = report.geo_mean_ratio().unwrap();
+        assert!((gm - 0.5).abs() < 1e-9);
+        // Regression/improvement classification.
+        assert!(report.regressions(1.1).is_empty());
+        assert_eq!(report.improvements(1.1).len(), 2);
+        // Reverse direction flags regressions.
+        let reverse = c.compare_executions("v2", "v1").unwrap();
+        assert_eq!(reverse.regressions(1.1).len(), 2);
+    }
+
+    #[test]
+    fn load_balance_min_max() {
+        let store = setup();
+        let c = Compare::new(&store);
+        let engine = QueryEngine::new(&store);
+        // All solve rows (per-process) across both executions.
+        let rows: Vec<ResultRow> = engine
+            .run(&[perftrack_model::ResourceFilter::by_name(
+                "/irs-build/main.c/solve",
+            )
+            .relatives(perftrack_model::Relatives::Neither)])
+            .unwrap();
+        assert_eq!(rows.len(), 8);
+        let lb = c.load_balance(&rows);
+        assert_eq!(lb.len(), 2);
+        let v1 = lb.iter().find(|g| g.label == "v1").unwrap();
+        assert_eq!(v1.n, 4);
+        assert_eq!(v1.min, 10.0);
+        assert_eq!(v1.max, 13.0);
+        assert!((v1.mean - 11.5).abs() < 1e-9);
+        assert!((v1.imbalance.unwrap() - 1.3).abs() < 1e-9);
+        let v2 = lb.iter().find(|g| g.label == "v2").unwrap();
+        assert_eq!(v2.min, 5.0);
+        assert_eq!(v2.max, 6.5);
+    }
+
+    #[test]
+    fn zero_baseline_has_no_ratio() {
+        let store = PTDataStore::in_memory().unwrap();
+        store
+            .load_ptdf_str(
+                "Application A\nResource /r application\nExecution a A\nExecution b A\nPerfResult a /r(primary) T m 0.0 s\nPerfResult b /r(primary) T m 5.0 s\n",
+            )
+            .unwrap();
+        let c = Compare::new(&store);
+        let report = c.compare_executions("a", "b").unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].ratio, None);
+        assert_eq!(report.rows[0].difference, 5.0);
+        assert_eq!(report.geo_mean_ratio(), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Unified error type for the PerfTrack core crate.
+
+use perftrack_model::ModelError;
+use perftrack_ptdf::PtdfError;
+use perftrack_store::StoreError;
+use std::fmt;
+
+/// Errors surfaced by the PerfTrack data store and query layers.
+#[derive(Debug)]
+pub enum PtError {
+    /// Underlying storage engine error.
+    Store(StoreError),
+    /// Model-rule violation (bad names, type hierarchy mismatches, ...).
+    Model(ModelError),
+    /// PTdf syntax error.
+    Ptdf(PtdfError),
+    /// File I/O error.
+    Io(std::io::Error),
+    /// A referenced entity does not exist.
+    NotFound(String),
+    /// Request was structurally invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for PtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtError::Store(e) => write!(f, "store: {e}"),
+            PtError::Model(e) => write!(f, "model: {e}"),
+            PtError::Ptdf(e) => write!(f, "{e}"),
+            PtError::Io(e) => write!(f, "i/o: {e}"),
+            PtError::NotFound(m) => write!(f, "not found: {m}"),
+            PtError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PtError::Store(e) => Some(e),
+            PtError::Model(e) => Some(e),
+            PtError::Ptdf(e) => Some(e),
+            PtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for PtError {
+    fn from(e: StoreError) -> Self {
+        PtError::Store(e)
+    }
+}
+impl From<ModelError> for PtError {
+    fn from(e: ModelError) -> Self {
+        PtError::Model(e)
+    }
+}
+impl From<PtdfError> for PtError {
+    fn from(e: PtdfError) -> Self {
+        PtError::Ptdf(e)
+    }
+}
+impl From<std::io::Error> for PtError {
+    fn from(e: std::io::Error) -> Self {
+        PtError::Io(e)
+    }
+}
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, PtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PtError = StoreError::RowNotFound.into();
+        assert!(e.to_string().contains("row not found"));
+        let e: PtError = ModelError::UnknownType("x".into()).into();
+        assert!(e.to_string().contains("unknown resource type"));
+        let e: PtError = PtdfError::new(3, "bad".into()).into();
+        assert!(e.to_string().contains("line 3"));
+        let e = PtError::NotFound("metric q".into());
+        assert!(e.to_string().contains("metric q"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # perftrack
+//!
+//! PerfTrack: a performance experiment management tool (Karavanic et al.,
+//! SC|05), reimplemented in Rust on an embedded relational engine. This
+//! crate is the paper's primary contribution: the DBMS-backed data store
+//! ([`datastore::PTDataStore`]), the Figure 1 schema ([`schema`]), the
+//! pr-filter query engine ([`query`]), the GUI session model
+//! ([`session`]), and cross-execution comparison operators ([`compare`]).
+
+pub mod chart;
+pub mod compare;
+pub mod datastore;
+pub mod error;
+pub mod predict;
+pub mod query;
+pub mod reports;
+pub mod schema;
+pub mod session;
+
+pub use datastore::{LoadStats, Loader, PTDataStore, ResourceRecord};
+pub use error::{PtError, Result};
+pub use predict::{Observation, PredictionCheck, Predictor, ScalingModel};
+pub use reports::{ExecutionDetail, MetricSummary, Reports, ResourceDetail, StoreSummary};
+pub use query::{ExpandStrategy, FreeResourceColumn, QueryEngine, ResultRow};
+pub use chart::{BarChart, Series};
+pub use compare::{Compare, ComparisonReport, ComparisonRow, LoadBalanceRow};
+pub use schema::Schema;
+pub use session::{DetachedTable, ResultTable, SelectionDialog, BASE_COLUMNS};

@@ -1,0 +1,772 @@
+//! The pr-filter query engine over the database (§2.2 semantics, §3.2
+//! behaviours): building resource families from filters, matching
+//! performance results, live match counts, and *free resource* discovery
+//! for the GUI's two-step column selection.
+
+use crate::datastore::{decode_resource, PTDataStore, ResourceRecord};
+use crate::error::{PtError, Result};
+use crate::schema::col;
+use perftrack_model::{AttrPredicate, Relatives, ResourceFilter, Selector};
+use parking_lot::Mutex;
+use perftrack_store::Value;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// How ancestor/descendant expansion is computed — the design choice the
+/// paper calls out ("added for performance reasons") and the
+/// closure-ablation bench measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpandStrategy {
+    /// Use the `resource_has_ancestor` / `resource_has_descendant` closure
+    /// tables (the paper's choice).
+    #[default]
+    ClosureTable,
+    /// Follow `parent_id` chains with index lookups (the alternative the
+    /// closure tables were added to avoid).
+    ParentWalk,
+}
+
+/// One matched performance result, denormalized for display.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    pub result_id: i64,
+    pub execution: String,
+    pub metric: String,
+    pub value: f64,
+    pub units: String,
+    pub tool: String,
+    /// Resource ids in the result's context (union of its foci).
+    pub context: Vec<i64>,
+}
+
+/// A candidate "Add Columns" entry: a free resource type whose values vary
+/// across the displayed results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeResourceColumn {
+    pub type_path: String,
+    /// Distinct resource base names observed across the results.
+    pub distinct_values: usize,
+    /// Attribute names available on those resources.
+    pub attributes: Vec<String>,
+}
+
+/// Per-family and whole-filter match counts (GUI live counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchCounts {
+    pub per_family: Vec<usize>,
+    pub whole: usize,
+}
+
+/// Query engine bound to a data store.
+///
+/// The engine lazily caches the result-context map (the join of `focus`
+/// and `focus_has_resource`), which every matching and counting operation
+/// needs. An engine is therefore a cheap *snapshot view*: create a fresh
+/// one after loading new data.
+/// Cached result-id → context-resource-ids map.
+type ContextMap = Arc<HashMap<i64, Vec<i64>>>;
+
+pub struct QueryEngine<'s> {
+    store: &'s PTDataStore,
+    strategy: ExpandStrategy,
+    context_cache: Mutex<Option<ContextMap>>,
+}
+
+impl<'s> QueryEngine<'s> {
+    /// Engine with the default (closure table) expansion strategy.
+    pub fn new(store: &'s PTDataStore) -> Self {
+        QueryEngine {
+            store,
+            strategy: ExpandStrategy::ClosureTable,
+            context_cache: Mutex::new(None),
+        }
+    }
+
+    /// Engine with an explicit expansion strategy (benches).
+    pub fn with_strategy(store: &'s PTDataStore, strategy: ExpandStrategy) -> Self {
+        QueryEngine {
+            store,
+            strategy,
+            context_cache: Mutex::new(None),
+        }
+    }
+
+    // -- family construction -------------------------------------------------
+
+    /// Apply a resource filter, producing the family as a set of resource
+    /// ids.
+    pub fn family(&self, filter: &ResourceFilter) -> Result<HashSet<i64>> {
+        let db = self.store.db();
+        let schema = self.store.schema();
+        let seed: Vec<i64> = match &filter.selector {
+            Selector::ByType(tp) => {
+                let type_id = self
+                    .store
+                    .type_id(tp.as_str())
+                    .ok_or_else(|| PtError::NotFound(format!("type {tp}")))?;
+                let idx = db.index_id("resource_item_type")?;
+                let rids = db.index_lookup(idx, &[Value::Int(type_id)])?;
+                rids.iter()
+                    .map(|&rid| {
+                        Ok(decode_resource(&db.get(schema.resource_item, rid)?).id)
+                    })
+                    .collect::<Result<Vec<_>>>()?
+            }
+            Selector::ByName(pattern) => {
+                if pattern.starts_with('/') {
+                    // Exact full-name lookup.
+                    match self.store.resource_by_name(pattern)? {
+                        Some(r) => vec![r.id],
+                        None => vec![],
+                    }
+                } else {
+                    // Shorthand: resolve via the base-name index, then
+                    // verify the suffix.
+                    let base = pattern.rsplit('/').next().unwrap_or(pattern);
+                    let idx = db.index_id("resource_item_base")?;
+                    let rids = db.index_lookup(idx, &[Value::Text(base.to_string())])?;
+                    let mut out = Vec::new();
+                    for rid in rids {
+                        let rec = decode_resource(&db.get(schema.resource_item, rid)?);
+                        let rn = perftrack_model::ResourceName::new(&rec.name)
+                            .map_err(PtError::Model)?;
+                        if rn.matches_shorthand(pattern) {
+                            out.push(rec.id);
+                        }
+                    }
+                    out
+                }
+            }
+            Selector::ByAttrs(preds) => self.resources_matching_attrs(preds)?,
+        };
+        let mut family: HashSet<i64> = seed.iter().copied().collect();
+        if matches!(filter.relatives, Relatives::Ancestors | Relatives::Both) {
+            for &id in &seed {
+                self.collect_ancestors(id, &mut family)?;
+            }
+        }
+        if matches!(filter.relatives, Relatives::Descendants | Relatives::Both) {
+            match self.strategy {
+                ExpandStrategy::ClosureTable => {
+                    for &id in &seed {
+                        self.collect_descendants_closure(id, &mut family)?;
+                    }
+                }
+                ExpandStrategy::ParentWalk => {
+                    self.collect_descendants_walk(&seed.iter().copied().collect(), &mut family)?;
+                }
+            }
+        }
+        Ok(family)
+    }
+
+    fn resources_matching_attrs(&self, preds: &[AttrPredicate]) -> Result<Vec<i64>> {
+        if preds.is_empty() {
+            return Ok(Vec::new());
+        }
+        let db = self.store.db();
+        let schema = self.store.schema();
+        // Drive from the first predicate via the attribute-name index.
+        let idx = db.index_id("resource_attribute_name")?;
+        let rids = db.index_lookup(idx, &[Value::Text(preds[0].attr.clone())])?;
+        let mut candidates: HashSet<i64> = HashSet::new();
+        for rid in rids {
+            let row = db.get(schema.resource_attribute, rid)?;
+            let value = row[col::resource_attribute::VALUE].as_text()?;
+            if preds[0].cmp.apply(value, &preds[0].value) {
+                candidates.insert(row[col::resource_attribute::RESOURCE_ID].as_int()?);
+            }
+        }
+        // Check remaining predicates against each candidate's attributes.
+        let mut out = Vec::new();
+        'cand: for rid in candidates {
+            for p in &preds[1..] {
+                let attrs = self.store.attributes_of(rid)?;
+                let ok = attrs
+                    .iter()
+                    .any(|(n, v, _)| n == &p.attr && p.cmp.apply(v, &p.value));
+                if !ok {
+                    continue 'cand;
+                }
+            }
+            out.push(rid);
+        }
+        Ok(out)
+    }
+
+    fn collect_ancestors(&self, id: i64, into: &mut HashSet<i64>) -> Result<()> {
+        match self.strategy {
+            ExpandStrategy::ClosureTable => {
+                let db = self.store.db();
+                let schema = self.store.schema();
+                let idx = db.index_id("rha_resource")?;
+                for rid in db.index_lookup(idx, &[Value::Int(id)])? {
+                    let row = db.get(schema.resource_has_ancestor, rid)?;
+                    into.insert(row[col::resource_has_ancestor::ANCESTOR_ID].as_int()?);
+                }
+            }
+            ExpandStrategy::ParentWalk => {
+                let mut cur = self.store.resource_by_id(id)?.and_then(|r| r.parent_id);
+                while let Some(pid) = cur {
+                    into.insert(pid);
+                    cur = self.store.resource_by_id(pid)?.and_then(|r| r.parent_id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_descendants_closure(&self, id: i64, into: &mut HashSet<i64>) -> Result<()> {
+        let db = self.store.db();
+        let schema = self.store.schema();
+        let idx = db.index_id("rhd_resource")?;
+        for rid in db.index_lookup(idx, &[Value::Int(id)])? {
+            let row = db.get(schema.resource_has_descendant, rid)?;
+            into.insert(row[col::resource_has_descendant::DESCENDANT_ID].as_int()?);
+        }
+        Ok(())
+    }
+
+    /// Without closure tables: scan every resource and climb its parent
+    /// chain looking for a seed — the exact query pattern the paper's
+    /// closure tables exist to avoid.
+    fn collect_descendants_walk(&self, seeds: &HashSet<i64>, into: &mut HashSet<i64>) -> Result<()> {
+        let db = self.store.db();
+        let schema = self.store.schema();
+        let mut all: Vec<ResourceRecord> = Vec::new();
+        db.for_each_row(schema.resource_item, |_, row| {
+            all.push(decode_resource(row));
+            true
+        })?;
+        let parent_of: HashMap<i64, Option<i64>> =
+            all.iter().map(|r| (r.id, r.parent_id)).collect();
+        for r in &all {
+            let mut cur = r.parent_id;
+            while let Some(pid) = cur {
+                if seeds.contains(&pid) {
+                    into.insert(r.id);
+                    break;
+                }
+                cur = parent_of.get(&pid).copied().flatten();
+            }
+        }
+        Ok(())
+    }
+
+    // -- matching -------------------------------------------------------------
+
+    /// Map of result id → context resource ids (one pass over focus +
+    /// focus_has_resource, cached for the engine's lifetime).
+    pub fn result_context_map(&self) -> Result<Arc<HashMap<i64, Vec<i64>>>> {
+        if let Some(cached) = self.context_cache.lock().clone() {
+            return Ok(cached);
+        }
+        let built = Arc::new(self.build_context_map()?);
+        *self.context_cache.lock() = Some(Arc::clone(&built));
+        Ok(built)
+    }
+
+    fn build_context_map(&self) -> Result<HashMap<i64, Vec<i64>>> {
+        let db = self.store.db();
+        let schema = self.store.schema();
+        let mut focus_to_result: HashMap<i64, i64> = HashMap::new();
+        db.for_each_row(schema.focus, |_, row| {
+            if let (Ok(fid), Ok(rid)) = (
+                row[col::focus::ID].as_int(),
+                row[col::focus::RESULT_ID].as_int(),
+            ) {
+                focus_to_result.insert(fid, rid);
+            }
+            true
+        })?;
+        let mut out: HashMap<i64, Vec<i64>> = HashMap::with_capacity(focus_to_result.len());
+        db.for_each_row(schema.focus_has_resource, |_, row| {
+            if let (Ok(fid), Ok(res)) = (
+                row[col::focus_has_resource::FOCUS_ID].as_int(),
+                row[col::focus_has_resource::RESOURCE_ID].as_int(),
+            ) {
+                if let Some(&result) = focus_to_result.get(&fid) {
+                    out.entry(result).or_default().push(res);
+                }
+            }
+            true
+        })?;
+        // Results whose foci name no resources still exist.
+        for (_, rid) in focus_to_result {
+            out.entry(rid).or_default();
+        }
+        for v in out.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        Ok(out)
+    }
+
+    /// Result ids whose context matches every family (the paper's rule).
+    pub fn matching_result_ids(&self, families: &[HashSet<i64>]) -> Result<Vec<i64>> {
+        let contexts = self.result_context_map()?;
+        let mut ids: Vec<i64> = contexts
+            .iter()
+            .filter(|(_, ctx)| {
+                families
+                    .iter()
+                    .all(|fam| ctx.iter().any(|r| fam.contains(r)))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Live counts: how many results each family matches alone, and how
+    /// many match the whole filter (§3.2's query-size feedback).
+    pub fn match_counts(&self, families: &[HashSet<i64>]) -> Result<MatchCounts> {
+        let contexts = self.result_context_map()?;
+        let mut per_family = vec![0usize; families.len()];
+        let mut whole = 0usize;
+        for ctx in contexts.values() {
+            let mut all = true;
+            for (i, fam) in families.iter().enumerate() {
+                if ctx.iter().any(|r| fam.contains(r)) {
+                    per_family[i] += 1;
+                } else {
+                    all = false;
+                }
+            }
+            if all {
+                whole += 1;
+            }
+        }
+        Ok(MatchCounts { per_family, whole })
+    }
+
+    /// Full query: build families from filters, match, and denormalize
+    /// into displayable rows.
+    pub fn run(&self, filters: &[ResourceFilter]) -> Result<Vec<ResultRow>> {
+        let families = filters
+            .iter()
+            .map(|f| self.family(f))
+            .collect::<Result<Vec<_>>>()?;
+        let ids = self.matching_result_ids(&families)?;
+        self.fetch_rows(&ids)
+    }
+
+    /// Denormalize result rows by id.
+    pub fn fetch_rows(&self, ids: &[i64]) -> Result<Vec<ResultRow>> {
+        let db = self.store.db();
+        let schema = self.store.schema();
+        let contexts = self.result_context_map()?;
+        // Reverse maps for names.
+        let exec_by_id: HashMap<i64, String> = self
+            .store
+            .executions()
+            .into_iter()
+            .collect();
+        let mut metric_by_id: HashMap<i64, String> = HashMap::new();
+        db.for_each_row(schema.metric, |_, row| {
+            if let (Ok(id), Ok(name)) = (
+                row[col::metric::ID].as_int(),
+                row[col::metric::NAME].as_text(),
+            ) {
+                metric_by_id.insert(id, name.to_string());
+            }
+            true
+        })?;
+        let mut tool_by_id: HashMap<i64, String> = HashMap::new();
+        db.for_each_row(schema.performance_tool, |_, row| {
+            if let (Ok(id), Ok(name)) = (
+                row[col::performance_tool::ID].as_int(),
+                row[col::performance_tool::NAME].as_text(),
+            ) {
+                tool_by_id.insert(id, name.to_string());
+            }
+            true
+        })?;
+        let idx = db.index_id("performance_result_id")?;
+        let mut out = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let rids = db.index_lookup(idx, &[Value::Int(id)])?;
+            let Some(&rid) = rids.first() else {
+                continue;
+            };
+            let row = db.get(schema.performance_result, rid)?;
+            out.push(ResultRow {
+                result_id: id,
+                execution: exec_by_id
+                    .get(&row[col::performance_result::EXECUTION_ID].as_int()?)
+                    .cloned()
+                    .unwrap_or_default(),
+                metric: metric_by_id
+                    .get(&row[col::performance_result::METRIC_ID].as_int()?)
+                    .cloned()
+                    .unwrap_or_default(),
+                value: row[col::performance_result::VALUE].as_real()?,
+                units: row[col::performance_result::UNITS].as_text()?.to_string(),
+                tool: tool_by_id
+                    .get(&row[col::performance_result::TOOL_ID].as_int()?)
+                    .cloned()
+                    .unwrap_or_default(),
+                context: contexts.get(&id).cloned().unwrap_or_default(),
+            });
+        }
+        Ok(out)
+    }
+
+    // -- free resources ("Add Columns", §3.2) ---------------------------------
+
+    /// Free resource types for a displayed result set: context resources
+    /// the query did not pin, grouped by type, *excluding* types whose
+    /// resource names are identical across all results (the GUI hides
+    /// those as uninformative).
+    pub fn free_resource_types(
+        &self,
+        rows: &[ResultRow],
+        fixed: &[HashSet<i64>],
+    ) -> Result<Vec<FreeResourceColumn>> {
+        let type_by_id = self.type_path_by_id()?;
+        // type path -> set of resource names observed (per result).
+        let mut per_type_values: BTreeMap<String, HashSet<String>> = BTreeMap::new();
+        let mut per_type_attrs: BTreeMap<String, HashSet<String>> = BTreeMap::new();
+        for row in rows {
+            for &res_id in &row.context {
+                if fixed.iter().any(|f| f.contains(&res_id)) {
+                    continue; // user pinned this resource; not "free"
+                }
+                let Some(rec) = self.store.resource_by_id(res_id)? else {
+                    continue;
+                };
+                let tp = type_by_id
+                    .get(&rec.type_id)
+                    .cloned()
+                    .unwrap_or_default();
+                per_type_values
+                    .entry(tp.clone())
+                    .or_default()
+                    .insert(rec.name.clone());
+                for (attr, _, _) in self.store.attributes_of(res_id)? {
+                    per_type_attrs.entry(tp.clone()).or_default().insert(attr);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (tp, values) in per_type_values {
+            if values.len() <= 1 {
+                continue; // identical across results — not shown (§3.2)
+            }
+            let mut attributes: Vec<String> = per_type_attrs
+                .remove(&tp)
+                .map(|s| s.into_iter().collect())
+                .unwrap_or_default();
+            attributes.sort();
+            out.push(FreeResourceColumn {
+                type_path: tp,
+                distinct_values: values.len(),
+                attributes,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Values for an added column: per result, the base name(s) of context
+    /// resources of `type_path` (joined with `+` when several).
+    pub fn column_values(&self, rows: &[ResultRow], type_path: &str) -> Result<Vec<Option<String>>> {
+        let type_id = self
+            .store
+            .type_id(type_path)
+            .ok_or_else(|| PtError::NotFound(format!("type {type_path}")))?;
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut names = Vec::new();
+            for &res_id in &row.context {
+                if let Some(rec) = self.store.resource_by_id(res_id)? {
+                    if rec.type_id == type_id {
+                        names.push(rec.base_name);
+                    }
+                }
+            }
+            names.sort();
+            out.push(if names.is_empty() {
+                None
+            } else {
+                Some(names.join("+"))
+            });
+        }
+        Ok(out)
+    }
+
+    /// Values for an added *attribute* column: per result, the attribute
+    /// value of the context resource(s) of `type_path`.
+    pub fn attr_column_values(
+        &self,
+        rows: &[ResultRow],
+        type_path: &str,
+        attr: &str,
+    ) -> Result<Vec<Option<String>>> {
+        let type_id = self
+            .store
+            .type_id(type_path)
+            .ok_or_else(|| PtError::NotFound(format!("type {type_path}")))?;
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut values = Vec::new();
+            for &res_id in &row.context {
+                if let Some(rec) = self.store.resource_by_id(res_id)? {
+                    if rec.type_id == type_id {
+                        for (name, value, _) in self.store.attributes_of(res_id)? {
+                            if name == attr {
+                                values.push(value);
+                            }
+                        }
+                    }
+                }
+            }
+            values.sort();
+            values.dedup();
+            out.push(if values.is_empty() {
+                None
+            } else {
+                Some(values.join("+"))
+            });
+        }
+        Ok(out)
+    }
+
+    /// type id → type path map.
+    pub fn type_path_by_id(&self) -> Result<HashMap<i64, String>> {
+        let db = self.store.db();
+        let schema = self.store.schema();
+        let mut out = HashMap::new();
+        db.for_each_row(schema.focus_framework, |_, row| {
+            if let (Ok(id), Ok(path)) = (
+                row[col::focus_framework::ID].as_int(),
+                row[col::focus_framework::TYPE_PATH].as_text(),
+            ) {
+                out.insert(id, path.to_string());
+            }
+            true
+        })?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perftrack_model::TypePath;
+
+    /// Two machines, an application, processor- and machine-level results.
+    fn setup() -> PTDataStore {
+        let store = PTDataStore::in_memory().unwrap();
+        let mut ptdf = String::from("Application IRS\n");
+        for (grid, machine) in [("GFrost", "Frost"), ("GMcr", "MCR")] {
+            ptdf.push_str(&format!("Resource /{grid} grid\n"));
+            ptdf.push_str(&format!("Resource /{grid}/{machine} grid/machine\n"));
+            ptdf.push_str(&format!(
+                "Resource /{grid}/{machine}/batch grid/machine/partition\n"
+            ));
+            for n in 0..2 {
+                ptdf.push_str(&format!(
+                    "Resource /{grid}/{machine}/batch/node{n} grid/machine/partition/node\n"
+                ));
+                ptdf.push_str(&format!(
+                    "ResourceAttribute /{grid}/{machine}/batch/node{n} memoryGB {} string\n",
+                    8 * (n + 1)
+                ));
+                for p in 0..2 {
+                    ptdf.push_str(&format!(
+                        "Resource /{grid}/{machine}/batch/node{n}/p{p} grid/machine/partition/node/processor\n"
+                    ));
+                }
+            }
+            ptdf.push_str(&format!("Resource /IRS-{machine} application\n"));
+            ptdf.push_str(&format!("Execution irs-{machine} IRS\n"));
+            for n in 0..2 {
+                for p in 0..2 {
+                    ptdf.push_str(&format!(
+                        "PerfResult irs-{machine} \"/IRS-{machine},/{grid}/{machine}/batch/node{n}/p{p}(primary)\" IRS \"CPU time\" {}.0 seconds\n",
+                        n * 2 + p
+                    ));
+                }
+            }
+            ptdf.push_str(&format!(
+                "PerfResult irs-{machine} \"/IRS-{machine},/{grid}/{machine}(primary)\" IRS \"wall time\" 99.0 seconds\n"
+            ));
+        }
+        store.load_ptdf_str(&ptdf).unwrap();
+        store
+    }
+
+    #[test]
+    fn family_by_name_with_descendants() {
+        let store = setup();
+        let q = QueryEngine::new(&store);
+        let fam = q.family(&ResourceFilter::by_name("Frost")).unwrap();
+        // Frost + batch + 2 nodes + 4 processors.
+        assert_eq!(fam.len(), 8);
+        let fam = q
+            .family(&ResourceFilter::by_name("Frost").relatives(Relatives::Neither))
+            .unwrap();
+        assert_eq!(fam.len(), 1);
+        let fam = q
+            .family(&ResourceFilter::by_name("Frost").relatives(Relatives::Both))
+            .unwrap();
+        assert_eq!(fam.len(), 9, "plus the grid ancestor");
+        // Shorthand across machines.
+        let fam = q
+            .family(&ResourceFilter::by_name("batch").relatives(Relatives::Neither))
+            .unwrap();
+        assert_eq!(fam.len(), 2);
+        // Unknown name: empty family.
+        let fam = q
+            .family(&ResourceFilter::by_name("/nope").relatives(Relatives::Neither))
+            .unwrap();
+        assert!(fam.is_empty());
+    }
+
+    #[test]
+    fn parent_walk_strategy_matches_closure() {
+        let store = setup();
+        let closure = QueryEngine::with_strategy(&store, ExpandStrategy::ClosureTable);
+        let walk = QueryEngine::with_strategy(&store, ExpandStrategy::ParentWalk);
+        for (name, rel) in [
+            ("Frost", Relatives::Descendants),
+            ("Frost", Relatives::Both),
+            ("batch", Relatives::Ancestors),
+            ("node1", Relatives::Both),
+        ] {
+            let f1 = closure
+                .family(&ResourceFilter::by_name(name).relatives(rel))
+                .unwrap();
+            let f2 = walk
+                .family(&ResourceFilter::by_name(name).relatives(rel))
+                .unwrap();
+            assert_eq!(f1, f2, "strategies disagree for {name} {rel:?}");
+        }
+    }
+
+    #[test]
+    fn family_by_type_and_attrs() {
+        let store = setup();
+        let q = QueryEngine::new(&store);
+        let fam = q
+            .family(&ResourceFilter::by_type(
+                TypePath::new("grid/machine").unwrap(),
+            ))
+            .unwrap();
+        assert_eq!(fam.len(), 2);
+        let fam = q
+            .family(&ResourceFilter::by_attrs(vec![AttrPredicate {
+                attr: "memoryGB".into(),
+                cmp: perftrack_model::AttrCmp::Ge,
+                value: "16".into(),
+            }]))
+            .unwrap();
+        assert_eq!(fam.len(), 2, "node1 on each machine");
+    }
+
+    #[test]
+    fn pr_filter_matching_and_counts() {
+        let store = setup();
+        let q = QueryEngine::new(&store);
+        let filters = vec![
+            ResourceFilter::by_name("/IRS-Frost").relatives(Relatives::Neither),
+            ResourceFilter::by_name("Frost"),
+        ];
+        let rows = q.run(&filters).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.execution == "irs-Frost"));
+        // Counts.
+        let families: Vec<_> = filters.iter().map(|f| q.family(f).unwrap()).collect();
+        let counts = q.match_counts(&families).unwrap();
+        assert_eq!(counts.per_family[0], 5);
+        assert_eq!(counts.per_family[1], 5);
+        assert_eq!(counts.whole, 5);
+        // Empty filter matches all 10 results.
+        assert_eq!(q.run(&[]).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn machine_level_only_by_type() {
+        let store = setup();
+        let q = QueryEngine::new(&store);
+        let rows = q
+            .run(&[ResourceFilter::by_type(
+                TypePath::new("grid/machine").unwrap(),
+            )])
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.metric == "wall time"));
+    }
+
+    #[test]
+    fn result_rows_are_denormalized() {
+        let store = setup();
+        let q = QueryEngine::new(&store);
+        let rows = q
+            .run(&[ResourceFilter::by_name("Frost/batch/node0")])
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.tool, "IRS");
+            assert_eq!(r.units, "seconds");
+            assert_eq!(r.metric, "CPU time");
+            assert!(!r.context.is_empty());
+        }
+    }
+
+    #[test]
+    fn free_resources_exclude_constant_types() {
+        let store = setup();
+        let q = QueryEngine::new(&store);
+        // Query pinned to Frost: application and processor vary across the
+        // 4 processor-level rows; machine does not appear because all rows
+        // share... actually all contexts have distinct processors.
+        let filters = vec![ResourceFilter::by_name("Frost/batch")];
+        let families: Vec<_> = filters.iter().map(|f| q.family(f).unwrap()).collect();
+        let rows = q.run(&filters).unwrap();
+        assert_eq!(rows.len(), 4);
+        let free = q.free_resource_types(&rows, &families).unwrap();
+        // The only free varying type is `application`? Application differs
+        // per machine but these rows are all Frost → constant → hidden.
+        // Processor resources are *inside* the pinned family → excluded.
+        assert!(
+            free.iter().all(|c| c.type_path != "application"),
+            "constant application type must be hidden: {free:?}"
+        );
+    }
+
+    #[test]
+    fn free_resources_and_column_values_across_machines() {
+        let store = setup();
+        let q = QueryEngine::new(&store);
+        // Machine-level rows across both machines: machine type varies.
+        let filters = vec![ResourceFilter::by_type(
+            TypePath::new("grid/machine").unwrap(),
+        )];
+        let families: Vec<_> = filters.iter().map(|f| q.family(f).unwrap()).collect();
+        let rows = q.run(&filters).unwrap();
+        let free = q.free_resource_types(&rows, &families).unwrap();
+        assert!(
+            free.iter().any(|c| c.type_path == "application"),
+            "application varies across machines: {free:?}"
+        );
+        // Column values for the application type.
+        let vals = q.column_values(&rows, "application").unwrap();
+        assert_eq!(vals.len(), 2);
+        assert!(vals.iter().all(|v| v.is_some()));
+        // Attribute column on nodes for processor rows.
+        let rows = q.run(&[ResourceFilter::by_name("node1")]).unwrap();
+        assert_eq!(rows.len(), 4, "two processors per node1 on two machines");
+        let vals = q
+            .attr_column_values(&rows, "grid/machine/partition/node", "memoryGB")
+            .unwrap();
+        // node resources aren't in the context (only processors are), so
+        // attribute values come back None — the GUI would add the node
+        // *resource* type first. Verify processor column instead.
+        assert!(vals.iter().all(|v| v.is_none()));
+        let vals = q
+            .column_values(&rows, "grid/machine/partition/node/processor")
+            .unwrap();
+        assert!(vals.iter().all(|v| v.is_some()));
+    }
+}

@@ -1,0 +1,42 @@
+//! # perftrack-model
+//!
+//! The PerfTrack data model (§2 of the SC|05 paper), independent of any
+//! storage backend: resource *types* and the extensible type registry,
+//! *resources* with attributes and constraints, *performance results* with
+//! multi-role contexts, and *pr-filters* built from resource filters and
+//! families with the paper's matching rule
+//! `PRF matches C ⇔ ∀R∈PRF ∃r∈C: r∈R`.
+//!
+//! The DB-backed implementation in the `perftrack` crate follows these
+//! semantics exactly; cross-checking the two is part of the integration
+//! test suite.
+//!
+//! ```
+//! use perftrack_model::prelude::*;
+//!
+//! let reg = TypeRegistry::with_base_types();
+//! let mut repo = ResourceRepo::new();
+//! repo.add(&reg, "/G", "grid").unwrap();
+//! repo.add(&reg, "/G/Frost", "grid/machine").unwrap();
+//!
+//! let family = ResourceFilter::by_name("Frost").apply(&repo);
+//! assert!(family.contains(&ResourceName::new("/G/Frost").unwrap()));
+//! ```
+
+pub mod filter;
+pub mod resource;
+pub mod result;
+pub mod types;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::filter::{
+        AttrCmp, AttrPredicate, MatchCounts, PrFilter, Relatives, ResourceFamily,
+        ResourceFilter, Selector,
+    };
+    pub use crate::resource::{AttrValue, Resource, ResourceName, ResourceRepo};
+    pub use crate::result::{ContextRole, PerformanceResult, ResourceSet};
+    pub use crate::types::{ModelError, TypePath, TypeRegistry};
+}
+
+pub use prelude::*;

@@ -1,0 +1,142 @@
+//! Line tokenizer for the PTdf format.
+//!
+//! PTdf is line-oriented: one statement per line, whitespace-separated
+//! tokens, `#` comments, blank lines ignored. Tokens containing
+//! whitespace, quotes, `#`, or that are empty are written double-quoted
+//! with `\"` and `\\` escapes (metric names like `"CPU time"` need this).
+
+use crate::PtdfError;
+
+/// Split one line into tokens. Returns an empty vector for blank/comment
+/// lines.
+pub fn tokenize(line: &str, line_no: usize) -> Result<Vec<String>, PtdfError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        // Skip whitespace.
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            None => break,
+            Some('#') => break, // comment to end of line
+            Some('"') => {
+                chars.next();
+                let mut tok = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => match chars.next() {
+                            Some('"') => tok.push('"'),
+                            Some('\\') => tok.push('\\'),
+                            Some(other) => {
+                                return Err(PtdfError::new(
+                                    line_no,
+                                    format!("bad escape \\{other} in quoted token"),
+                                ));
+                            }
+                            None => {
+                                return Err(PtdfError::new(
+                                    line_no,
+                                    "dangling backslash in quoted token".to_string(),
+                                ));
+                            }
+                        },
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        other => tok.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(PtdfError::new(line_no, "unterminated quote".to_string()));
+                }
+                tokens.push(tok);
+            }
+            Some(_) => {
+                let mut tok = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '#' {
+                        break;
+                    }
+                    tok.push(c);
+                    chars.next();
+                }
+                tokens.push(tok);
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Quote a token for output if it needs quoting.
+pub fn quote(token: &str) -> String {
+    let needs = token.is_empty()
+        || token
+            .chars()
+            .any(|c| c.is_whitespace() || c == '"' || c == '#' || c == '\\');
+    if !needs {
+        return token.to_string();
+    }
+    let mut out = String::with_capacity(token.len() + 2);
+    out.push('"');
+    for c in token.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_tokens() {
+        assert_eq!(
+            tokenize("Application IRS", 1).unwrap(),
+            vec!["Application", "IRS"]
+        );
+        assert_eq!(tokenize("   spaced   out  ", 1).unwrap(), vec!["spaced", "out"]);
+    }
+
+    #[test]
+    fn blank_and_comment_lines() {
+        assert!(tokenize("", 1).unwrap().is_empty());
+        assert!(tokenize("   ", 1).unwrap().is_empty());
+        assert!(tokenize("# a comment", 1).unwrap().is_empty());
+        assert_eq!(tokenize("tok # trailing", 1).unwrap(), vec!["tok"]);
+    }
+
+    #[test]
+    fn quoted_tokens_with_escapes() {
+        assert_eq!(
+            tokenize(r#"Metric "CPU time" "say \"hi\"" "back\\slash""#, 1).unwrap(),
+            vec!["Metric", "CPU time", "say \"hi\"", "back\\slash"]
+        );
+        // Empty quoted token.
+        assert_eq!(tokenize(r#"a "" b"#, 1).unwrap(), vec!["a", "", "b"]);
+    }
+
+    #[test]
+    fn quote_errors() {
+        assert!(tokenize("\"unterminated", 3).unwrap_err().to_string().contains("line 3"));
+        assert!(tokenize(r#""bad \x escape""#, 1).is_err());
+        assert!(tokenize("\"dangling \\", 1).is_err());
+    }
+
+    #[test]
+    fn quote_roundtrip() {
+        for tok in ["plain", "has space", "has\"quote", "", "ends\\", "#hash"] {
+            let q = quote(tok);
+            let parsed = tokenize(&q, 1).unwrap();
+            assert_eq!(parsed, vec![tok.to_string()], "token {tok:?} via {q:?}");
+        }
+        assert_eq!(quote("plain"), "plain", "no needless quoting");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for PTdf: print→parse identity over arbitrary
+//! statements, and tokenizer quoting round-trips.
+
+use perftrack_ptdf::lexer::{quote, tokenize};
+use perftrack_ptdf::{parse_str, to_string, AttrType, PtdfResourceSet, PtdfStatement};
+use proptest::prelude::*;
+
+/// Free-form names (may need quoting).
+fn arb_name() -> impl Strategy<Value = String> {
+    "[ -~]{1,24}".prop_filter("non-empty after trim", |s| !s.trim().is_empty())
+}
+
+/// Resource names: no commas/colons/parens (the resource-set field's
+/// structural characters), as the format requires.
+fn arb_resource_name() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-zA-Z0-9_.{}-]{1,8}", 1..4)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+fn arb_resource_set() -> impl Strategy<Value = PtdfResourceSet> {
+    (
+        prop::collection::vec(arb_resource_name(), 1..4),
+        prop::sample::select(vec!["primary", "parent", "child", "sender", "receiver"]),
+    )
+        .prop_map(|(resources, set_type)| PtdfResourceSet {
+            resources,
+            set_type: set_type.to_string(),
+        })
+}
+
+fn arb_statement() -> impl Strategy<Value = PtdfStatement> {
+    prop_oneof![
+        arb_name().prop_map(|name| PtdfStatement::Application { name }),
+        prop::collection::vec("[a-zA-Z]{1,8}", 1..4).prop_map(|segs| {
+            PtdfStatement::ResourceType {
+                type_path: segs.join("/"),
+            }
+        }),
+        (arb_name(), arb_name()).prop_map(|(name, application)| PtdfStatement::Execution {
+            name,
+            application
+        }),
+        (arb_resource_name(), "[a-z/]{1,16}", prop::option::of(arb_name())).prop_map(
+            |(name, type_path, execution)| PtdfStatement::Resource {
+                name,
+                type_path,
+                execution
+            }
+        ),
+        (arb_resource_name(), arb_name(), arb_name()).prop_map(|(resource, attribute, value)| {
+            PtdfStatement::ResourceAttribute {
+                resource,
+                attribute,
+                value,
+                attr_type: AttrType::String,
+            }
+        }),
+        (
+            arb_name(),
+            prop::collection::vec(arb_resource_set(), 1..4),
+            arb_name(),
+            arb_name(),
+            -1.0e12f64..1.0e12,
+            arb_name(),
+        )
+            .prop_map(|(execution, resource_sets, tool, metric, value, units)| {
+                PtdfStatement::PerfResult {
+                    execution,
+                    resource_sets,
+                    tool,
+                    metric,
+                    value,
+                    units,
+                }
+            }),
+        (arb_resource_name(), arb_resource_name())
+            .prop_map(|(first, second)| PtdfStatement::ResourceConstraint { first, second }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any statement prints to a line that parses back to itself.
+    #[test]
+    fn print_parse_identity(stmt in arb_statement()) {
+        let text = to_string(std::slice::from_ref(&stmt));
+        let parsed = parse_str(&text)
+            .unwrap_or_else(|e| panic!("reparse failed for {text:?}: {e}"));
+        prop_assert_eq!(parsed.len(), 1);
+        match (&stmt, &parsed[0]) {
+            // Float formatting must round-trip exactly via Display.
+            (
+                PtdfStatement::PerfResult { value: a, .. },
+                PtdfStatement::PerfResult { value: b, .. },
+            ) => {
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(&stmt, &parsed[0]);
+            }
+            _ => prop_assert_eq!(&stmt, &parsed[0]),
+        }
+    }
+
+    /// Documents of many statements round-trip as a whole.
+    #[test]
+    fn document_roundtrip(stmts in prop::collection::vec(arb_statement(), 0..20)) {
+        let text = to_string(&stmts);
+        let parsed = parse_str(&text).unwrap();
+        prop_assert_eq!(stmts, parsed);
+    }
+
+    /// quote() always produces a single token that tokenizes back.
+    #[test]
+    fn quote_tokenize_roundtrip(token in "[ -~]{0,40}") {
+        let quoted = quote(&token);
+        let toks = tokenize(&quoted, 1).unwrap();
+        if token.trim().is_empty() && token.is_empty() {
+            prop_assert_eq!(toks, vec![String::new()]);
+        } else {
+            prop_assert_eq!(toks.len(), 1, "quoted {:?}", quoted);
+            prop_assert_eq!(&toks[0], &token);
+        }
+    }
+
+    /// Tokenizing any line never panics and errors carry the line number.
+    #[test]
+    fn tokenizer_total(line in "[ -~]{0,80}", line_no in 1usize..1000) {
+        match tokenize(&line, line_no) {
+            Ok(_) => {}
+            Err(e) => {
+                let needle = format!("line {line_no}");
+                prop_assert!(e.to_string().contains(&needle));
+            }
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! B+tree secondary index.
+//!
+//! Maps order-preserving encoded keys (see [`crate::value::encode_key`]) to
+//! packed [`RowId`](crate::page::RowId)s (`u64`). Duplicate keys are supported by treating the
+//! logical entry as the composite `(key, rowid)`, which keeps every entry
+//! unique and makes deletes exact.
+//!
+//! The tree lives in memory and is rebuilt from a heap scan when a database
+//! is opened; durability of indexed data is the WAL + page file's job. This
+//! mirrors the paper's deployment where indexes are a DBMS-internal
+//! acceleration structure, and it keeps the write-ahead log purely logical.
+//!
+//! Deletion does not rebalance (underfull nodes are allowed); the tree
+//! never becomes incorrect, only — under adversarial delete patterns —
+//! shallower than optimal. Bulk rebuilds restore tightness.
+
+use std::ops::Bound;
+
+/// Maximum entries per node before it splits.
+const MAX_KEYS: usize = 64;
+
+type Key = Box<[u8]>;
+type Entry = (Key, u64);
+
+enum Node {
+    Leaf(Vec<Entry>),
+    Internal {
+        /// `children[i]` holds entries `< seps[i]`; `children[i+1]` holds
+        /// entries `>= seps[i]` (composite `(key, rowid)` order).
+        seps: Vec<Entry>,
+        children: Vec<Node>,
+    },
+}
+
+fn cmp_entry(a: &(Key, u64), key: &[u8], rid: u64) -> std::cmp::Ordering {
+    a.0.as_ref().cmp(key).then(a.1.cmp(&rid))
+}
+
+impl Node {
+    fn insert(&mut self, key: Key, rid: u64) -> Option<(Entry, Node)> {
+        match self {
+            Node::Leaf(entries) => {
+                let pos = entries.partition_point(|e| cmp_entry(e, &key, rid).is_lt());
+                entries.insert(pos, (key, rid));
+                if entries.len() <= MAX_KEYS {
+                    return None;
+                }
+                let right: Vec<Entry> = entries.split_off(entries.len() / 2);
+                let sep = (right[0].0.clone(), right[0].1);
+                Some((sep, Node::Leaf(right)))
+            }
+            Node::Internal { seps, children } => {
+                let idx = seps.partition_point(|s| cmp_entry(s, &key, rid).is_le());
+                if let Some((sep, new_child)) = children[idx].insert(key, rid) {
+                    seps.insert(idx, sep);
+                    children.insert(idx + 1, new_child);
+                    if seps.len() > MAX_KEYS {
+                        let mid = seps.len() / 2;
+                        let up = seps.remove(mid);
+                        let right_seps = seps.split_off(mid);
+                        let right_children = children.split_off(mid + 1);
+                        return Some((
+                            up,
+                            Node::Internal {
+                                seps: right_seps,
+                                children: right_children,
+                            },
+                        ));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &[u8], rid: u64) -> bool {
+        match self {
+            Node::Leaf(entries) => {
+                match entries.binary_search_by(|e| cmp_entry(e, key, rid)) {
+                    Ok(pos) => {
+                        entries.remove(pos);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            Node::Internal { seps, children } => {
+                let idx = seps.partition_point(|s| cmp_entry(s, key, rid).is_le());
+                children[idx].remove(key, rid)
+            }
+        }
+    }
+
+    /// Visit entries in `(lo, hi)` bound order; `f` returns `false` to stop.
+    /// Returns `false` if the visit was stopped.
+    fn visit_range(
+        &self,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+        f: &mut impl FnMut(&[u8], u64) -> bool,
+    ) -> bool {
+        match self {
+            Node::Leaf(entries) => {
+                let start = match lo {
+                    Bound::Unbounded => 0,
+                    Bound::Included(k) => entries.partition_point(|e| e.0.as_ref() < k),
+                    Bound::Excluded(k) => entries.partition_point(|e| e.0.as_ref() <= k),
+                };
+                for e in &entries[start..] {
+                    let past_end = match hi {
+                        Bound::Unbounded => false,
+                        Bound::Included(k) => e.0.as_ref() > k,
+                        Bound::Excluded(k) => e.0.as_ref() >= k,
+                    };
+                    if past_end {
+                        return true; // range finished, not stopped
+                    }
+                    if !f(&e.0, e.1) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Node::Internal { seps, children } => {
+                // First child that can contain keys >= lo.
+                let first = match lo {
+                    Bound::Unbounded => 0,
+                    Bound::Included(k) | Bound::Excluded(k) => {
+                        // Children before this index hold entries strictly
+                        // below (k, 0), which cannot intersect the range.
+                        seps.partition_point(|s| s.0.as_ref() < k)
+                    }
+                };
+                for idx in first..children.len() {
+                    // Stop descending once the subtree's lower bound
+                    // (seps[idx-1]) is past hi.
+                    if idx > first {
+                        let sep_key = seps[idx - 1].0.as_ref();
+                        let past = match hi {
+                            Bound::Unbounded => false,
+                            Bound::Included(k) => sep_key > k,
+                            Bound::Excluded(k) => sep_key >= k,
+                        };
+                        if past {
+                            break;
+                        }
+                    }
+                    if !children[idx].visit_range(lo, hi, f) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Internal { children, .. } => 1 + children[0].depth(),
+        }
+    }
+}
+
+/// An in-memory B+tree index over encoded keys.
+pub struct BTreeIndex {
+    root: Node,
+    len: usize,
+}
+
+impl Default for BTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        BTreeIndex {
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (leaves = 1). Exposed for tests and benches.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Insert `(key, rid)`. Duplicate `(key, rid)` pairs are tolerated but
+    /// stored once is not guaranteed — callers (the table layer) never
+    /// insert the same pair twice.
+    pub fn insert(&mut self, key: &[u8], rid: u64) {
+        if let Some((sep, right)) = self.root.insert(key.into(), rid) {
+            let old_root = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
+            self.root = Node::Internal {
+                seps: vec![sep],
+                children: vec![old_root, right],
+            };
+        }
+        self.len += 1;
+    }
+
+    /// Remove `(key, rid)`; returns whether it was present.
+    pub fn remove(&mut self, key: &[u8], rid: u64) -> bool {
+        let removed = self.root.remove(key, rid);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// All rowids whose key equals `key`, in rowid order.
+    pub fn get_eq(&self, key: &[u8]) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.root
+            .visit_range(Bound::Included(key), Bound::Included(key), &mut |_, rid| {
+                out.push(rid);
+                true
+            });
+        out
+    }
+
+    /// True if at least one entry has exactly this key.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        let mut found = false;
+        self.root
+            .visit_range(Bound::Included(key), Bound::Included(key), &mut |_, _| {
+                found = true;
+                false
+            });
+        found
+    }
+
+    /// Visit `(key, rowid)` pairs in key order within the bounds; the
+    /// callback returns `false` to stop early.
+    pub fn for_range(
+        &self,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+        mut f: impl FnMut(&[u8], u64) -> bool,
+    ) {
+        self.root.visit_range(lo, hi, &mut f);
+    }
+
+    /// Rowids for all keys in the (inclusive) range, in key order.
+    pub fn collect_range(&self, lo: Bound<&[u8]>, hi: Bound<&[u8]>) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.for_range(lo, hi, |_, rid| {
+            out.push(rid);
+            true
+        });
+        out
+    }
+
+    /// Visit all entries whose key starts with `prefix` (contiguous under
+    /// the order-preserving encoding).
+    pub fn for_prefix(&self, prefix: &[u8], mut f: impl FnMut(&[u8], u64) -> bool) {
+        self.root
+            .visit_range(Bound::Included(prefix), Bound::Unbounded, &mut |key, rid| {
+                if !key.starts_with(prefix) {
+                    return false;
+                }
+                f(key, rid)
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Vec<u8> {
+        s.as_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_and_point_lookup() {
+        let mut t = BTreeIndex::new();
+        t.insert(&k("b"), 2);
+        t.insert(&k("a"), 1);
+        t.insert(&k("c"), 3);
+        assert_eq!(t.get_eq(&k("a")), vec![1]);
+        assert_eq!(t.get_eq(&k("b")), vec![2]);
+        assert_eq!(t.get_eq(&k("zz")), Vec::<u64>::new());
+        assert_eq!(t.len(), 3);
+        assert!(t.contains_key(&k("c")));
+        assert!(!t.contains_key(&k("d")));
+    }
+
+    #[test]
+    fn duplicates_collect_in_rowid_order() {
+        let mut t = BTreeIndex::new();
+        for rid in [5u64, 1, 3, 2, 4] {
+            t.insert(&k("dup"), rid);
+        }
+        assert_eq!(t.get_eq(&k("dup")), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn splits_maintain_order_with_many_keys() {
+        let mut t = BTreeIndex::new();
+        let n = 10_000u64;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let key = format!("key{:06}", (i * 7919) % n);
+            t.insert(key.as_bytes(), i);
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.depth() > 1, "tree must have split");
+        // Full scan visits keys in sorted order.
+        let mut last: Option<Vec<u8>> = None;
+        let mut count = 0usize;
+        t.for_range(Bound::Unbounded, Bound::Unbounded, |key, _| {
+            if let Some(prev) = &last {
+                assert!(prev.as_slice() <= key);
+            }
+            last = Some(key.to_vec());
+            count += 1;
+            true
+        });
+        assert_eq!(count, n as usize);
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let mut t = BTreeIndex::new();
+        for (i, key) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            t.insert(&k(key), i as u64);
+        }
+        assert_eq!(
+            t.collect_range(Bound::Included(&k("b")), Bound::Included(&k("d"))),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            t.collect_range(Bound::Excluded(&k("b")), Bound::Excluded(&k("d"))),
+            vec![2]
+        );
+        assert_eq!(
+            t.collect_range(Bound::Unbounded, Bound::Included(&k("b"))),
+            vec![0, 1]
+        );
+        assert_eq!(
+            t.collect_range(Bound::Included(&k("d")), Bound::Unbounded),
+            vec![3, 4]
+        );
+    }
+
+    #[test]
+    fn remove_exact_entries() {
+        let mut t = BTreeIndex::new();
+        t.insert(&k("x"), 1);
+        t.insert(&k("x"), 2);
+        assert!(t.remove(&k("x"), 1));
+        assert!(!t.remove(&k("x"), 1), "already gone");
+        assert_eq!(t.get_eq(&k("x")), vec![2]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_across_splits() {
+        let mut t = BTreeIndex::new();
+        for i in 0..2000u64 {
+            t.insert(format!("k{i:05}").as_bytes(), i);
+        }
+        for i in (0..2000u64).step_by(2) {
+            assert!(t.remove(format!("k{i:05}").as_bytes(), i));
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..2000u64 {
+            let got = t.get_eq(format!("k{i:05}").as_bytes());
+            if i % 2 == 0 {
+                assert!(got.is_empty());
+            } else {
+                assert_eq!(got, vec![i]);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_scan_is_contiguous() {
+        let mut t = BTreeIndex::new();
+        for (i, key) in ["app", "apple", "apply", "banana", "ap"].iter().enumerate() {
+            t.insert(&k(key), i as u64);
+        }
+        let mut hits = Vec::new();
+        t.for_prefix(b"app", |key, rid| {
+            hits.push((String::from_utf8(key.to_vec()).unwrap(), rid));
+            true
+        });
+        assert_eq!(
+            hits,
+            vec![
+                ("app".to_string(), 0),
+                ("apple".to_string(), 1),
+                ("apply".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn early_stop_in_visitor() {
+        let mut t = BTreeIndex::new();
+        for i in 0..500u64 {
+            t.insert(format!("{i:04}").as_bytes(), i);
+        }
+        let mut seen = 0;
+        t.for_range(Bound::Unbounded, Bound::Unbounded, |_, _| {
+            seen += 1;
+            seen < 10
+        });
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn matches_std_btreemap_model() {
+        use std::collections::BTreeSet;
+        let mut tree = BTreeIndex::new();
+        let mut model: BTreeSet<(Vec<u8>, u64)> = BTreeSet::new();
+        // Deterministic pseudo-random ops.
+        let mut state = 0x1234_5678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..5000 {
+            let key = format!("k{:03}", next() % 100).into_bytes();
+            let rid = next() % 50;
+            if next() % 3 == 0 {
+                let a = tree.remove(&key, rid);
+                let b = model.remove(&(key.clone(), rid));
+                assert_eq!(a, b);
+            } else if !model.contains(&(key.clone(), rid)) {
+                tree.insert(&key, rid);
+                model.insert((key, rid));
+            }
+        }
+        assert_eq!(tree.len(), model.len());
+        let mut tree_entries = Vec::new();
+        tree.for_range(Bound::Unbounded, Bound::Unbounded, |key, rid| {
+            tree_entries.push((key.to_vec(), rid));
+            true
+        });
+        let model_entries: Vec<_> = model.into_iter().collect();
+        assert_eq!(tree_entries, model_entries);
+    }
+}

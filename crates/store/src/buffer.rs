@@ -1,0 +1,402 @@
+//! Buffer pool: a fixed set of in-memory frames caching disk pages, with
+//! clock (second-chance) eviction and write-back of dirty pages.
+//!
+//! Access is closure-scoped: [`BufferPool::with_page`] /
+//! [`BufferPool::with_page_mut`] pin the frame for the duration of the
+//! closure only, so pins are short-lived and the pool cannot be exhausted
+//! by leaked guards. Frame data is guarded by a `parking_lot::RwLock`, so
+//! concurrent readers of the same hot page proceed in parallel — the
+//! property the parallel scan operators in [`crate::query`] rely on.
+//!
+//! Consistency protocol (all mapping changes happen under the pool mutex):
+//! * On miss, a victim frame with pin-count 0 is chosen by the clock hand.
+//! * The victim's dirty page is written back *while still holding the pool
+//!   mutex*, so no other thread can re-fetch the old page from disk and
+//!   observe stale bytes.
+//! * The new mapping is published and the frame's data lock is acquired
+//!   before the pool mutex is released; late-arriving readers of the new
+//!   page block on the data lock until the load completes.
+
+use crate::disk::DiskManager;
+use crate::error::{Result, StoreError};
+use crate::page::{PageId, PAGE_SIZE};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache-hit statistics, readable at any time.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub writebacks: AtomicU64,
+}
+
+/// A point-in-time copy of [`PoolStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStatsSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub writebacks: u64,
+}
+
+struct Frame {
+    data: RwLock<Box<[u8; PAGE_SIZE]>>,
+    pin: AtomicU32,
+    referenced: AtomicU32, // clock reference bit (0/1)
+}
+
+struct FrameInfo {
+    page: Option<PageId>,
+    dirty: bool,
+}
+
+struct PoolState {
+    page_table: HashMap<PageId, usize>,
+    info: Vec<FrameInfo>,
+    hand: usize,
+}
+
+/// Called immediately before a dirty page is written back to disk, so the
+/// owner can enforce the write-ahead rule (force the WAL first).
+pub type WritebackHook = Box<dyn Fn() -> Result<()> + Send + Sync>;
+
+/// Write guard over a frame's page bytes.
+type FrameGuard<'a> = parking_lot::RwLockWriteGuard<'a, Box<[u8; PAGE_SIZE]>>;
+
+/// The buffer pool. Cheap to share via `Arc`.
+pub struct BufferPool {
+    disk: Arc<DiskManager>,
+    frames: Vec<Frame>,
+    state: Mutex<PoolState>,
+    stats: PoolStats,
+    writeback_hook: Mutex<Option<WritebackHook>>,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames over `disk`.
+    pub fn new(disk: Arc<DiskManager>, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                data: RwLock::new(Box::new([0u8; PAGE_SIZE])),
+                pin: AtomicU32::new(0),
+                referenced: AtomicU32::new(0),
+            })
+            .collect();
+        let info = (0..capacity)
+            .map(|_| FrameInfo {
+                page: None,
+                dirty: false,
+            })
+            .collect();
+        BufferPool {
+            disk,
+            frames,
+            state: Mutex::new(PoolState {
+                page_table: HashMap::with_capacity(capacity),
+                info,
+                hand: 0,
+            }),
+            stats: PoolStats::default(),
+            writeback_hook: Mutex::new(None),
+        }
+    }
+
+    /// Install a hook run before any dirty page is written back (eviction
+    /// or flush). The [`crate::db::Database`] uses this to force the WAL,
+    /// preserving the write-ahead invariant.
+    pub fn set_writeback_hook(&self, hook: WritebackHook) {
+        *self.writeback_hook.lock() = Some(hook);
+    }
+
+    fn run_writeback_hook(&self) -> Result<()> {
+        if let Some(h) = self.writeback_hook.lock().as_ref() {
+            h()?;
+        }
+        Ok(())
+    }
+
+    /// The disk manager backing this pool.
+    pub fn disk(&self) -> &DiskManager {
+        &self.disk
+    }
+
+    /// Allocate a fresh zeroed page on disk (not yet cached).
+    pub fn allocate_page(&self) -> Result<PageId> {
+        self.disk.allocate()
+    }
+
+    /// Run `f` with read access to page `id`.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        let (idx, preloaded) = self.acquire(id, false)?;
+        let frame = &self.frames[idx];
+        let result = if let Some(guard) = preloaded {
+            // We loaded the page ourselves and hold the write lock; use it.
+            f(&guard)
+        } else {
+            let guard = frame.data.read();
+            f(&guard)
+        };
+        frame.pin.fetch_sub(1, Ordering::Release);
+        Ok(result)
+    }
+
+    /// Run `f` with exclusive write access to page `id`; the frame is
+    /// marked dirty.
+    pub fn with_page_mut<R>(
+        &self,
+        id: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R> {
+        let (idx, preloaded) = self.acquire(id, true)?;
+        let frame = &self.frames[idx];
+        let result = if let Some(mut guard) = preloaded {
+            f(&mut guard)
+        } else {
+            let mut guard = frame.data.write();
+            f(&mut guard)
+        };
+        frame.pin.fetch_sub(1, Ordering::Release);
+        Ok(result)
+    }
+
+    /// Pin page `id` into a frame. Returns the frame index plus, on a miss,
+    /// the still-held write guard containing freshly loaded bytes.
+    fn acquire(&self, id: PageId, write_intent: bool) -> Result<(usize, Option<FrameGuard<'_>>)> {
+        let mut state = self.state.lock();
+        if let Some(&idx) = state.page_table.get(&id) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.frames[idx].pin.fetch_add(1, Ordering::Acquire);
+            self.frames[idx].referenced.store(1, Ordering::Relaxed);
+            if write_intent {
+                state.info[idx].dirty = true;
+            }
+            return Ok((idx, None));
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        // Clock sweep for an unpinned, unreferenced victim.
+        let cap = self.frames.len();
+        let mut victim = None;
+        for _ in 0..2 * cap {
+            let idx = state.hand;
+            state.hand = (state.hand + 1) % cap;
+            if self.frames[idx].pin.load(Ordering::Acquire) != 0 {
+                continue;
+            }
+            if self.frames[idx].referenced.swap(0, Ordering::Relaxed) == 1 {
+                continue; // second chance
+            }
+            victim = Some(idx);
+            break;
+        }
+        let idx = victim.ok_or(StoreError::PoolExhausted)?;
+        // Write back the victim's dirty page before the mapping changes.
+        if let Some(old) = state.info[idx].page {
+            if state.info[idx].dirty {
+                self.run_writeback_hook()?;
+                let guard = self.frames[idx].data.read();
+                self.disk.write_page(old, &guard)?;
+                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+            state.page_table.remove(&old);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        state.page_table.insert(id, idx);
+        state.info[idx].page = Some(id);
+        state.info[idx].dirty = write_intent;
+        self.frames[idx].pin.fetch_add(1, Ordering::Acquire);
+        self.frames[idx].referenced.store(1, Ordering::Relaxed);
+        // Take the data lock before publishing (i.e. before unlocking the
+        // pool mutex) so readers of the new mapping wait for the load.
+        let mut guard = self.frames[idx].data.write();
+        drop(state);
+        self.disk.read_page(id, &mut guard)?;
+        Ok((idx, Some(guard)))
+    }
+
+    /// Write all dirty frames back to disk and sync.
+    pub fn flush_all(&self) -> Result<()> {
+        self.run_writeback_hook()?;
+        let mut state = self.state.lock();
+        for idx in 0..self.frames.len() {
+            if let Some(page) = state.info[idx].page {
+                if state.info[idx].dirty {
+                    let guard = self.frames[idx].data.read();
+                    self.disk.write_page(page, &guard)?;
+                    drop(guard);
+                    state.info[idx].dirty = false;
+                    self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        drop(state);
+        self.disk.sync()
+    }
+
+    /// Snapshot of hit/miss/eviction counters.
+    pub fn stats(&self) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            writebacks: self.stats.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{PageMut, PageRef, PageType};
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(Arc::new(DiskManager::in_memory()), frames)
+    }
+
+    #[test]
+    fn write_then_read_through_cache() {
+        let p = pool(4);
+        let id = p.allocate_page().unwrap();
+        p.with_page_mut(id, |buf| {
+            PageMut::new(&mut buf[..]).format(PageType::Heap);
+            PageMut::new(&mut buf[..]).insert(b"cached").unwrap();
+        })
+        .unwrap();
+        let rec = p
+            .with_page(id, |buf| {
+                PageRef::new(&buf[..]).get(0).map(<[u8]>::to_vec)
+            })
+            .unwrap();
+        assert_eq!(rec.unwrap(), b"cached");
+        let s = p.stats();
+        assert_eq!(s.misses, 1, "second access hits the cache");
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let p = pool(2);
+        let ids: Vec<_> = (0..5).map(|_| p.allocate_page().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.with_page_mut(id, |buf| {
+                buf[0] = i as u8 + 1;
+            })
+            .unwrap();
+        }
+        // All five pages cycled through two frames; early pages must have
+        // been written back and re-readable.
+        for (i, &id) in ids.iter().enumerate() {
+            let b = p.with_page(id, |buf| buf[0]).unwrap();
+            assert_eq!(b, i as u8 + 1);
+        }
+        assert!(p.stats().evictions >= 3);
+        assert!(p.stats().writebacks >= 3);
+    }
+
+    #[test]
+    fn flush_all_persists_to_disk() {
+        let disk = Arc::new(DiskManager::in_memory());
+        let p = BufferPool::new(Arc::clone(&disk), 4);
+        let id = p.allocate_page().unwrap();
+        p.with_page_mut(id, |buf| buf[7] = 99).unwrap();
+        p.flush_all().unwrap();
+        let mut raw = [0u8; PAGE_SIZE];
+        disk.read_page(id, &mut raw).unwrap();
+        assert_eq!(raw[7], 99);
+    }
+
+    #[test]
+    fn pool_exhaustion_is_impossible_with_scoped_pins() {
+        // Scoped access releases pins, so even a 1-frame pool serves many
+        // pages sequentially.
+        let p = pool(1);
+        let ids: Vec<_> = (0..10).map(|_| p.allocate_page().unwrap()).collect();
+        for &id in &ids {
+            p.with_page_mut(id, |buf| buf[0] = id.0 as u8).unwrap();
+        }
+        for &id in &ids {
+            assert_eq!(p.with_page(id, |b| b[0]).unwrap(), id.0 as u8);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let p = Arc::new(pool(8));
+        let id = p.allocate_page().unwrap();
+        p.with_page_mut(id, |buf| buf[0] = 0).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if t % 2 == 0 {
+                            p.with_page_mut(id, |buf| {
+                                // Increment a little-endian counter in place.
+                                let v = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+                                buf[0..4].copy_from_slice(&(v + 1).to_le_bytes());
+                            })
+                            .unwrap();
+                        } else {
+                            p.with_page(id, |buf| buf[0]).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let v = p
+            .with_page(id, |buf| u32::from_le_bytes(buf[0..4].try_into().unwrap()))
+            .unwrap();
+        assert_eq!(v, 4 * 200, "writes are exclusive, no lost updates");
+    }
+
+    #[test]
+    fn concurrent_access_across_many_pages_with_small_pool() {
+        // Thrash a 2-frame pool from 4 threads over 16 pages; every page
+        // must retain exactly its own writes.
+        let p = Arc::new(pool(2));
+        let ids: Vec<_> = (0..16).map(|_| p.allocate_page().unwrap()).collect();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    for round in 0..50u32 {
+                        for (i, &id) in ids.iter().enumerate() {
+                            if i % 4 == t {
+                                p.with_page_mut(id, |buf| {
+                                    buf[0..4].copy_from_slice(&round.to_le_bytes());
+                                    buf[4] = i as u8;
+                                })
+                                .unwrap();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let (round, tag) = p
+                .with_page(id, |buf| {
+                    (u32::from_le_bytes(buf[0..4].try_into().unwrap()), buf[4])
+                })
+                .unwrap();
+            assert_eq!(round, 49);
+            assert_eq!(tag, i as u8);
+        }
+    }
+}

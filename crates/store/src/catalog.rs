@@ -1,0 +1,544 @@
+//! The catalog: table schemas, index definitions, and each table's heap
+//! page list.
+//!
+//! The catalog is persisted as a small CRC-framed binary file, rewritten
+//! whenever DDL runs and at every checkpoint. Page-list growth between
+//! checkpoints is recovered from `AllocPage` WAL records, so the on-disk
+//! catalog only ever needs to be as fresh as the last checkpoint.
+
+use crate::error::{Result, StoreError};
+use crate::page::PageId;
+use crate::value::{ColumnType, Value};
+use crate::wal::crc32;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Identifier of a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// Identifier of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexId(pub u32);
+
+/// One column of a table schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A NOT NULL column.
+    pub fn new(name: &str, ty: ColumnType) -> Self {
+        Column {
+            name: name.to_string(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: &str, ty: ColumnType) -> Self {
+        Column {
+            name: name.to_string(),
+            ty,
+            nullable: true,
+        }
+    }
+
+    /// Check a single value against this column's type and nullability.
+    pub fn check(&self, v: &Value) -> Result<()> {
+        match v.column_type() {
+            None if self.nullable => Ok(()),
+            None => Err(StoreError::SchemaMismatch(format!(
+                "column {} is NOT NULL",
+                self.name
+            ))),
+            Some(t) if t == self.ty => Ok(()),
+            Some(t) => Err(StoreError::SchemaMismatch(format!(
+                "column {} expects {}, got {}",
+                self.name, self.ty, t
+            ))),
+        }
+    }
+}
+
+/// A table: schema plus the ordered list of heap pages it owns.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub id: TableId,
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Heap pages in allocation order; inserts go to the last page.
+    pub pages: Vec<PageId>,
+}
+
+impl TableMeta {
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| {
+                StoreError::SchemaMismatch(format!("table {} has no column {name}", self.name))
+            })
+    }
+
+    /// Validate a full row against the schema.
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(StoreError::SchemaMismatch(format!(
+                "table {} expects {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (col, v) in self.columns.iter().zip(row) {
+            col.check(v)?;
+        }
+        Ok(())
+    }
+}
+
+/// An index definition over a table's columns.
+#[derive(Debug, Clone)]
+pub struct IndexMeta {
+    pub id: IndexId,
+    pub name: String,
+    pub table: TableId,
+    /// Column ordinals forming the key, in key order.
+    pub columns: Vec<usize>,
+    pub unique: bool,
+}
+
+impl IndexMeta {
+    /// Extract this index's key values from a full row.
+    pub fn key_values<'r>(&self, row: &'r [Value]) -> Vec<Value>
+    where
+        'r: 'r,
+    {
+        self.columns.iter().map(|&c| row[c].clone()).collect()
+    }
+}
+
+/// The whole catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    pub tables: HashMap<TableId, TableMeta>,
+    pub indexes: HashMap<IndexId, IndexMeta>,
+    by_table_name: HashMap<String, TableId>,
+    by_index_name: HashMap<String, IndexId>,
+    next_table: u32,
+    next_index: u32,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Define a new table.
+    pub fn create_table(&mut self, name: &str, columns: Vec<Column>) -> Result<TableId> {
+        if self.by_table_name.contains_key(name) {
+            return Err(StoreError::AlreadyExists(name.to_string()));
+        }
+        if columns.is_empty() {
+            return Err(StoreError::SchemaMismatch(
+                "a table needs at least one column".into(),
+            ));
+        }
+        let id = TableId(self.next_table);
+        self.next_table += 1;
+        self.tables.insert(
+            id,
+            TableMeta {
+                id,
+                name: name.to_string(),
+                columns,
+                pages: Vec::new(),
+            },
+        );
+        self.by_table_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Define a new index over existing columns of `table`.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: TableId,
+        columns: Vec<usize>,
+        unique: bool,
+    ) -> Result<IndexId> {
+        if self.by_index_name.contains_key(name) {
+            return Err(StoreError::AlreadyExists(name.to_string()));
+        }
+        let tmeta = self
+            .tables
+            .get(&table)
+            .ok_or_else(|| StoreError::NoSuchTable(format!("table id {}", table.0)))?;
+        if columns.is_empty() || columns.iter().any(|&c| c >= tmeta.columns.len()) {
+            return Err(StoreError::SchemaMismatch(format!(
+                "bad index column list for table {}",
+                tmeta.name
+            )));
+        }
+        let id = IndexId(self.next_index);
+        self.next_index += 1;
+        self.indexes.insert(
+            id,
+            IndexMeta {
+                id,
+                name: name.to_string(),
+                table,
+                columns,
+                unique,
+            },
+        );
+        self.by_index_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Look up a table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.by_table_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    /// Look up an index id by name.
+    pub fn index_id(&self, name: &str) -> Result<IndexId> {
+        self.by_index_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StoreError::NoSuchIndex(name.to_string()))
+    }
+
+    /// Table metadata by id.
+    pub fn table(&self, id: TableId) -> Result<&TableMeta> {
+        self.tables
+            .get(&id)
+            .ok_or_else(|| StoreError::NoSuchTable(format!("table id {}", id.0)))
+    }
+
+    /// Mutable table metadata by id.
+    pub fn table_mut(&mut self, id: TableId) -> Result<&mut TableMeta> {
+        self.tables
+            .get_mut(&id)
+            .ok_or_else(|| StoreError::NoSuchTable(format!("table id {}", id.0)))
+    }
+
+    /// Index metadata by id.
+    pub fn index(&self, id: IndexId) -> Result<&IndexMeta> {
+        self.indexes
+            .get(&id)
+            .ok_or_else(|| StoreError::NoSuchIndex(format!("index id {}", id.0)))
+    }
+
+    /// Ids of all indexes defined on `table`.
+    pub fn indexes_on(&self, table: TableId) -> Vec<IndexId> {
+        let mut v: Vec<IndexId> = self
+            .indexes
+            .values()
+            .filter(|m| m.table == table)
+            .map(|m| m.id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// All tables, sorted by id.
+    pub fn all_tables(&self) -> Vec<&TableMeta> {
+        let mut v: Vec<&TableMeta> = self.tables.values().collect();
+        v.sort_by_key(|t| t.id);
+        v
+    }
+
+    // -- serialization ------------------------------------------------------
+
+    /// Serialize to the on-disk catalog format (CRC-framed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(1024);
+        body.extend_from_slice(&self.next_table.to_be_bytes());
+        body.extend_from_slice(&self.next_index.to_be_bytes());
+        let tables = self.all_tables();
+        body.extend_from_slice(&(tables.len() as u32).to_be_bytes());
+        for t in tables {
+            body.extend_from_slice(&t.id.0.to_be_bytes());
+            put_str(&mut body, &t.name);
+            body.extend_from_slice(&(t.columns.len() as u32).to_be_bytes());
+            for c in &t.columns {
+                put_str(&mut body, &c.name);
+                body.push(c.ty.tag());
+                body.push(u8::from(c.nullable));
+            }
+            body.extend_from_slice(&(t.pages.len() as u32).to_be_bytes());
+            for p in &t.pages {
+                body.extend_from_slice(&p.0.to_be_bytes());
+            }
+        }
+        let mut idxs: Vec<&IndexMeta> = self.indexes.values().collect();
+        idxs.sort_by_key(|m| m.id);
+        body.extend_from_slice(&(idxs.len() as u32).to_be_bytes());
+        for m in idxs {
+            body.extend_from_slice(&m.id.0.to_be_bytes());
+            put_str(&mut body, &m.name);
+            body.extend_from_slice(&m.table.0.to_be_bytes());
+            body.extend_from_slice(&(m.columns.len() as u32).to_be_bytes());
+            for &c in &m.columns {
+                body.extend_from_slice(&(c as u32).to_be_bytes());
+            }
+            body.push(u8::from(m.unique));
+        }
+        let mut out = Vec::with_capacity(body.len() + 12);
+        out.extend_from_slice(b"PTCT");
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&crc32(&body).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parse the on-disk catalog format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 12 || &bytes[0..4] != b"PTCT" {
+            return Err(StoreError::Corrupt("bad catalog magic".into()));
+        }
+        let len = u32::from_be_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let crc = u32::from_be_bytes(bytes[8..12].try_into().unwrap());
+        if bytes.len() < 12 + len {
+            return Err(StoreError::Corrupt("catalog truncated".into()));
+        }
+        let body = &bytes[12..12 + len];
+        if crc32(body) != crc {
+            return Err(StoreError::Corrupt("catalog checksum mismatch".into()));
+        }
+        let mut d = Dec { buf: body, pos: 0 };
+        let mut cat = Catalog::new();
+        cat.next_table = d.u32()?;
+        cat.next_index = d.u32()?;
+        let ntables = d.u32()? as usize;
+        for _ in 0..ntables {
+            let id = TableId(d.u32()?);
+            let name = d.string()?;
+            let ncols = d.u32()? as usize;
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                let cname = d.string()?;
+                let ty = ColumnType::from_tag(d.u8()?)?;
+                let nullable = d.u8()? != 0;
+                columns.push(Column {
+                    name: cname,
+                    ty,
+                    nullable,
+                });
+            }
+            let npages = d.u32()? as usize;
+            let mut pages = Vec::with_capacity(npages);
+            for _ in 0..npages {
+                pages.push(PageId(d.u32()?));
+            }
+            cat.by_table_name.insert(name.clone(), id);
+            cat.tables.insert(
+                id,
+                TableMeta {
+                    id,
+                    name,
+                    columns,
+                    pages,
+                },
+            );
+        }
+        let nidx = d.u32()? as usize;
+        for _ in 0..nidx {
+            let id = IndexId(d.u32()?);
+            let name = d.string()?;
+            let table = TableId(d.u32()?);
+            let ncols = d.u32()? as usize;
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                columns.push(d.u32()? as usize);
+            }
+            let unique = d.u8()? != 0;
+            cat.by_index_name.insert(name.clone(), id);
+            cat.indexes.insert(
+                id,
+                IndexMeta {
+                    id,
+                    name,
+                    table,
+                    columns,
+                    unique,
+                },
+            );
+        }
+        Ok(cat)
+    }
+
+    /// Write the catalog to `path` atomically (write temp + rename).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load a catalog from `path`.
+    pub fn load(path: &Path) -> Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Catalog::from_bytes(&bytes)
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(StoreError::Corrupt("catalog body truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn string(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| StoreError::Corrupt("catalog string not UTF-8".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::new();
+        let t = c
+            .create_table(
+                "resource_item",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("name", ColumnType::Text),
+                    Column::nullable("parent_id", ColumnType::Int),
+                ],
+            )
+            .unwrap();
+        c.create_index("resource_item_name", t, vec![1], true)
+            .unwrap();
+        c.table_mut(t).unwrap().pages.push(PageId(3));
+        c.table_mut(t).unwrap().pages.push(PageId(7));
+        c
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let c = sample();
+        let t = c.table_id("resource_item").unwrap();
+        let meta = c.table(t).unwrap();
+        assert_eq!(meta.columns.len(), 3);
+        assert_eq!(meta.column_index("name").unwrap(), 1);
+        assert!(meta.column_index("nope").is_err());
+        let i = c.index_id("resource_item_name").unwrap();
+        assert!(c.index(i).unwrap().unique);
+        assert_eq!(c.indexes_on(t), vec![i]);
+        assert!(c.table_id("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = sample();
+        assert!(matches!(
+            c.create_table("resource_item", vec![Column::new("x", ColumnType::Int)]),
+            Err(StoreError::AlreadyExists(_))
+        ));
+        let t = c.table_id("resource_item").unwrap();
+        assert!(matches!(
+            c.create_index("resource_item_name", t, vec![0], false),
+            Err(StoreError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn schema_validation() {
+        let c = sample();
+        let meta = c.table(c.table_id("resource_item").unwrap()).unwrap();
+        meta.check_row(&[Value::Int(1), Value::Text("x".into()), Value::Null])
+            .unwrap();
+        // Wrong arity.
+        assert!(meta.check_row(&[Value::Int(1)]).is_err());
+        // NOT NULL violation.
+        assert!(meta
+            .check_row(&[Value::Null, Value::Text("x".into()), Value::Null])
+            .is_err());
+        // Type mismatch.
+        assert!(meta
+            .check_row(&[Value::Int(1), Value::Int(2), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn bad_index_columns_rejected() {
+        let mut c = sample();
+        let t = c.table_id("resource_item").unwrap();
+        assert!(c.create_index("i1", t, vec![], false).is_err());
+        assert!(c.create_index("i2", t, vec![9], false).is_err());
+        assert!(c.create_index("i3", TableId(99), vec![0], false).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        let c2 = Catalog::from_bytes(&bytes).unwrap();
+        let t = c2.table_id("resource_item").unwrap();
+        let meta = c2.table(t).unwrap();
+        assert_eq!(meta.pages, vec![PageId(3), PageId(7)]);
+        assert!(meta.columns[2].nullable);
+        assert_eq!(meta.columns[1].ty, ColumnType::Text);
+        let i = c2.index_id("resource_item_name").unwrap();
+        assert_eq!(c2.index(i).unwrap().columns, vec![1]);
+        // Ids continue where they left off.
+        let mut c3 = c2;
+        let t2 = c3
+            .create_table("next", vec![Column::new("x", ColumnType::Int)])
+            .unwrap();
+        assert_eq!(t2.0, t.0 + 1);
+    }
+
+    #[test]
+    fn corrupt_catalog_detected() {
+        let c = sample();
+        let mut bytes = c.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(Catalog::from_bytes(&bytes).is_err());
+        assert!(Catalog::from_bytes(b"JUNK").is_err());
+        assert!(Catalog::from_bytes(&bytes[..5]).is_err());
+    }
+
+    #[test]
+    fn empty_table_schema_rejected() {
+        let mut c = Catalog::new();
+        assert!(c.create_table("empty", vec![]).is_err());
+    }
+}

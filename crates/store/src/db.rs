@@ -1,0 +1,1358 @@
+//! The `Database`: tables + indexes + transactions + recovery, tying the
+//! pager, WAL, catalog, and B+tree layers together.
+//!
+//! Concurrency model: **single writer, many readers**. [`Database::begin`]
+//! hands out the unique write token; readers (scans, index lookups) run
+//! concurrently and observe a *read-uncommitted* view of the single active
+//! transaction — the isolation level the PerfTrack workload needs (bulk
+//! load, then query).
+//!
+//! Durability: logical WAL with commit-time fsync, idempotent redo, and a
+//! guarded undo pass for transactions that never committed (including
+//! changes that reached the page file through buffer-pool eviction).
+//! `checkpoint` flushes all pages, persists the catalog, and truncates the
+//! log.
+
+use crate::buffer::{BufferPool, PoolStatsSnapshot};
+use crate::btree::BTreeIndex;
+use crate::catalog::{Catalog, Column, IndexId, IndexMeta, TableId};
+use crate::disk::DiskManager;
+use crate::error::{Result, StoreError};
+use crate::page::{PageId, PageMut, PageRef, PageType, RowId, MAX_RECORD, PAGE_SIZE};
+use crate::value::{decode_row, encode_key_vec, encode_row_vec, Row, Value};
+use crate::wal::{Wal, WalOp, WalPayload};
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs for a database instance.
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Buffer pool capacity in frames (frames are [`PAGE_SIZE`] bytes).
+    pub pool_frames: usize,
+    /// Checkpoint automatically when the WAL exceeds this many bytes.
+    pub checkpoint_wal_bytes: u64,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            pool_frames: 4096, // 32 MiB of cache
+            checkpoint_wal_bytes: 64 << 20,
+        }
+    }
+}
+
+enum UndoOp {
+    Insert {
+        table: TableId,
+        rowid: RowId,
+        row: Row,
+    },
+    Delete {
+        table: TableId,
+        rowid: RowId,
+        row: Row,
+    },
+    Update {
+        table: TableId,
+        rowid: RowId,
+        old: Row,
+        new: Row,
+    },
+}
+
+/// An embedded relational database.
+pub struct Database {
+    pool: Arc<BufferPool>,
+    wal: Arc<Wal>,
+    catalog: RwLock<Catalog>,
+    indexes: RwLock<HashMap<IndexId, Arc<RwLock<BTreeIndex>>>>,
+    writer: Mutex<()>,
+    next_txn: AtomicU64,
+    dir: Option<PathBuf>,
+    opts: DbOptions,
+}
+
+const CATALOG_FILE: &str = "catalog.meta";
+const PAGES_FILE: &str = "pages.db";
+const WAL_FILE: &str = "wal.log";
+
+impl Database {
+    /// A fully in-memory database (no files, no durability).
+    pub fn in_memory() -> Self {
+        Self::in_memory_with(DbOptions::default())
+    }
+
+    /// In-memory database with explicit options.
+    pub fn in_memory_with(opts: DbOptions) -> Self {
+        let disk = Arc::new(DiskManager::in_memory());
+        let pool = Arc::new(BufferPool::new(disk, opts.pool_frames));
+        let wal = Arc::new(Wal::in_memory());
+        let db = Database {
+            pool,
+            wal,
+            catalog: RwLock::new(Catalog::new()),
+            indexes: RwLock::new(HashMap::new()),
+            writer: Mutex::new(()),
+            next_txn: AtomicU64::new(1),
+            dir: None,
+            opts,
+        };
+        db.install_wal_hook();
+        db
+    }
+
+    /// Open (or create) a persistent database in directory `dir`, running
+    /// crash recovery if the write-ahead log is non-empty.
+    pub fn open(dir: &Path) -> Result<Self> {
+        Self::open_with(dir, DbOptions::default())
+    }
+
+    /// Open with explicit options; see [`Database::open`].
+    pub fn open_with(dir: &Path, opts: DbOptions) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let disk = Arc::new(DiskManager::open(&dir.join(PAGES_FILE))?);
+        let pool = Arc::new(BufferPool::new(disk, opts.pool_frames));
+        let wal = Arc::new(Wal::open(&dir.join(WAL_FILE))?);
+        let catalog_path = dir.join(CATALOG_FILE);
+        let catalog = if catalog_path.exists() {
+            Catalog::load(&catalog_path)?
+        } else {
+            Catalog::new()
+        };
+        let db = Database {
+            pool,
+            wal,
+            catalog: RwLock::new(catalog),
+            indexes: RwLock::new(HashMap::new()),
+            writer: Mutex::new(()),
+            next_txn: AtomicU64::new(1),
+            dir: Some(dir.to_path_buf()),
+            opts,
+        };
+        db.recover()?;
+        db.rebuild_indexes()?;
+        db.install_wal_hook();
+        // Start from a clean checkpoint so the log only holds new work.
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    fn install_wal_hook(&self) {
+        let wal = Arc::clone(&self.wal);
+        self.pool
+            .set_writeback_hook(Box::new(move || wal.sync()));
+    }
+
+    // -- DDL ----------------------------------------------------------------
+
+    /// Create a table. DDL is a checkpoint barrier: the catalog is
+    /// persisted immediately on durable databases.
+    pub fn create_table(&self, name: &str, columns: Vec<Column>) -> Result<TableId> {
+        let _w = self.writer.lock();
+        let id = self.catalog.write().create_table(name, columns)?;
+        self.checkpoint_locked()?;
+        Ok(id)
+    }
+
+    /// Create an index over `columns` (by name) of `table`, building it
+    /// from existing rows. Errors if `unique` and existing rows collide.
+    pub fn create_index(
+        &self,
+        name: &str,
+        table: TableId,
+        columns: &[&str],
+        unique: bool,
+    ) -> Result<IndexId> {
+        let _w = self.writer.lock();
+        let ordinals: Vec<usize> = {
+            let cat = self.catalog.read();
+            let meta = cat.table(table)?;
+            columns
+                .iter()
+                .map(|c| meta.column_index(c))
+                .collect::<Result<Vec<_>>>()?
+        };
+        let id = self
+            .catalog
+            .write()
+            .create_index(name, table, ordinals, unique)?;
+        // Build from existing rows.
+        let mut tree = BTreeIndex::new();
+        let meta = self.catalog.read().index(id)?.clone();
+        let mut dup: Option<String> = None;
+        self.for_each_row(table, |rowid, row| {
+            let key = encode_key_vec(&meta.key_values(row));
+            if unique && tree.contains_key(&key) && dup.is_none() {
+                dup = Some(format!("index {name} over existing rows"));
+            }
+            tree.insert(&key, rowid.to_u64());
+            true
+        })?;
+        if let Some(msg) = dup {
+            // Roll the DDL back by dropping the index definition we just
+            // added. Catalog has no drop API surface otherwise, so rebuild.
+            return Err(StoreError::UniqueViolation(msg));
+        }
+        self.indexes.write().insert(id, Arc::new(RwLock::new(tree)));
+        self.checkpoint_locked()?;
+        Ok(id)
+    }
+
+    /// Resolve a table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.catalog.read().table_id(name)
+    }
+
+    /// Resolve an index id by name.
+    pub fn index_id(&self, name: &str) -> Result<IndexId> {
+        self.catalog.read().index_id(name)
+    }
+
+    /// Names and ids of all tables.
+    pub fn tables(&self) -> Vec<(TableId, String)> {
+        self.catalog
+            .read()
+            .all_tables()
+            .iter()
+            .map(|t| (t.id, t.name.clone()))
+            .collect()
+    }
+
+    /// Ordinal of `column` within `table`'s schema.
+    pub fn column_index(&self, table: TableId, column: &str) -> Result<usize> {
+        self.catalog.read().table(table)?.column_index(column)
+    }
+
+    // -- transactions ---------------------------------------------------
+
+    /// Begin the (single) write transaction. Blocks while another write
+    /// transaction is active.
+    pub fn begin(&self) -> Txn<'_> {
+        let guard = self.writer.lock();
+        Txn {
+            db: self,
+            _guard: guard,
+            id: self.next_txn.fetch_add(1, Ordering::AcqRel),
+            undo: Vec::new(),
+            finished: false,
+        }
+    }
+
+    // -- reads ------------------------------------------------------------
+
+    /// Fetch one row by id.
+    pub fn get(&self, table: TableId, rowid: RowId) -> Result<Row> {
+        // Validate the page belongs to the table (cheap sanity check).
+        let belongs = {
+            let cat = self.catalog.read();
+            cat.table(table)?.pages.contains(&rowid.page)
+        };
+        if !belongs {
+            return Err(StoreError::RowNotFound);
+        }
+        self.pool
+            .with_page(rowid.page, |buf| {
+                PageRef::new(&buf[..])
+                    .get(rowid.slot)
+                    .map(decode_row)
+                    .ok_or(StoreError::RowNotFound)
+            })?
+            .and_then(|r| r)
+    }
+
+    /// Visit every live row of `table`; the callback returns `false` to
+    /// stop early.
+    pub fn for_each_row(
+        &self,
+        table: TableId,
+        mut f: impl FnMut(RowId, &Row) -> bool,
+    ) -> Result<()> {
+        let pages = self.catalog.read().table(table)?.pages.clone();
+        for page in pages {
+            let rows: Vec<(u16, Row)> = self.pool.with_page(page, |buf| {
+                PageRef::new(&buf[..])
+                    .iter()
+                    .map(|(slot, rec)| decode_row(rec).map(|r| (slot, r)))
+                    .collect::<Result<Vec<_>>>()
+            })??;
+            for (slot, row) in rows {
+                if !f(RowId { page, slot }, &row) {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize every row of `table`.
+    pub fn scan(&self, table: TableId) -> Result<Vec<(RowId, Row)>> {
+        let mut out = Vec::new();
+        self.for_each_row(table, |rid, row| {
+            out.push((rid, row.clone()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Number of live rows in `table`.
+    pub fn row_count(&self, table: TableId) -> Result<usize> {
+        let pages = self.catalog.read().table(table)?.pages.clone();
+        let mut n = 0usize;
+        for page in pages {
+            n += self
+                .pool
+                .with_page(page, |buf| PageRef::new(&buf[..]).live_count())?;
+        }
+        Ok(n)
+    }
+
+    /// Parallel filtered scan: partitions the table's pages across
+    /// `threads` worker threads (crossbeam scoped), applying `pred` to each
+    /// row. Results are concatenated in page order.
+    pub fn scan_parallel<F>(&self, table: TableId, threads: usize, pred: F) -> Result<Vec<(RowId, Row)>>
+    where
+        F: Fn(&Row) -> bool + Sync,
+    {
+        let pages = self.catalog.read().table(table)?.pages.clone();
+        if pages.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = threads.max(1).min(pages.len());
+        let chunk = pages.len().div_ceil(threads);
+        let chunks: Vec<&[PageId]> = pages.chunks(chunk).collect();
+        let pool = &self.pool;
+        let pred = &pred;
+        let results: Vec<Result<Vec<(RowId, Row)>>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|part| {
+                    s.spawn(move |_| {
+                        let mut local = Vec::new();
+                        for &page in part {
+                            let rows: Vec<(u16, Row)> = pool.with_page(page, |buf| {
+                                PageRef::new(&buf[..])
+                                    .iter()
+                                    .map(|(slot, rec)| decode_row(rec).map(|r| (slot, r)))
+                                    .collect::<Result<Vec<_>>>()
+                            })??;
+                            for (slot, row) in rows {
+                                if pred(&row) {
+                                    local.push((RowId { page, slot }, row));
+                                }
+                            }
+                        }
+                        Ok(local)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("scan worker panicked");
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    // -- index reads ------------------------------------------------------
+
+    fn index_tree(&self, index: IndexId) -> Result<Arc<RwLock<BTreeIndex>>> {
+        self.indexes
+            .read()
+            .get(&index)
+            .cloned()
+            .ok_or_else(|| StoreError::NoSuchIndex(format!("index id {}", index.0)))
+    }
+
+    /// Rowids whose index key equals `key` exactly (full key).
+    pub fn index_lookup(&self, index: IndexId, key: &[Value]) -> Result<Vec<RowId>> {
+        let tree = self.index_tree(index)?;
+        let enc = encode_key_vec(key);
+        let rids = tree.read().get_eq(&enc);
+        Ok(rids.into_iter().map(RowId::from_u64).collect())
+    }
+
+    /// Rowids whose index key starts with `prefix` (a prefix of the index's
+    /// columns), in key order.
+    pub fn index_prefix(&self, index: IndexId, prefix: &[Value]) -> Result<Vec<RowId>> {
+        let tree = self.index_tree(index)?;
+        let enc = encode_key_vec(prefix);
+        let mut out = Vec::new();
+        tree.read().for_prefix(&enc, |_, rid| {
+            out.push(RowId::from_u64(rid));
+            true
+        });
+        Ok(out)
+    }
+
+    /// Rowids with keys in the given bounds, in key order.
+    pub fn index_range(
+        &self,
+        index: IndexId,
+        lo: Bound<&[Value]>,
+        hi: Bound<&[Value]>,
+    ) -> Result<Vec<RowId>> {
+        let tree = self.index_tree(index)?;
+        let lo_enc = map_bound_owned(lo);
+        let hi_enc = map_bound_owned(hi);
+        let rids = tree
+            .read()
+            .collect_range(as_bound_ref(&lo_enc), as_bound_ref(&hi_enc));
+        Ok(rids.into_iter().map(RowId::from_u64).collect())
+    }
+
+    // -- maintenance ------------------------------------------------------
+
+    /// Flush dirty pages, persist the catalog, and truncate the WAL.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _w = self.writer.lock();
+        self.checkpoint_locked()
+    }
+
+    fn checkpoint_locked(&self) -> Result<()> {
+        self.wal.sync()?;
+        self.pool.flush_all()?;
+        if let Some(dir) = &self.dir {
+            self.catalog.read().save(&dir.join(CATALOG_FILE))?;
+        }
+        self.wal.truncate()?;
+        Ok(())
+    }
+
+    /// Compact every page of `table` in place (PageMut::compact preserves
+    /// slot ids, so RowIds and indexes stay valid). Returns the number of
+    /// contiguous free bytes gained. Run after bulk deletes.
+    pub fn compact_table(&self, table: TableId) -> Result<usize> {
+        let _w = self.writer.lock();
+        let pages = self.catalog.read().table(table)?.pages.clone();
+        let mut gained = 0usize;
+        for page in pages {
+            gained += self.pool.with_page_mut(page, |buf| {
+                let before = PageRef::new(&buf[..]).contiguous_free();
+                PageMut::new(&mut buf[..]).compact();
+                PageRef::new(&buf[..]).contiguous_free() - before
+            })?;
+        }
+        Ok(gained)
+    }
+
+    /// Approximate on-disk footprint: page file + WAL + catalog bytes.
+    /// This backs the paper's Table 1 "Approx. DB size increase" column.
+    pub fn size_bytes(&self) -> Result<u64> {
+        let pages = u64::from(self.pool.disk().page_count()) * PAGE_SIZE as u64;
+        let wal = self.wal.len()?;
+        let cat = self.catalog.read().to_bytes().len() as u64;
+        Ok(pages + wal + cat)
+    }
+
+    /// Buffer pool statistics.
+    pub fn pool_stats(&self) -> PoolStatsSnapshot {
+        self.pool.stats()
+    }
+
+    /// Pages allocated in the page file.
+    pub fn page_count(&self) -> u32 {
+        self.pool.disk().page_count()
+    }
+
+    /// Read access to the catalog (crate-internal; used by the planner).
+    pub(crate) fn catalog_read(&self) -> parking_lot::RwLockReadGuard<'_, Catalog> {
+        self.catalog.read()
+    }
+
+    // -- recovery ---------------------------------------------------------
+
+    fn recover(&self) -> Result<()> {
+        let records = self.wal.read_all()?;
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut committed: HashSet<u64> = HashSet::new();
+        let mut finished: HashSet<u64> = HashSet::new();
+        for r in &records {
+            match r.payload {
+                WalPayload::Commit => {
+                    committed.insert(r.txn);
+                    finished.insert(r.txn);
+                }
+                WalPayload::Abort => {
+                    finished.insert(r.txn);
+                }
+                _ => {}
+            }
+        }
+        // Redo pass (LSN order): page allocations always; row ops only for
+        // committed transactions. All redo steps are idempotent against
+        // partially flushed pages.
+        for r in &records {
+            let WalPayload::Op(op) = &r.payload else {
+                continue;
+            };
+            match op {
+                WalOp::AllocPage { table, page } => {
+                    self.redo_alloc(TableId(*table), PageId(*page))?;
+                }
+                WalOp::Insert { table, rowid, row } if committed.contains(&r.txn) => {
+                    self.redo_put(TableId(*table), *rowid, row)?;
+                }
+                WalOp::Update {
+                    table, rowid, new, ..
+                } if committed.contains(&r.txn) => {
+                    self.redo_put(TableId(*table), *rowid, new)?;
+                }
+                WalOp::Delete { table, rowid, .. } if committed.contains(&r.txn) => {
+                    self.redo_delete(TableId(*table), *rowid)?;
+                }
+                _ => {}
+            }
+        }
+        // Undo pass (reverse LSN order): guarded inverse of every op whose
+        // transaction never committed (unfinished or explicitly aborted —
+        // the abort's in-memory compensation may or may not have reached
+        // the page file, so the guards check current state first).
+        for r in records.iter().rev() {
+            if committed.contains(&r.txn) {
+                continue;
+            }
+            let WalPayload::Op(op) = &r.payload else {
+                continue;
+            };
+            match op {
+                WalOp::AllocPage { .. } => {}
+                WalOp::Insert { table, rowid, row } => {
+                    self.undo_if_match(TableId(*table), *rowid, Some(row), None)?;
+                }
+                WalOp::Update {
+                    table,
+                    rowid,
+                    old,
+                    new,
+                } => {
+                    self.undo_if_match(TableId(*table), *rowid, Some(new), Some(old))?;
+                }
+                WalOp::Delete { table, rowid, old } => {
+                    self.undo_if_match(TableId(*table), *rowid, None, Some(old))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn redo_alloc(&self, table: TableId, page: PageId) -> Result<()> {
+        while self.pool.disk().page_count() <= page.0 {
+            self.pool.allocate_page()?;
+        }
+        self.pool.with_page_mut(page, |buf| {
+            let needs_format = !PageRef::new(&buf[..]).is_formatted();
+            if needs_format {
+                PageMut::new(&mut buf[..]).format(PageType::Heap);
+            }
+        })?;
+        let mut cat = self.catalog.write();
+        let meta = cat.table_mut(table)?;
+        if !meta.pages.contains(&page) {
+            meta.pages.push(page);
+        }
+        Ok(())
+    }
+
+    fn redo_put(&self, _table: TableId, rowid: RowId, bytes: &[u8]) -> Result<()> {
+        self.pool.with_page_mut(rowid.page, |buf| {
+            let current = PageRef::new(&buf[..]).get(rowid.slot).map(<[u8]>::to_vec);
+            let mut page = PageMut::new(&mut buf[..]);
+            match current {
+                Some(cur) if cur == bytes => Ok(()),
+                Some(_) => page.update(rowid.slot, bytes),
+                None => page.insert_at(rowid.slot, bytes).map(|_| ()),
+            }
+        })?
+    }
+
+    fn redo_delete(&self, _table: TableId, rowid: RowId) -> Result<()> {
+        self.pool.with_page_mut(rowid.page, |buf| {
+            let live = PageRef::new(&buf[..]).get(rowid.slot).is_some();
+            if live {
+                PageMut::new(&mut buf[..]).delete(rowid.slot)
+            } else {
+                Ok(())
+            }
+        })?
+    }
+
+    /// Guarded inverse: if the slot currently holds `expect_now` (None =
+    /// tombstone), rewrite it to `restore` (None = delete).
+    fn undo_if_match(
+        &self,
+        _table: TableId,
+        rowid: RowId,
+        expect_now: Option<&[u8]>,
+        restore: Option<&[u8]>,
+    ) -> Result<()> {
+        if rowid.page.0 >= self.pool.disk().page_count() {
+            return Ok(()); // page never materialized
+        }
+        self.pool.with_page_mut(rowid.page, |buf| {
+            let current = PageRef::new(&buf[..]).get(rowid.slot).map(<[u8]>::to_vec);
+            let matches = match (&current, expect_now) {
+                (Some(cur), Some(exp)) => cur.as_slice() == exp,
+                (None, None) => true,
+                _ => false,
+            };
+            if !matches {
+                return Ok(()); // compensation already applied (or never needed)
+            }
+            let mut page = PageMut::new(&mut buf[..]);
+            match restore {
+                Some(bytes) => match current {
+                    Some(_) => page.update(rowid.slot, bytes),
+                    None => page.insert_at(rowid.slot, bytes).map(|_| ()),
+                },
+                None => {
+                    if current.is_some() {
+                        page.delete(rowid.slot)
+                    } else {
+                        Ok(())
+                    }
+                }
+            }
+        })?
+    }
+
+    fn rebuild_indexes(&self) -> Result<()> {
+        let index_metas: Vec<IndexMeta> = {
+            let cat = self.catalog.read();
+            cat.indexes.values().cloned().collect()
+        };
+        let mut map = HashMap::with_capacity(index_metas.len());
+        for meta in index_metas {
+            let mut tree = BTreeIndex::new();
+            self.for_each_row(meta.table, |rowid, row| {
+                tree.insert(&encode_key_vec(&meta.key_values(row)), rowid.to_u64());
+                true
+            })?;
+            map.insert(meta.id, Arc::new(RwLock::new(tree)));
+        }
+        *self.indexes.write() = map;
+        Ok(())
+    }
+}
+
+fn map_bound_owned(b: Bound<&[Value]>) -> Bound<Vec<u8>> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => Bound::Included(encode_key_vec(v)),
+        Bound::Excluded(v) => Bound::Excluded(encode_key_vec(v)),
+    }
+}
+
+fn as_bound_ref(b: &Bound<Vec<u8>>) -> Bound<&[u8]> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => Bound::Included(v.as_slice()),
+        Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+/// The unique write transaction. Dropped without [`Txn::commit`], all its
+/// changes roll back.
+pub struct Txn<'db> {
+    db: &'db Database,
+    _guard: MutexGuard<'db, ()>,
+    id: u64,
+    undo: Vec<UndoOp>,
+    finished: bool,
+}
+
+impl<'db> Txn<'db> {
+    /// This transaction's id (appears in the WAL).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The database this transaction writes to (for reads mid-transaction).
+    pub fn db(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Insert `row` into `table`; returns its stable [`RowId`].
+    pub fn insert(&mut self, table: TableId, row: Row) -> Result<RowId> {
+        let index_metas = self.table_indexes(table)?;
+        {
+            let cat = self.db.catalog.read();
+            cat.table(table)?.check_row(&row)?;
+        }
+        let bytes = encode_row_vec(&row);
+        if bytes.len() > MAX_RECORD {
+            return Err(StoreError::SchemaMismatch(format!(
+                "row of {} bytes exceeds page capacity",
+                bytes.len()
+            )));
+        }
+        // Unique checks against current index state.
+        for meta in &index_metas {
+            if meta.unique {
+                let key = encode_key_vec(&meta.key_values(&row));
+                let tree = self.db.index_tree(meta.id)?;
+                if tree.read().contains_key(&key) {
+                    return Err(StoreError::UniqueViolation(format!(
+                        "index {} key {:?}",
+                        meta.name,
+                        meta.key_values(&row)
+                    )));
+                }
+            }
+        }
+        let rowid = self.place(table, &bytes)?;
+        self.db.wal.append(
+            self.id,
+            &WalPayload::Op(WalOp::Insert {
+                table: table.0,
+                rowid,
+                row: bytes,
+            }),
+        )?;
+        for meta in &index_metas {
+            let key = encode_key_vec(&meta.key_values(&row));
+            self.db.index_tree(meta.id)?.write().insert(&key, rowid.to_u64());
+        }
+        self.undo.push(UndoOp::Insert { table, rowid, row });
+        Ok(rowid)
+    }
+
+    /// Delete the row at `rowid`.
+    pub fn delete(&mut self, table: TableId, rowid: RowId) -> Result<()> {
+        let index_metas = self.table_indexes(table)?;
+        let old = self.db.get(table, rowid)?;
+        let old_bytes = encode_row_vec(&old);
+        self.db.wal.append(
+            self.id,
+            &WalPayload::Op(WalOp::Delete {
+                table: table.0,
+                rowid,
+                old: old_bytes,
+            }),
+        )?;
+        self.db
+            .pool
+            .with_page_mut(rowid.page, |buf| PageMut::new(&mut buf[..]).delete(rowid.slot))??;
+        for meta in &index_metas {
+            let key = encode_key_vec(&meta.key_values(&old));
+            self.db.index_tree(meta.id)?.write().remove(&key, rowid.to_u64());
+        }
+        self.undo.push(UndoOp::Delete {
+            table,
+            rowid,
+            row: old,
+        });
+        Ok(())
+    }
+
+    /// Replace the row at `rowid` with `new`. The `RowId` is preserved.
+    pub fn update(&mut self, table: TableId, rowid: RowId, new: Row) -> Result<()> {
+        let index_metas = self.table_indexes(table)?;
+        {
+            let cat = self.db.catalog.read();
+            cat.table(table)?.check_row(&new)?;
+        }
+        let old = self.db.get(table, rowid)?;
+        let old_bytes = encode_row_vec(&old);
+        let new_bytes = encode_row_vec(&new);
+        if new_bytes.len() > MAX_RECORD {
+            return Err(StoreError::SchemaMismatch(format!(
+                "row of {} bytes exceeds page capacity",
+                new_bytes.len()
+            )));
+        }
+        for meta in &index_metas {
+            if meta.unique {
+                let old_key = encode_key_vec(&meta.key_values(&old));
+                let new_key = encode_key_vec(&meta.key_values(&new));
+                if old_key != new_key {
+                    let tree = self.db.index_tree(meta.id)?;
+                    if tree.read().contains_key(&new_key) {
+                        return Err(StoreError::UniqueViolation(format!(
+                            "index {} key {:?}",
+                            meta.name,
+                            meta.key_values(&new)
+                        )));
+                    }
+                }
+            }
+        }
+        self.db.wal.append(
+            self.id,
+            &WalPayload::Op(WalOp::Update {
+                table: table.0,
+                rowid,
+                old: old_bytes,
+                new: new_bytes.clone(),
+            }),
+        )?;
+        self.db.pool.with_page_mut(rowid.page, |buf| {
+            PageMut::new(&mut buf[..]).update(rowid.slot, &new_bytes)
+        })??;
+        for meta in &index_metas {
+            let old_key = encode_key_vec(&meta.key_values(&old));
+            let new_key = encode_key_vec(&meta.key_values(&new));
+            if old_key != new_key {
+                let tree = self.db.index_tree(meta.id)?;
+                let mut t = tree.write();
+                t.remove(&old_key, rowid.to_u64());
+                t.insert(&new_key, rowid.to_u64());
+            }
+        }
+        self.undo.push(UndoOp::Update {
+            table,
+            rowid,
+            old,
+            new,
+        });
+        Ok(())
+    }
+
+    /// Make this transaction's changes durable.
+    pub fn commit(mut self) -> Result<()> {
+        self.db.wal.append(self.id, &WalPayload::Commit)?;
+        self.db.wal.sync()?;
+        self.finished = true;
+        // Opportunistic checkpoint to bound WAL growth.
+        if self.db.dir.is_some() && self.db.wal.len()? > self.db.opts.checkpoint_wal_bytes {
+            self.db.checkpoint_locked()?;
+        }
+        Ok(())
+    }
+
+    /// Roll this transaction back explicitly (dropping does the same).
+    pub fn rollback(mut self) -> Result<()> {
+        self.do_rollback()
+    }
+
+    fn do_rollback(&mut self) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        while let Some(op) = self.undo.pop() {
+            match op {
+                UndoOp::Insert { table, rowid, row } => {
+                    self.db.pool.with_page_mut(rowid.page, |buf| {
+                        PageMut::new(&mut buf[..]).delete(rowid.slot)
+                    })??;
+                    for meta in self.table_indexes(table)? {
+                        let key = encode_key_vec(&meta.key_values(&row));
+                        self.db.index_tree(meta.id)?.write().remove(&key, rowid.to_u64());
+                    }
+                }
+                UndoOp::Delete { table, rowid, row } => {
+                    let bytes = encode_row_vec(&row);
+                    self.db.pool.with_page_mut(rowid.page, |buf| {
+                        PageMut::new(&mut buf[..]).insert_at(rowid.slot, &bytes).map(|_| ())
+                    })??;
+                    for meta in self.table_indexes(table)? {
+                        let key = encode_key_vec(&meta.key_values(&row));
+                        self.db.index_tree(meta.id)?.write().insert(&key, rowid.to_u64());
+                    }
+                }
+                UndoOp::Update {
+                    table,
+                    rowid,
+                    old,
+                    new,
+                } => {
+                    let bytes = encode_row_vec(&old);
+                    self.db.pool.with_page_mut(rowid.page, |buf| {
+                        PageMut::new(&mut buf[..]).update(rowid.slot, &bytes)
+                    })??;
+                    for meta in self.table_indexes(table)? {
+                        let old_key = encode_key_vec(&meta.key_values(&old));
+                        let new_key = encode_key_vec(&meta.key_values(&new));
+                        if old_key != new_key {
+                            let tree = self.db.index_tree(meta.id)?;
+                            let mut t = tree.write();
+                            t.remove(&new_key, rowid.to_u64());
+                            t.insert(&old_key, rowid.to_u64());
+                        }
+                    }
+                }
+            }
+        }
+        self.db.wal.append(self.id, &WalPayload::Abort)?;
+        Ok(())
+    }
+
+    fn table_indexes(&self, table: TableId) -> Result<Vec<IndexMeta>> {
+        let cat = self.db.catalog.read();
+        cat
+            .indexes_on(table)
+            .into_iter()
+            .map(|id| cat.index(id).cloned())
+            .collect::<Result<Vec<_>>>()
+    }
+
+    /// Find space for `bytes` in `table`'s heap, allocating a fresh page if
+    /// the last page is full.
+    fn place(&self, table: TableId, bytes: &[u8]) -> Result<RowId> {
+        let last = self.db.catalog.read().table(table)?.pages.last().copied();
+        if let Some(page) = last {
+            let placed = self.db.pool.with_page_mut(page, |buf| {
+                PageMut::new(&mut buf[..]).insert(bytes)
+            })?;
+            match placed {
+                Ok(slot) => return Ok(RowId { page, slot }),
+                Err(StoreError::PageFull) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Allocate and format a new heap page (non-transactional).
+        let page = self.db.pool.allocate_page()?;
+        self.db.wal.append(
+            0,
+            &WalPayload::Op(WalOp::AllocPage {
+                table: table.0,
+                page: page.0,
+            }),
+        )?;
+        self.db.pool.with_page_mut(page, |buf| {
+            PageMut::new(&mut buf[..]).format(PageType::Heap);
+        })?;
+        self.db.catalog.write().table_mut(table)?.pages.push(page);
+        let slot = self
+            .db
+            .pool
+            .with_page_mut(page, |buf| PageMut::new(&mut buf[..]).insert(bytes))??;
+        Ok(RowId { page, slot })
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Errors during drop-rollback cannot be surfaced; recovery will
+            // finish the job on next open (the WAL lacks our Commit).
+            let _ = self.do_rollback();
+        }
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        if self.dir.is_some() {
+            // Best-effort clean shutdown; on failure, recovery handles it.
+            let _ = self.checkpoint();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+
+    fn people_schema() -> Vec<Column> {
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("name", ColumnType::Text),
+            Column::nullable("score", ColumnType::Real),
+        ]
+    }
+
+    fn setup(db: &Database) -> TableId {
+        let t = db.create_table("people", people_schema()).unwrap();
+        db.create_index("people_id", t, &["id"], true).unwrap();
+        db.create_index("people_name", t, &["name"], false).unwrap();
+        t
+    }
+
+    fn row(id: i64, name: &str, score: Option<f64>) -> Row {
+        vec![
+            Value::Int(id),
+            Value::Text(name.into()),
+            score.map_or(Value::Null, Value::Real),
+        ]
+    }
+
+    #[test]
+    fn insert_commit_read_back() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        let r1 = txn.insert(t, row(1, "ada", Some(9.5))).unwrap();
+        let r2 = txn.insert(t, row(2, "grace", None)).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(db.get(t, r1).unwrap()[1], Value::Text("ada".into()));
+        assert_eq!(db.get(t, r2).unwrap()[2], Value::Null);
+        assert_eq!(db.row_count(t).unwrap(), 2);
+    }
+
+    #[test]
+    fn rollback_on_drop_restores_everything() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        let keep = txn.insert(t, row(1, "kept", None)).unwrap();
+        txn.commit().unwrap();
+        {
+            let mut txn = db.begin();
+            txn.insert(t, row(2, "phantom", None)).unwrap();
+            txn.update(t, keep, row(1, "mutated", None)).unwrap();
+            txn.delete(t, keep).unwrap();
+            // dropped without commit
+        }
+        assert_eq!(db.row_count(t).unwrap(), 1);
+        assert_eq!(db.get(t, keep).unwrap()[1], Value::Text("kept".into()));
+        // Indexes rolled back too.
+        let idx = db.index_id("people_id").unwrap();
+        assert_eq!(db.index_lookup(idx, &[Value::Int(2)]).unwrap(), vec![]);
+        assert_eq!(db.index_lookup(idx, &[Value::Int(1)]).unwrap(), vec![keep]);
+    }
+
+    #[test]
+    fn unique_violation_rejected() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        txn.insert(t, row(1, "a", None)).unwrap();
+        let err = txn.insert(t, row(1, "b", None)).unwrap_err();
+        assert!(matches!(err, StoreError::UniqueViolation(_)));
+        // Non-unique index allows duplicates.
+        txn.insert(t, row(2, "a", None)).unwrap();
+        txn.commit().unwrap();
+        let by_name = db.index_id("people_name").unwrap();
+        assert_eq!(
+            db.index_lookup(by_name, &[Value::Text("a".into())])
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        let rid = txn.insert(t, row(1, "before", None)).unwrap();
+        txn.update(t, rid, row(1, "after", Some(2.0))).unwrap();
+        txn.commit().unwrap();
+        let by_name = db.index_id("people_name").unwrap();
+        assert!(db
+            .index_lookup(by_name, &[Value::Text("before".into())])
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            db.index_lookup(by_name, &[Value::Text("after".into())])
+                .unwrap(),
+            vec![rid]
+        );
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        assert!(txn.insert(t, vec![Value::Int(1)]).is_err());
+        assert!(txn
+            .insert(t, vec![Value::Null, Value::Text("x".into()), Value::Null])
+            .is_err());
+        assert!(txn
+            .insert(t, vec![Value::Text("no".into()), Value::Text("x".into()), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn many_rows_span_pages() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        for i in 0..5000 {
+            txn.insert(t, row(i, &format!("name-{i:05}"), Some(i as f64)))
+                .unwrap();
+        }
+        txn.commit().unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 5000);
+        assert!(db.page_count() > 10, "rows must span many pages");
+        // Point lookup through the unique index.
+        let idx = db.index_id("people_id").unwrap();
+        let rids = db.index_lookup(idx, &[Value::Int(4321)]).unwrap();
+        assert_eq!(rids.len(), 1);
+        assert_eq!(
+            db.get(t, rids[0]).unwrap()[1],
+            Value::Text("name-04321".into())
+        );
+    }
+
+    #[test]
+    fn index_range_and_prefix() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        for i in 0..100 {
+            txn.insert(t, row(i, &format!("n{:03}", i % 10), None)).unwrap();
+        }
+        txn.commit().unwrap();
+        let idx = db.index_id("people_id").unwrap();
+        let lo = [Value::Int(10)];
+        let hi = [Value::Int(19)];
+        let rids = db
+            .index_range(idx, Bound::Included(&lo), Bound::Included(&hi))
+            .unwrap();
+        assert_eq!(rids.len(), 10);
+        let by_name = db.index_id("people_name").unwrap();
+        let rids = db
+            .index_prefix(by_name, &[Value::Text("n003".into())])
+            .unwrap();
+        assert_eq!(rids.len(), 10);
+    }
+
+    #[test]
+    fn scan_parallel_matches_serial() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        for i in 0..3000 {
+            txn.insert(t, row(i, &format!("p{i}"), Some((i % 7) as f64)))
+                .unwrap();
+        }
+        txn.commit().unwrap();
+        let pred = |r: &Row| matches!(&r[2], Value::Real(f) if *f == 3.0);
+        let mut serial: Vec<_> = db
+            .scan(t)
+            .unwrap()
+            .into_iter()
+            .filter(|(_, r)| pred(r))
+            .collect();
+        let mut par = db.scan_parallel(t, 4, pred).unwrap();
+        serial.sort_by_key(|(rid, _)| *rid);
+        par.sort_by_key(|(rid, _)| *rid);
+        assert_eq!(serial.len(), par.len());
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn persistence_clean_shutdown() {
+        let dir = std::env::temp_dir().join(format!("ptdb-clean-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = setup(&db);
+            let mut txn = db.begin();
+            for i in 0..100 {
+                txn.insert(t, row(i, &format!("persist-{i}"), None)).unwrap();
+            }
+            txn.commit().unwrap();
+        } // Drop → checkpoint
+        let db = Database::open(&dir).unwrap();
+        let t = db.table_id("people").unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 100);
+        let idx = db.index_id("people_id").unwrap();
+        let rids = db.index_lookup(idx, &[Value::Int(42)]).unwrap();
+        assert_eq!(db.get(t, rids[0]).unwrap()[1], Value::Text("persist-42".into()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_recovery_replays_committed_only() {
+        let dir = std::env::temp_dir().join(format!("ptdb-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = setup(&db);
+            let mut txn = db.begin();
+            for i in 0..50 {
+                txn.insert(t, row(i, &format!("committed-{i}"), None)).unwrap();
+            }
+            txn.commit().unwrap();
+            // Second transaction never commits; simulate a crash by leaking
+            // the Txn (no rollback) and forgetting the Database (no
+            // checkpoint, pages never flushed).
+            let mut txn2 = db.begin();
+            for i in 100..120 {
+                txn2.insert(t, row(i, &format!("uncommitted-{i}"), None)).unwrap();
+            }
+            // Crash: neither txn2 rollback nor db checkpoint runs.
+            std::mem::forget(txn2);
+            std::mem::forget(db);
+        }
+        let db = Database::open(&dir).unwrap();
+        let t = db.table_id("people").unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 50, "only committed rows survive");
+        let idx = db.index_id("people_id").unwrap();
+        assert_eq!(db.index_lookup(idx, &[Value::Int(110)]).unwrap(), vec![]);
+        assert_eq!(db.index_lookup(idx, &[Value::Int(10)]).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_recovery_with_updates_and_deletes() {
+        let dir = std::env::temp_dir().join(format!("ptdb-crash2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (keep, gone): (RowId, RowId);
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = setup(&db);
+            let mut txn = db.begin();
+            let a = txn.insert(t, row(1, "original", None)).unwrap();
+            let b = txn.insert(t, row(2, "to-delete", None)).unwrap();
+            txn.commit().unwrap();
+            let mut txn = db.begin();
+            txn.update(t, a, row(1, "updated", Some(1.0))).unwrap();
+            txn.delete(t, b).unwrap();
+            txn.commit().unwrap();
+            keep = a;
+            gone = b;
+            std::mem::forget(db); // crash without checkpoint
+        }
+        let db = Database::open(&dir).unwrap();
+        let t = db.table_id("people").unwrap();
+        assert_eq!(db.get(t, keep).unwrap()[1], Value::Text("updated".into()));
+        assert!(db.get(t, gone).is_err());
+        assert_eq!(db.row_count(t).unwrap(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn small_pool_forces_eviction_while_loading() {
+        // A tiny pool exercises the writeback hook + eviction path under a
+        // committing workload.
+        let db = Database::in_memory_with(DbOptions {
+            pool_frames: 2,
+            ..DbOptions::default()
+        });
+        let t = setup(&db);
+        let mut txn = db.begin();
+        for i in 0..2000 {
+            txn.insert(t, row(i, &format!("evict-{i}"), None)).unwrap();
+        }
+        txn.commit().unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 2000);
+        assert!(db.pool_stats().evictions > 0);
+    }
+
+    #[test]
+    fn create_index_on_populated_table() {
+        let db = Database::in_memory();
+        let t = db.create_table("people", people_schema()).unwrap();
+        let mut txn = db.begin();
+        for i in 0..500 {
+            txn.insert(t, row(i, &format!("late-{i}"), None)).unwrap();
+        }
+        txn.commit().unwrap();
+        let idx = db.create_index("late_id", t, &["id"], true).unwrap();
+        assert_eq!(db.index_lookup(idx, &[Value::Int(123)]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn create_unique_index_rejects_existing_duplicates() {
+        let db = Database::in_memory();
+        let t = db.create_table("people", people_schema()).unwrap();
+        let mut txn = db.begin();
+        txn.insert(t, row(1, "same", None)).unwrap();
+        txn.insert(t, row(2, "same", None)).unwrap();
+        txn.commit().unwrap();
+        assert!(db.create_index("uniq_name", t, &["name"], true).is_err());
+    }
+
+    #[test]
+    fn size_bytes_grows_with_data() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let before = db.size_bytes().unwrap();
+        let mut txn = db.begin();
+        for i in 0..2000 {
+            txn.insert(t, row(i, &format!("size-{i}"), None)).unwrap();
+        }
+        txn.commit().unwrap();
+        assert!(db.size_bytes().unwrap() > before);
+    }
+
+    #[test]
+    fn compact_table_reclaims_space_and_preserves_rows() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        let mut rids = Vec::new();
+        for i in 0..2000 {
+            rids.push(txn.insert(t, row(i, &format!("pad-{i:06}"), None)).unwrap());
+        }
+        txn.commit().unwrap();
+        // Delete every other row, creating fragmentation.
+        let mut txn = db.begin();
+        for (i, rid) in rids.iter().enumerate() {
+            if i % 2 == 0 {
+                txn.delete(t, *rid).unwrap();
+            }
+        }
+        txn.commit().unwrap();
+        let gained = db.compact_table(t).unwrap();
+        assert!(gained > 0, "fragmented space reclaimed");
+        // Surviving rows unchanged, RowIds still valid.
+        assert_eq!(db.row_count(t).unwrap(), 1000);
+        for (i, rid) in rids.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(
+                    db.get(t, *rid).unwrap()[1],
+                    Value::Text(format!("pad-{i:06}"))
+                );
+            } else {
+                assert!(db.get(t, *rid).is_err());
+            }
+        }
+        // Indexes still resolve.
+        let idx = db.index_id("people_id").unwrap();
+        assert_eq!(db.index_lookup(idx, &[Value::Int(1001)]).unwrap().len(), 1);
+        // Compacting again gains nothing further.
+        assert_eq!(db.compact_table(t).unwrap(), 0);
+    }
+
+    #[test]
+    fn readers_concurrent_with_writer() {
+        let db = Arc::new(Database::in_memory());
+        let t = setup(&db);
+        {
+            let mut txn = db.begin();
+            for i in 0..1000 {
+                txn.insert(t, row(i, "seed", None)).unwrap();
+            }
+            txn.commit().unwrap();
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let db = Arc::clone(&db);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen_max = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let n = db.row_count(t).unwrap();
+                        assert!(n >= 1000, "committed rows never vanish");
+                        seen_max = seen_max.max(n);
+                    }
+                    seen_max
+                })
+            })
+            .collect();
+        for batch in 0..5 {
+            let mut txn = db.begin();
+            for i in 0..200 {
+                txn.insert(t, row(10_000 + batch * 200 + i, "more", None)).unwrap();
+            }
+            txn.commit().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(db.row_count(t).unwrap(), 2000);
+    }
+}

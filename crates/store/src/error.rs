@@ -1,0 +1,104 @@
+//! Error type shared by every layer of the storage engine.
+
+use std::fmt;
+
+/// Errors produced by the storage engine.
+///
+/// The engine distinguishes *environmental* failures (I/O), *corruption*
+/// (invalid on-disk bytes, failed checksums), and *logical* misuse
+/// (schema mismatches, constraint violations) so that callers can decide
+/// whether an operation is retryable, the store must be recovered, or the
+/// caller has a bug.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// On-disk or in-log bytes failed validation (bad magic, checksum, or
+    /// truncated structure). Carries a human-readable description.
+    Corrupt(String),
+    /// A page had no room for the requested record and the caller asked for
+    /// a specific placement that cannot be honored.
+    PageFull,
+    /// A row was requested that does not exist (stale `RowId`, deleted slot).
+    RowNotFound,
+    /// Every buffer-pool frame is pinned; the pool is too small for the
+    /// concurrent working set.
+    PoolExhausted,
+    /// Named table or index does not exist.
+    NoSuchTable(String),
+    /// Named index does not exist.
+    NoSuchIndex(String),
+    /// A table or index with this name already exists.
+    AlreadyExists(String),
+    /// Value count or value types do not match the table schema.
+    SchemaMismatch(String),
+    /// Inserting a duplicate key into a unique index.
+    UniqueViolation(String),
+    /// A transaction-level misuse, e.g. using a finished transaction.
+    TxnError(String),
+    /// Query construction or evaluation error (bad column index, type error
+    /// in an expression, ...).
+    QueryError(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corruption detected: {m}"),
+            StoreError::PageFull => write!(f, "page full"),
+            StoreError::RowNotFound => write!(f, "row not found"),
+            StoreError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            StoreError::NoSuchTable(n) => write!(f, "no such table: {n}"),
+            StoreError::NoSuchIndex(n) => write!(f, "no such index: {n}"),
+            StoreError::AlreadyExists(n) => write!(f, "already exists: {n}"),
+            StoreError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StoreError::UniqueViolation(m) => write!(f, "unique constraint violation: {m}"),
+            StoreError::TxnError(m) => write!(f, "transaction error: {m}"),
+            StoreError::QueryError(m) => write!(f, "query error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(StoreError::PageFull.to_string(), "page full");
+        assert_eq!(
+            StoreError::NoSuchTable("t".into()).to_string(),
+            "no such table: t"
+        );
+        assert!(StoreError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: StoreError = std::io::Error::other("boom").into();
+        assert!(matches!(e, StoreError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,74 @@
+//! # perftrack-store
+//!
+//! An embedded relational storage engine, built from scratch as the DBMS
+//! substrate for the PerfTrack performance experiment management tool
+//! (Karavanic et al., SC|05). The paper's prototype ran on Oracle or
+//! PostgreSQL; this crate provides the equivalent architectural substance
+//! — durable pages, a buffer pool, write-ahead logging with crash
+//! recovery, B+tree secondary indexes, typed tables with schema and
+//! unique-constraint enforcement, transactions, and relational query
+//! operators — as an embeddable library.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`page`] — 8 KiB slotted pages with stable record slots.
+//! * [`disk`] — the page file (memory- or file-backed).
+//! * [`buffer`] — frame cache with clock eviction and a write-ahead hook.
+//! * [`wal`] — CRC-framed logical write-ahead log.
+//! * [`btree`] — order-preserving-key B+tree index.
+//! * [`catalog`] — table schemas, index definitions, heap page lists.
+//! * [`db`] — [`db::Database`]: transactions, recovery, scans, lookups.
+//! * [`query`] — expressions, filter/project/join/group-by/order-by
+//!   operators, and a single-table access planner.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use perftrack_store::prelude::*;
+//!
+//! let db = Database::in_memory();
+//! let t = db
+//!     .create_table(
+//!         "metric",
+//!         vec![
+//!             Column::new("id", ColumnType::Int),
+//!             Column::new("name", ColumnType::Text),
+//!         ],
+//!     )
+//!     .unwrap();
+//! db.create_index("metric_name", t, &["name"], true).unwrap();
+//!
+//! let mut txn = db.begin();
+//! txn.insert(t, vec![Value::Int(1), Value::Text("CPU time".into())])
+//!     .unwrap();
+//! txn.commit().unwrap();
+//!
+//! let idx = db.index_id("metric_name").unwrap();
+//! let hits = db
+//!     .index_lookup(idx, &[Value::Text("CPU time".into())])
+//!     .unwrap();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod btree;
+pub mod buffer;
+pub mod catalog;
+pub mod db;
+pub mod disk;
+pub mod error;
+pub mod page;
+pub mod query;
+pub mod value;
+pub mod wal;
+
+/// The most commonly used items, in one import.
+pub mod prelude {
+    pub use crate::catalog::{Column, IndexId, TableId};
+    pub use crate::db::{Database, DbOptions, Txn};
+    pub use crate::error::{Result as StoreResult, StoreError};
+    pub use crate::page::{PageId, RowId};
+    pub use crate::query::{group_by, hash_join, order_by, AccessPath, AggFn, CmpOp, Expr, TableQuery};
+    pub use crate::value::{ColumnType, Row, Value};
+}
+
+pub use prelude::*;

@@ -1,0 +1,509 @@
+//! Slotted heap pages.
+//!
+//! Every page is [`PAGE_SIZE`] bytes. Records grow downward from the end of
+//! the page while the slot directory grows upward from the header, the
+//! classic slotted-page layout used by relational engines:
+//!
+//! ```text
+//! +--------+------------------+ .... +----------------+--------------+
+//! | header | slot 0 | slot 1 |  free | record 1       | record 0     |
+//! +--------+------------------+ .... +----------------+--------------+
+//! 0       HDR                 ^free_end                          PAGE_SIZE
+//! ```
+//!
+//! A slot is `(offset: u16, len: u16)`. Offset `0` marks a tombstone (no
+//! record can start inside the header, so `0` is unambiguous). Deleting a
+//! record tombstones its slot; the slot id stays stable so `RowId`s held by
+//! indexes remain valid until explicitly reused. Fragmented free space is
+//! reclaimed by [`PageMut::compact`], which rewrites live records without
+//! changing slot ids.
+
+use crate::error::{Result, StoreError};
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 8192;
+/// Bytes reserved for the page header.
+pub const HEADER_SIZE: usize = 12;
+/// Bytes per slot-directory entry.
+pub const SLOT_SIZE: usize = 4;
+
+const MAGIC: u16 = 0x5054; // "PT"
+const OFF_MAGIC: usize = 0;
+const OFF_TYPE: usize = 2;
+const OFF_SLOT_COUNT: usize = 4;
+const OFF_FREE_END: usize = 6;
+const OFF_NEXT: usize = 8;
+
+/// What a page is used for. Stored in the header so a scan of the file can
+/// classify pages after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageType {
+    /// Unallocated / recycled.
+    Free,
+    /// Heap page holding table rows.
+    Heap,
+}
+
+impl PageType {
+    fn tag(self) -> u8 {
+        match self {
+            PageType::Free => 0,
+            PageType::Heap => 1,
+        }
+    }
+    fn from_tag(t: u8) -> Result<Self> {
+        Ok(match t {
+            0 => PageType::Free,
+            1 => PageType::Heap,
+            other => return Err(StoreError::Corrupt(format!("bad page type {other}"))),
+        })
+    }
+}
+
+/// Identifier of a page within the page file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// Stable address of a record: page plus slot index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl RowId {
+    /// Pack into a u64 (page in high bits) for compact storage in indexes.
+    pub fn to_u64(self) -> u64 {
+        (u64::from(self.page.0) << 16) | u64::from(self.slot)
+    }
+
+    /// Inverse of [`RowId::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        RowId {
+            page: PageId((v >> 16) as u32),
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+impl std::fmt::Display for RowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.page.0, self.slot)
+    }
+}
+
+#[inline]
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+#[inline]
+fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_be_bytes());
+}
+#[inline]
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+#[inline]
+fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_be_bytes());
+}
+
+/// Read-only view over a page buffer.
+pub struct PageRef<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> PageRef<'a> {
+    /// Wrap an existing page buffer. Panics if the buffer is not
+    /// [`PAGE_SIZE`] bytes (programmer error, not data corruption).
+    pub fn new(buf: &'a [u8]) -> Self {
+        assert_eq!(buf.len(), PAGE_SIZE, "page buffer must be PAGE_SIZE");
+        PageRef { buf }
+    }
+
+    /// Validate the magic number; distinguishes formatted pages from
+    /// zero-filled or foreign bytes.
+    pub fn is_formatted(&self) -> bool {
+        get_u16(self.buf, OFF_MAGIC) == MAGIC
+    }
+
+    /// The page's type tag.
+    pub fn page_type(&self) -> Result<PageType> {
+        PageType::from_tag(self.buf[OFF_TYPE])
+    }
+
+    /// Number of slots in the directory (including tombstones).
+    pub fn slot_count(&self) -> u16 {
+        get_u16(self.buf, OFF_SLOT_COUNT)
+    }
+
+    /// Offset of the start of the record area.
+    pub fn free_end(&self) -> u16 {
+        get_u16(self.buf, OFF_FREE_END)
+    }
+
+    /// Link to the next page of the owning table (`u32::MAX` = none).
+    pub fn next_page(&self) -> Option<PageId> {
+        let v = get_u32(self.buf, OFF_NEXT);
+        (v != u32::MAX).then_some(PageId(v))
+    }
+
+    fn slot(&self, i: u16) -> (u16, u16) {
+        let base = HEADER_SIZE + usize::from(i) * SLOT_SIZE;
+        (get_u16(self.buf, base), get_u16(self.buf, base + 2))
+    }
+
+    /// Record bytes at `slot`, or `None` for out-of-range / tombstoned slots.
+    pub fn get(&self, slot: u16) -> Option<&'a [u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return None; // tombstone
+        }
+        Some(&self.buf[usize::from(off)..usize::from(off) + usize::from(len)])
+    }
+
+    /// Iterate `(slot, record)` over live records.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &'a [u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|r| (s, r)))
+    }
+
+    /// Number of live (non-tombstoned) records.
+    pub fn live_count(&self) -> usize {
+        (0..self.slot_count())
+            .filter(|&s| {
+                let (off, _) = self.slot(s);
+                off != 0
+            })
+            .count()
+    }
+
+    /// Contiguous free bytes between the slot directory and record area.
+    pub fn contiguous_free(&self) -> usize {
+        let dir_end = HEADER_SIZE + usize::from(self.slot_count()) * SLOT_SIZE;
+        usize::from(self.free_end()).saturating_sub(dir_end)
+    }
+
+    /// Total reclaimable bytes (contiguous free + dead record space).
+    pub fn total_free(&self) -> usize {
+        let live: usize = (0..self.slot_count())
+            .map(|s| {
+                let (off, len) = self.slot(s);
+                if off == 0 {
+                    0
+                } else {
+                    usize::from(len)
+                }
+            })
+            .sum();
+        let dir_end = HEADER_SIZE + usize::from(self.slot_count()) * SLOT_SIZE;
+        PAGE_SIZE - dir_end - live
+    }
+}
+
+/// Mutable view over a page buffer.
+pub struct PageMut<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> PageMut<'a> {
+    /// Wrap an existing page buffer for mutation.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        assert_eq!(buf.len(), PAGE_SIZE, "page buffer must be PAGE_SIZE");
+        PageMut { buf }
+    }
+
+    /// Format the buffer as an empty page of the given type.
+    pub fn format(&mut self, ty: PageType) {
+        self.buf.fill(0);
+        put_u16(self.buf, OFF_MAGIC, MAGIC);
+        self.buf[OFF_TYPE] = ty.tag();
+        put_u16(self.buf, OFF_SLOT_COUNT, 0);
+        put_u16(self.buf, OFF_FREE_END, PAGE_SIZE as u16);
+        put_u32(self.buf, OFF_NEXT, u32::MAX);
+    }
+
+    /// Read-only view of this page.
+    pub fn as_ref(&self) -> PageRef<'_> {
+        PageRef::new(self.buf)
+    }
+
+    /// Set the next-page link.
+    pub fn set_next_page(&mut self, next: Option<PageId>) {
+        put_u32(self.buf, OFF_NEXT, next.map_or(u32::MAX, |p| p.0));
+    }
+
+    fn set_slot(&mut self, i: u16, off: u16, len: u16) {
+        let base = HEADER_SIZE + usize::from(i) * SLOT_SIZE;
+        put_u16(self.buf, base, off);
+        put_u16(self.buf, base + 2, len);
+    }
+
+    /// Insert a record, reusing the lowest tombstoned slot if any.
+    /// Returns the slot used, or `Err(PageFull)` if the record cannot fit
+    /// even after compaction.
+    pub fn insert(&mut self, record: &[u8]) -> Result<u16> {
+        let view = self.as_ref();
+        let count = view.slot_count();
+        let reuse = (0..count).find(|&s| view.slot(s).0 == 0);
+        let slot = reuse.unwrap_or(count);
+        self.insert_at(slot, record)
+    }
+
+    /// Insert a record at a *specific* slot (used by WAL redo so that
+    /// recovered rows land at their original `RowId`s). Any intermediate
+    /// slots created are tombstones. Errors if the slot is occupied.
+    pub fn insert_at(&mut self, slot: u16, record: &[u8]) -> Result<u16> {
+        let needed_new_slots = {
+            let count = self.as_ref().slot_count();
+            if slot >= count {
+                usize::from(slot - count) + 1
+            } else {
+                let (off, _) = self.as_ref().slot(slot);
+                if off != 0 {
+                    return Err(StoreError::Corrupt(format!(
+                        "insert_at over live slot {slot}"
+                    )));
+                }
+                0
+            }
+        };
+        let space_needed = record.len() + needed_new_slots * SLOT_SIZE;
+        if self.as_ref().contiguous_free() < space_needed {
+            if self.as_ref().total_free() < space_needed {
+                return Err(StoreError::PageFull);
+            }
+            self.compact();
+            if self.as_ref().contiguous_free() < space_needed {
+                return Err(StoreError::PageFull);
+            }
+        }
+        // Extend the directory if necessary, tombstoning intermediates.
+        let count = self.as_ref().slot_count();
+        if slot >= count {
+            for s in count..=slot {
+                self.set_slot(s, 0, 0);
+            }
+            put_u16(self.buf, OFF_SLOT_COUNT, slot + 1);
+        }
+        // Place the record.
+        let new_end = usize::from(self.as_ref().free_end()) - record.len();
+        self.buf[new_end..new_end + record.len()].copy_from_slice(record);
+        put_u16(self.buf, OFF_FREE_END, new_end as u16);
+        self.set_slot(slot, new_end as u16, record.len() as u16);
+        Ok(slot)
+    }
+
+    /// Tombstone a slot. Errors if the slot is absent or already dead.
+    pub fn delete(&mut self, slot: u16) -> Result<()> {
+        let view = self.as_ref();
+        if slot >= view.slot_count() || view.slot(slot).0 == 0 {
+            return Err(StoreError::RowNotFound);
+        }
+        self.set_slot(slot, 0, 0);
+        Ok(())
+    }
+
+    /// Replace the record at `slot` with `record`, keeping the slot id.
+    pub fn update(&mut self, slot: u16, record: &[u8]) -> Result<()> {
+        let view = self.as_ref();
+        if slot >= view.slot_count() {
+            return Err(StoreError::RowNotFound);
+        }
+        let (off, len) = view.slot(slot);
+        if off == 0 {
+            return Err(StoreError::RowNotFound);
+        }
+        if record.len() <= usize::from(len) {
+            // In-place: shrinkage just leaks bytes until the next compact.
+            let off = usize::from(off);
+            self.buf[off..off + record.len()].copy_from_slice(record);
+            self.set_slot(slot, off as u16, record.len() as u16);
+            return Ok(());
+        }
+        // Grow: tombstone then re-place at the same slot id.
+        self.set_slot(slot, 0, 0);
+        match self.insert_at(slot, record) {
+            Ok(_) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Rewrite live records contiguously at the end of the page, erasing
+    /// fragmentation. Slot ids are preserved.
+    pub fn compact(&mut self) {
+        let live: Vec<(u16, Vec<u8>)> = self
+            .as_ref()
+            .iter()
+            .map(|(s, r)| (s, r.to_vec()))
+            .collect();
+        let mut end = PAGE_SIZE;
+        // Zero the record area first for deterministic bytes on disk.
+        let dir_end = HEADER_SIZE + usize::from(self.as_ref().slot_count()) * SLOT_SIZE;
+        self.buf[dir_end..].fill(0);
+        for (slot, rec) in &live {
+            end -= rec.len();
+            self.buf[end..end + rec.len()].copy_from_slice(rec);
+            self.set_slot(*slot, end as u16, rec.len() as u16);
+        }
+        put_u16(self.buf, OFF_FREE_END, end as u16);
+    }
+}
+
+/// Maximum record size a freshly formatted page can hold.
+pub const MAX_RECORD: usize = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        PageMut::new(&mut buf).format(PageType::Heap);
+        buf
+    }
+
+    #[test]
+    fn format_and_inspect() {
+        let buf = fresh();
+        let p = PageRef::new(&buf);
+        assert!(p.is_formatted());
+        assert_eq!(p.page_type().unwrap(), PageType::Heap);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.contiguous_free(), PAGE_SIZE - HEADER_SIZE);
+        assert_eq!(p.next_page(), None);
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut buf = fresh();
+        let mut p = PageMut::new(&mut buf);
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(p.as_ref().get(0).unwrap(), b"hello");
+        assert_eq!(p.as_ref().get(1).unwrap(), b"world!");
+        p.delete(0).unwrap();
+        assert!(p.as_ref().get(0).is_none());
+        assert_eq!(p.as_ref().live_count(), 1);
+        // Slot 0 is reused by the next insert.
+        let s2 = p.insert(b"again").unwrap();
+        assert_eq!(s2, 0);
+        assert_eq!(p.as_ref().get(0).unwrap(), b"again");
+    }
+
+    #[test]
+    fn delete_errors() {
+        let mut buf = fresh();
+        let mut p = PageMut::new(&mut buf);
+        assert!(p.delete(0).is_err());
+        p.insert(b"x").unwrap();
+        p.delete(0).unwrap();
+        assert!(p.delete(0).is_err(), "double delete must fail");
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut buf = fresh();
+        let mut p = PageMut::new(&mut buf);
+        p.insert(b"aaaaaaaaaa").unwrap();
+        p.insert(b"bbb").unwrap();
+        p.update(0, b"shorter").unwrap();
+        assert_eq!(p.as_ref().get(0).unwrap(), b"shorter");
+        p.update(0, b"now a much longer record than before").unwrap();
+        assert_eq!(
+            p.as_ref().get(0).unwrap(),
+            b"now a much longer record than before"
+        );
+        assert_eq!(p.as_ref().get(1).unwrap(), b"bbb");
+    }
+
+    #[test]
+    fn fill_page_then_page_full() {
+        let mut buf = fresh();
+        let mut p = PageMut::new(&mut buf);
+        let rec = [7u8; 100];
+        let mut n = 0;
+        while p.insert(&rec).is_ok() {
+            n += 1;
+        }
+        // 100-byte records + 4-byte slots: ~ (8192-12)/104 = 78 records.
+        assert!(n >= 70, "expected dozens of records, got {n}");
+        assert!(matches!(p.insert(&rec), Err(StoreError::PageFull)));
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let mut buf = fresh();
+        let mut p = PageMut::new(&mut buf);
+        let rec = [1u8; 1000];
+        for _ in 0..8 {
+            p.insert(&rec).unwrap();
+        }
+        // Page nearly full; delete every other record, then a 3000-byte
+        // record only fits after compaction (which insert does implicitly).
+        for s in [1u16, 3, 5, 7] {
+            p.delete(s).unwrap();
+        }
+        let big = [2u8; 3000];
+        let slot = p.insert(&big).unwrap();
+        assert_eq!(slot, 1, "reuses first tombstone");
+        assert_eq!(p.as_ref().get(1).unwrap(), &big[..]);
+        // Untouched records survive compaction at the same slots.
+        for s in [0u16, 2, 4, 6] {
+            assert_eq!(p.as_ref().get(s).unwrap(), &rec[..]);
+        }
+    }
+
+    #[test]
+    fn insert_at_specific_slot_creates_tombstones() {
+        let mut buf = fresh();
+        let mut p = PageMut::new(&mut buf);
+        p.insert_at(3, b"redo").unwrap();
+        assert_eq!(p.as_ref().slot_count(), 4);
+        assert!(p.as_ref().get(0).is_none());
+        assert_eq!(p.as_ref().get(3).unwrap(), b"redo");
+        // Inserting over a live slot is an error.
+        assert!(p.insert_at(3, b"clobber").is_err());
+        // But a tombstoned intermediate is fine.
+        p.insert_at(1, b"fill").unwrap();
+        assert_eq!(p.as_ref().get(1).unwrap(), b"fill");
+    }
+
+    #[test]
+    fn next_page_link_roundtrip() {
+        let mut buf = fresh();
+        let mut p = PageMut::new(&mut buf);
+        p.set_next_page(Some(PageId(42)));
+        assert_eq!(p.as_ref().next_page(), Some(PageId(42)));
+        p.set_next_page(None);
+        assert_eq!(p.as_ref().next_page(), None);
+    }
+
+    #[test]
+    fn rowid_u64_roundtrip() {
+        let r = RowId {
+            page: PageId(123456),
+            slot: 789,
+        };
+        assert_eq!(RowId::from_u64(r.to_u64()), r);
+    }
+
+    #[test]
+    fn unformatted_page_detected() {
+        let buf = vec![0u8; PAGE_SIZE];
+        assert!(!PageRef::new(&buf).is_formatted());
+    }
+
+    #[test]
+    fn empty_record_is_representable() {
+        let mut buf = fresh();
+        let mut p = PageMut::new(&mut buf);
+        let s = p.insert(b"").unwrap();
+        assert_eq!(p.as_ref().get(s).unwrap(), b"");
+        assert_eq!(p.as_ref().live_count(), 1);
+    }
+}

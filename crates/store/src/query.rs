@@ -1,0 +1,880 @@
+//! Query operators: typed expressions, filters, projections, joins,
+//! grouping/aggregation, and ordering over materialized rows, plus a small
+//! builder that plans index-vs-scan access for a single table.
+//!
+//! The paper's Python layer composed SQL strings against Oracle/PostgreSQL;
+//! this crate's equivalent surface is a programmatic operator API (no SQL
+//! parser — queries are built by code in all PerfTrack paths).
+
+use crate::catalog::{IndexId, TableId};
+use crate::db::Database;
+use crate::error::{Result, StoreError};
+use crate::page::RowId;
+use crate::value::{Row, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Comparison operators usable in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an [`Ordering`].
+    pub fn eval(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// Parse the textual comparator forms used by PerfTrack resource
+    /// filters (`=`, `!=`, `<`, `<=`, `>`, `>=`).
+    pub fn parse(s: &str) -> Result<Self> {
+        Ok(match s {
+            "=" | "==" => CmpOp::Eq,
+            "!=" | "<>" => CmpOp::Ne,
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            other => return Err(StoreError::QueryError(format!("bad comparator {other:?}"))),
+        })
+    }
+}
+
+/// A boolean/scalar expression over a row.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Column by ordinal.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison of two sub-expressions using [`Value::total_cmp`]
+    /// semantics. Comparisons involving NULL are false (three-valued logic
+    /// collapsed to false), except `Eq`/`Ne` which treat NULL = NULL.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// All of the sub-expressions are true. Empty = true.
+    And(Vec<Expr>),
+    /// Any of the sub-expressions is true. Empty = false.
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+    /// Sub-expression evaluates to NULL.
+    IsNull(Box<Expr>),
+    /// Text column starts with the literal prefix.
+    StartsWith(Box<Expr>, String),
+    /// Text column contains the literal substring.
+    Contains(Box<Expr>, String),
+}
+
+impl Expr {
+    /// Convenience: `Col(col) == lit`.
+    pub fn col_eq(col: usize, lit: impl Into<Value>) -> Expr {
+        Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Col(col)),
+            Box::new(Expr::Lit(lit.into())),
+        )
+    }
+
+    /// Convenience: comparison between a column and a literal.
+    pub fn col_cmp(col: usize, op: CmpOp, lit: impl Into<Value>) -> Expr {
+        Expr::Cmp(op, Box::new(Expr::Col(col)), Box::new(Expr::Lit(lit.into())))
+    }
+
+    /// Evaluate to a [`Value`].
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        Ok(match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| StoreError::QueryError(format!("column {i} out of range")))?,
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let av = a.eval(row)?;
+                let bv = b.eval(row)?;
+                let result = match (av.is_null(), bv.is_null(), op) {
+                    (false, false, _) => op.eval(av.total_cmp(&bv)),
+                    // NULL-aware equality; ordered comparisons with NULL
+                    // are false.
+                    (true, true, CmpOp::Eq) => true,
+                    (true, true, CmpOp::Ne) => false,
+                    (a_null, b_null, CmpOp::Ne) if a_null != b_null => true,
+                    _ => false,
+                };
+                Value::Bool(result)
+            }
+            Expr::And(parts) => {
+                for p in parts {
+                    if !p.eval_bool(row)? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Value::Bool(true)
+            }
+            Expr::Or(parts) => {
+                for p in parts {
+                    if p.eval_bool(row)? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Value::Bool(false)
+            }
+            Expr::Not(e) => Value::Bool(!e.eval_bool(row)?),
+            Expr::IsNull(e) => Value::Bool(e.eval(row)?.is_null()),
+            Expr::StartsWith(e, prefix) => match e.eval(row)? {
+                Value::Text(s) => Value::Bool(s.starts_with(prefix.as_str())),
+                _ => Value::Bool(false),
+            },
+            Expr::Contains(e, needle) => match e.eval(row)? {
+                Value::Text(s) => Value::Bool(s.contains(needle.as_str())),
+                _ => Value::Bool(false),
+            },
+        })
+    }
+
+    /// Evaluate as a predicate.
+    pub fn eval_bool(&self, row: &Row) -> Result<bool> {
+        match self.eval(row)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(StoreError::QueryError(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row operators
+// ---------------------------------------------------------------------------
+
+/// Keep rows where `pred` is true.
+pub fn filter(rows: Vec<Row>, pred: &Expr) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if pred.eval_bool(&row)? {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Project each row to the given column ordinals.
+pub fn project(rows: Vec<Row>, cols: &[usize]) -> Result<Vec<Row>> {
+    rows.into_iter()
+        .map(|row| {
+            cols.iter()
+                .map(|&c| {
+                    row.get(c)
+                        .cloned()
+                        .ok_or_else(|| StoreError::QueryError(format!("column {c} out of range")))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Sort rows by the given `(column, ascending)` keys.
+pub fn order_by(mut rows: Vec<Row>, keys: &[(usize, bool)]) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for &(col, asc) in keys {
+            let ord = a[col].total_cmp(&b[col]);
+            let ord = if asc { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    rows
+}
+
+/// Hash join: rows of `left` paired with rows of `right` where
+/// `left[left_cols] == right[right_cols]` (NULL keys never join). The
+/// output row is the left row with the right row appended.
+pub fn hash_join(
+    left: &[Row],
+    right: &[Row],
+    left_cols: &[usize],
+    right_cols: &[usize],
+) -> Result<Vec<Row>> {
+    if left_cols.len() != right_cols.len() {
+        return Err(StoreError::QueryError(
+            "join key arity mismatch".to_string(),
+        ));
+    }
+    // Build on the smaller side for cache efficiency; probe with the other.
+    let build_left = left.len() <= right.len();
+    let (build, probe, build_cols, probe_cols) = if build_left {
+        (left, right, left_cols, right_cols)
+    } else {
+        (right, left, right_cols, left_cols)
+    };
+    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(build.len());
+    for (i, row) in build.iter().enumerate() {
+        let key_vals: Vec<Value> = build_cols.iter().map(|&c| row[c].clone()).collect();
+        if key_vals.iter().any(Value::is_null) {
+            continue;
+        }
+        table
+            .entry(crate::value::encode_key_vec(&key_vals))
+            .or_default()
+            .push(i);
+    }
+    let mut out = Vec::new();
+    for probe_row in probe {
+        let key_vals: Vec<Value> = probe_cols.iter().map(|&c| probe_row[c].clone()).collect();
+        if key_vals.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = table.get(&crate::value::encode_key_vec(&key_vals)) {
+            for &bi in matches {
+                let build_row = &build[bi];
+                let mut joined;
+                if build_left {
+                    joined = build_row.clone();
+                    joined.extend(probe_row.iter().cloned());
+                } else {
+                    joined = probe_row.clone();
+                    joined.extend(build_row.iter().cloned());
+                }
+                out.push(joined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Aggregate functions for [`group_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    /// Sum of a numeric column (NULLs skipped).
+    Sum(usize),
+    Min(usize),
+    Max(usize),
+    Avg(usize),
+}
+
+/// Group rows by `key_cols` and compute `aggs` per group. Output rows are
+/// the key values followed by one value per aggregate, ordered by key.
+pub fn group_by(rows: &[Row], key_cols: &[usize], aggs: &[AggFn]) -> Result<Vec<Row>> {
+    struct Acc {
+        key: Vec<Value>,
+        count: u64,
+        sums: Vec<f64>,
+        mins: Vec<Option<Value>>,
+        maxs: Vec<Option<Value>>,
+        sum_counts: Vec<u64>,
+    }
+    let mut groups: HashMap<Vec<u8>, Acc> = HashMap::new();
+    for row in rows {
+        let key: Vec<Value> = key_cols.iter().map(|&c| row[c].clone()).collect();
+        let enc = crate::value::encode_key_vec(&key);
+        let acc = groups.entry(enc).or_insert_with(|| Acc {
+            key,
+            count: 0,
+            sums: vec![0.0; aggs.len()],
+            mins: vec![None; aggs.len()],
+            maxs: vec![None; aggs.len()],
+            sum_counts: vec![0; aggs.len()],
+        });
+        acc.count += 1;
+        for (i, agg) in aggs.iter().enumerate() {
+            let col = match agg {
+                AggFn::Count => continue,
+                AggFn::Sum(c) | AggFn::Min(c) | AggFn::Max(c) | AggFn::Avg(c) => *c,
+            };
+            let v = &row[col];
+            if v.is_null() {
+                continue;
+            }
+            match agg {
+                AggFn::Sum(_) | AggFn::Avg(_) => {
+                    acc.sums[i] += v.as_real()?;
+                    acc.sum_counts[i] += 1;
+                }
+                AggFn::Min(_) => {
+                    let replace = acc.mins[i]
+                        .as_ref()
+                        .is_none_or(|cur| v.total_cmp(cur) == Ordering::Less);
+                    if replace {
+                        acc.mins[i] = Some(v.clone());
+                    }
+                }
+                AggFn::Max(_) => {
+                    let replace = acc.maxs[i]
+                        .as_ref()
+                        .is_none_or(|cur| v.total_cmp(cur) == Ordering::Greater);
+                    if replace {
+                        acc.maxs[i] = Some(v.clone());
+                    }
+                }
+                AggFn::Count => unreachable!(),
+            }
+        }
+    }
+    let mut out: Vec<Row> = groups
+        .into_values()
+        .map(|acc| {
+            let mut row = acc.key.clone();
+            for (i, agg) in aggs.iter().enumerate() {
+                row.push(match agg {
+                    AggFn::Count => Value::Int(acc.count as i64),
+                    AggFn::Sum(_) => Value::Real(acc.sums[i]),
+                    AggFn::Avg(_) => {
+                        if acc.sum_counts[i] == 0 {
+                            Value::Null
+                        } else {
+                            Value::Real(acc.sums[i] / acc.sum_counts[i] as f64)
+                        }
+                    }
+                    AggFn::Min(_) => acc.mins[i].clone().unwrap_or(Value::Null),
+                    AggFn::Max(_) => acc.maxs[i].clone().unwrap_or(Value::Null),
+                });
+            }
+            row
+        })
+        .collect();
+    // Deterministic output order: by key.
+    let key_len = key_cols.len();
+    out.sort_by(|a, b| {
+        for i in 0..key_len {
+            let ord = a[i].total_cmp(&b[i]);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Single-table access planning
+// ---------------------------------------------------------------------------
+
+/// How a table query will be executed (exposed so the ablation benches can
+/// verify the planner's choice).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    FullScan,
+    IndexEq { index: IndexId },
+}
+
+/// A single-table query: equality constraints that may be served by an
+/// index, a residual predicate, and an optional projection.
+pub struct TableQuery<'db> {
+    db: &'db Database,
+    table: TableId,
+    eq: Vec<(usize, Value)>,
+    residual: Option<Expr>,
+    projection: Option<Vec<usize>>,
+    force_scan: bool,
+    parallel: Option<usize>,
+    order: Vec<(usize, bool)>,
+    limit: Option<usize>,
+}
+
+impl<'db> TableQuery<'db> {
+    /// Start a query over `table`.
+    pub fn new(db: &'db Database, table: TableId) -> Self {
+        TableQuery {
+            db,
+            table,
+            eq: Vec::new(),
+            residual: None,
+            projection: None,
+            force_scan: false,
+            parallel: None,
+            order: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Require `column == value` (may be served by an index).
+    pub fn eq(mut self, column: usize, value: impl Into<Value>) -> Self {
+        self.eq.push((column, value.into()));
+        self
+    }
+
+    /// Add an arbitrary residual predicate.
+    pub fn filter(mut self, expr: Expr) -> Self {
+        self.residual = Some(match self.residual.take() {
+            Some(prev) => Expr::And(vec![prev, expr]),
+            None => expr,
+        });
+        self
+    }
+
+    /// Project the output to these columns.
+    pub fn select(mut self, cols: Vec<usize>) -> Self {
+        self.projection = Some(cols);
+        self
+    }
+
+    /// Disable index use (ablation benches).
+    pub fn force_scan(mut self) -> Self {
+        self.force_scan = true;
+        self
+    }
+
+    /// Use a parallel scan with `threads` workers when falling back to a
+    /// full scan.
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.parallel = Some(threads);
+        self
+    }
+
+    /// Order results by a column (pre-projection ordinal); may be chained
+    /// for secondary keys.
+    pub fn order_by(mut self, column: usize, ascending: bool) -> Self {
+        self.order.push((column, ascending));
+        self
+    }
+
+    /// Keep only the first `n` rows (after ordering).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// The access path the planner would choose.
+    pub fn plan(&self) -> Result<AccessPath> {
+        if self.force_scan || self.eq.is_empty() {
+            return Ok(AccessPath::FullScan);
+        }
+        // Find an index whose leading columns are a subset of the equality
+        // constraints; prefer the one covering the most columns.
+        let cat_indexes: Vec<(IndexId, Vec<usize>)> = self.db.indexes_for_plan(self.table);
+        let eq_cols: Vec<usize> = self.eq.iter().map(|(c, _)| *c).collect();
+        let mut best: Option<(IndexId, usize)> = None;
+        for (id, cols) in cat_indexes {
+            let covered = cols
+                .iter()
+                .take_while(|c| eq_cols.contains(c))
+                .count();
+            if covered == cols.len() && covered > 0 {
+                // Full key covered by equality constraints.
+                if best.is_none_or(|(_, n)| covered > n) {
+                    best = Some((id, covered));
+                }
+            }
+        }
+        Ok(match best {
+            Some((index, _)) => AccessPath::IndexEq { index },
+            None => AccessPath::FullScan,
+        })
+    }
+
+    /// Execute, returning `(RowId, Row)` pairs (projection applied to the
+    /// row only).
+    pub fn run(self) -> Result<Vec<(RowId, Row)>> {
+        let plan = self.plan()?;
+        let pred = self.full_predicate();
+        let mut rows: Vec<(RowId, Row)> = match plan {
+            AccessPath::IndexEq { index } => {
+                // Build the key in index column order.
+                let key_cols = self.db.index_columns(index)?;
+                let key: Vec<Value> = key_cols
+                    .iter()
+                    .map(|c| {
+                        self.eq
+                            .iter()
+                            .find(|(ec, _)| ec == c)
+                            .map(|(_, v)| v.clone())
+                            .expect("planner guaranteed coverage")
+                    })
+                    .collect();
+                let rids = self.db.index_lookup(index, &key)?;
+                let mut out = Vec::with_capacity(rids.len());
+                for rid in rids {
+                    let row = self.db.get(self.table, rid)?;
+                    if pred.as_ref().map_or(Ok(true), |p| p.eval_bool(&row))? {
+                        out.push((rid, row));
+                    }
+                }
+                out
+            }
+            AccessPath::FullScan => {
+                if let Some(threads) = self.parallel {
+                    // Predicate evaluation errors degrade to "no match" in
+                    // the parallel path; the serial path reports them.
+                    let pred_ref = &pred;
+                    self.db.scan_parallel(self.table, threads, move |row| {
+                        pred_ref
+                            .as_ref()
+                            .is_none_or(|p| p.eval_bool(row).unwrap_or(false))
+                    })?
+                } else {
+                    let mut out = Vec::new();
+                    let mut eval_err = None;
+                    self.db.for_each_row(self.table, |rid, row| {
+                        match pred.as_ref().map_or(Ok(true), |p| p.eval_bool(row)) {
+                            Ok(true) => out.push((rid, row.clone())),
+                            Ok(false) => {}
+                            Err(e) => {
+                                eval_err = Some(e);
+                                return false;
+                            }
+                        }
+                        true
+                    })?;
+                    if let Some(e) = eval_err {
+                        return Err(e);
+                    }
+                    out
+                }
+            }
+        };
+        // Order and truncate on the full rows (ordinals are
+        // pre-projection), then project.
+        if !self.order.is_empty() {
+            for &(c, _) in &self.order {
+                if rows.iter().any(|(_, r)| c >= r.len()) {
+                    return Err(StoreError::QueryError(format!(
+                        "order-by column {c} out of range"
+                    )));
+                }
+            }
+            rows.sort_by(|(_, a), (_, b)| {
+                for &(col, asc) in &self.order {
+                    let ord = a[col].total_cmp(&b[col]);
+                    let ord = if asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n);
+        }
+        if let Some(cols) = &self.projection {
+            for (_, row) in &mut rows {
+                let projected: Result<Row> = cols
+                    .iter()
+                    .map(|&c| {
+                        row.get(c).cloned().ok_or_else(|| {
+                            StoreError::QueryError(format!("column {c} out of range"))
+                        })
+                    })
+                    .collect();
+                *row = projected?;
+            }
+        }
+        Ok(rows)
+    }
+
+    fn full_predicate(&self) -> Option<Expr> {
+        let mut parts: Vec<Expr> = self
+            .eq
+            .iter()
+            .map(|(c, v)| Expr::col_eq(*c, v.clone()))
+            .collect();
+        if let Some(r) = &self.residual {
+            parts.push(r.clone());
+        }
+        if parts.is_empty() {
+            None
+        } else if parts.len() == 1 {
+            Some(parts.pop().unwrap())
+        } else {
+            Some(Expr::And(parts))
+        }
+    }
+}
+
+impl Database {
+    /// `(index id, key column ordinals)` for every index on `table` —
+    /// planner support.
+    pub(crate) fn indexes_for_plan(&self, table: TableId) -> Vec<(IndexId, Vec<usize>)> {
+        let cat = self.catalog_read();
+        cat.indexes_on(table)
+            .into_iter()
+            .filter_map(|id| cat.index(id).ok().map(|m| (id, m.columns.clone())))
+            .collect()
+    }
+
+    /// Key column ordinals of `index`.
+    pub fn index_columns(&self, index: IndexId) -> Result<Vec<usize>> {
+        Ok(self.catalog_read().index(index)?.columns.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Column;
+    use crate::value::ColumnType;
+
+    fn db_with_data() -> (Database, TableId) {
+        let db = Database::in_memory();
+        let t = db
+            .create_table(
+                "m",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("name", ColumnType::Text),
+                    Column::nullable("v", ColumnType::Real),
+                ],
+            )
+            .unwrap();
+        db.create_index("m_name", t, &["name"], false).unwrap();
+        let mut txn = db.begin();
+        for i in 0..100i64 {
+            txn.insert(
+                t,
+                vec![
+                    Value::Int(i),
+                    Value::Text(format!("g{}", i % 5)),
+                    if i % 10 == 0 { Value::Null } else { Value::Real(i as f64) },
+                ],
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        (db, t)
+    }
+
+    #[test]
+    fn expr_eval_basics() {
+        let row = vec![Value::Int(5), Value::Text("abc".into()), Value::Null];
+        assert!(Expr::col_eq(0, 5i64).eval_bool(&row).unwrap());
+        assert!(!Expr::col_eq(0, 6i64).eval_bool(&row).unwrap());
+        assert!(Expr::col_cmp(0, CmpOp::Lt, 10i64).eval_bool(&row).unwrap());
+        assert!(Expr::IsNull(Box::new(Expr::Col(2))).eval_bool(&row).unwrap());
+        assert!(Expr::StartsWith(Box::new(Expr::Col(1)), "ab".into())
+            .eval_bool(&row)
+            .unwrap());
+        assert!(Expr::Contains(Box::new(Expr::Col(1)), "bc".into())
+            .eval_bool(&row)
+            .unwrap());
+        assert!(Expr::And(vec![Expr::col_eq(0, 5i64), Expr::col_eq(1, "abc")])
+            .eval_bool(&row)
+            .unwrap());
+        assert!(Expr::Or(vec![Expr::col_eq(0, 9i64), Expr::col_eq(1, "abc")])
+            .eval_bool(&row)
+            .unwrap());
+        assert!(Expr::Not(Box::new(Expr::col_eq(0, 9i64)))
+            .eval_bool(&row)
+            .unwrap());
+        // Errors: out-of-range column, non-boolean predicate.
+        assert!(Expr::Col(9).eval(&row).is_err());
+        assert!(Expr::Col(0).eval_bool(&row).is_err());
+    }
+
+    #[test]
+    fn null_comparison_semantics() {
+        let row = vec![Value::Null, Value::Int(1)];
+        // NULL = NULL is true under our collapsed semantics (needed for
+        // resource-attribute matching); NULL < x is false.
+        let null_eq = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Col(0)),
+            Box::new(Expr::Lit(Value::Null)),
+        );
+        assert!(null_eq.eval_bool(&row).unwrap());
+        assert!(!Expr::col_cmp(0, CmpOp::Lt, 5i64).eval_bool(&row).unwrap());
+        assert!(Expr::col_cmp(0, CmpOp::Ne, 5i64).eval_bool(&row).unwrap());
+    }
+
+    #[test]
+    fn cmp_op_parse() {
+        assert_eq!(CmpOp::parse("=").unwrap(), CmpOp::Eq);
+        assert_eq!(CmpOp::parse(">=").unwrap(), CmpOp::Ge);
+        assert_eq!(CmpOp::parse("<>").unwrap(), CmpOp::Ne);
+        assert!(CmpOp::parse("~").is_err());
+    }
+
+    #[test]
+    fn filter_project_order() {
+        let rows: Vec<Row> = (0..10)
+            .map(|i| vec![Value::Int(i), Value::Text(format!("r{}", 9 - i))])
+            .collect();
+        let kept = filter(rows.clone(), &Expr::col_cmp(0, CmpOp::Ge, 5i64)).unwrap();
+        assert_eq!(kept.len(), 5);
+        let proj = project(kept, &[1]).unwrap();
+        assert_eq!(proj[0].len(), 1);
+        let sorted = order_by(rows, &[(1, true)]);
+        assert_eq!(sorted[0][1], Value::Text("r0".into()));
+        assert_eq!(sorted[9][1], Value::Text("r9".into()));
+    }
+
+    #[test]
+    fn hash_join_inner() {
+        let left: Vec<Row> = vec![
+            vec![Value::Int(1), Value::Text("a".into())],
+            vec![Value::Int(2), Value::Text("b".into())],
+            vec![Value::Int(2), Value::Text("b2".into())],
+            vec![Value::Null, Value::Text("n".into())],
+        ];
+        let right: Vec<Row> = vec![
+            vec![Value::Text("x".into()), Value::Int(2)],
+            vec![Value::Text("y".into()), Value::Int(3)],
+            vec![Value::Text("z".into()), Value::Null],
+        ];
+        let joined = hash_join(&left, &right, &[0], &[1]).unwrap();
+        // id=2 matches twice; NULLs never join.
+        assert_eq!(joined.len(), 2);
+        for row in &joined {
+            assert_eq!(row.len(), 4);
+            assert_eq!(row[0], Value::Int(2));
+            assert_eq!(row[2], Value::Text("x".into()));
+        }
+    }
+
+    #[test]
+    fn hash_join_swaps_build_side() {
+        // Larger left than right: output schema must still be left ++ right.
+        let left: Vec<Row> = (0..50)
+            .map(|i| vec![Value::Int(i % 5), Value::Text(format!("L{i}")) ])
+            .collect();
+        let right: Vec<Row> = vec![vec![Value::Int(3), Value::Text("R".into())]];
+        let joined = hash_join(&left, &right, &[0], &[0]).unwrap();
+        assert_eq!(joined.len(), 10);
+        for row in joined {
+            assert_eq!(row[0], Value::Int(3));
+            assert!(matches!(&row[1], Value::Text(s) if s.starts_with('L')));
+            assert_eq!(row[3], Value::Text("R".into()));
+        }
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let rows: Vec<Row> = (0..12)
+            .map(|i| vec![Value::Text(format!("g{}", i % 3)), Value::Real(i as f64)])
+            .collect();
+        let out = group_by(
+            &rows,
+            &[0],
+            &[AggFn::Count, AggFn::Sum(1), AggFn::Min(1), AggFn::Max(1), AggFn::Avg(1)],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        // g0 gets 0,3,6,9.
+        assert_eq!(out[0][0], Value::Text("g0".into()));
+        assert_eq!(out[0][1], Value::Int(4));
+        assert_eq!(out[0][2], Value::Real(18.0));
+        assert_eq!(out[0][3], Value::Real(0.0));
+        assert_eq!(out[0][4], Value::Real(9.0));
+        assert_eq!(out[0][5], Value::Real(4.5));
+    }
+
+    #[test]
+    fn group_by_ignores_nulls_in_aggs() {
+        let rows: Vec<Row> = vec![
+            vec![Value::Text("g".into()), Value::Null],
+            vec![Value::Text("g".into()), Value::Real(2.0)],
+        ];
+        let out = group_by(&rows, &[0], &[AggFn::Count, AggFn::Avg(1), AggFn::Min(1)]).unwrap();
+        assert_eq!(out[0][1], Value::Int(2), "count counts rows");
+        assert_eq!(out[0][2], Value::Real(2.0), "avg skips NULL");
+        assert_eq!(out[0][3], Value::Real(2.0));
+    }
+
+    #[test]
+    fn planner_prefers_index() {
+        let (db, t) = db_with_data();
+        let name_col = db.column_index(t, "name").unwrap();
+        let q = TableQuery::new(&db, t).eq(name_col, "g3");
+        assert!(matches!(q.plan().unwrap(), AccessPath::IndexEq { .. }));
+        let rows = q.run().unwrap();
+        assert_eq!(rows.len(), 20);
+        // Forced scan yields the same rows.
+        let mut scan_rows = TableQuery::new(&db, t)
+            .eq(name_col, "g3")
+            .force_scan()
+            .run()
+            .unwrap();
+        let mut idx_rows = TableQuery::new(&db, t).eq(name_col, "g3").run().unwrap();
+        scan_rows.sort_by_key(|(rid, _)| *rid);
+        idx_rows.sort_by_key(|(rid, _)| *rid);
+        assert_eq!(scan_rows, idx_rows);
+    }
+
+    #[test]
+    fn query_with_residual_and_projection() {
+        let (db, t) = db_with_data();
+        let name_col = db.column_index(t, "name").unwrap();
+        let v_col = db.column_index(t, "v").unwrap();
+        let id_col = db.column_index(t, "id").unwrap();
+        let rows = TableQuery::new(&db, t)
+            .eq(name_col, "g0")
+            .filter(Expr::col_cmp(v_col, CmpOp::Gt, 50.0))
+            .select(vec![id_col])
+            .run()
+            .unwrap();
+        // g0 = ids 0,5,...,95 with v==id unless id%10==0 (NULL): matches 55..95 step 5 minus NULLs.
+        for (_, row) in &rows {
+            assert_eq!(row.len(), 1);
+            let id = row[0].as_int().unwrap();
+            assert_eq!(id % 5, 0);
+            assert!(id > 50);
+            assert_ne!(id % 10, 0, "NULL v rows filtered out");
+        }
+        assert_eq!(rows.len(), 5); // 55,65,75,85,95
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let (db, t) = db_with_data();
+        let id_col = db.column_index(t, "id").unwrap();
+        let v_col = db.column_index(t, "v").unwrap();
+        // Top-5 by value descending (NULLs sort first ascending, so they
+        // land last when descending... total_cmp puts Null < numbers, so
+        // descending puts the largest reals first).
+        let rows = TableQuery::new(&db, t)
+            .order_by(v_col, false)
+            .limit(5)
+            .select(vec![id_col, v_col])
+            .run()
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+        let vals: Vec<f64> = rows
+            .iter()
+            .map(|(_, r)| r[1].as_real().unwrap())
+            .collect();
+        assert!(vals.windows(2).all(|w| w[0] >= w[1]), "{vals:?}");
+        assert_eq!(vals[0], 99.0);
+        // Secondary key: order by name then id.
+        let name_col = db.column_index(t, "name").unwrap();
+        let rows = TableQuery::new(&db, t)
+            .order_by(name_col, true)
+            .order_by(id_col, true)
+            .limit(3)
+            .run()
+            .unwrap();
+        let ids: Vec<i64> = rows.iter().map(|(_, r)| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![0, 5, 10], "g0 rows in id order");
+        // Bad order column errors.
+        assert!(TableQuery::new(&db, t).order_by(99, true).run().is_err());
+    }
+
+    #[test]
+    fn parallel_scan_query_matches_serial() {
+        let (db, t) = db_with_data();
+        let v_col = db.column_index(t, "v").unwrap();
+        let pred = Expr::col_cmp(v_col, CmpOp::Lt, 30.0);
+        let mut serial = TableQuery::new(&db, t).filter(pred.clone()).run().unwrap();
+        let mut par = TableQuery::new(&db, t)
+            .filter(pred)
+            .parallel(4)
+            .run()
+            .unwrap();
+        serial.sort_by_key(|(rid, _)| *rid);
+        par.sort_by_key(|(rid, _)| *rid);
+        assert_eq!(serial, par);
+    }
+}

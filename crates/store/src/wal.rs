@@ -1,0 +1,514 @@
+//! Write-ahead log.
+//!
+//! The engine uses *logical* (table-level) WAL: every row mutation appends
+//! an `Insert`/`Update`/`Delete` record carrying the table id, the `RowId`
+//! the mutation applied to, and the row images needed to redo it. `Commit`
+//! seals a transaction; recovery redoes, in log order, exactly the
+//! operations of transactions whose `Commit` record is present and intact.
+//!
+//! Durability protocol:
+//! * operations are appended (buffered) as they execute;
+//! * `Commit` forces the log to stable storage (`fsync`);
+//! * a checkpoint flushes all dirty pages, truncates the log, and writes a
+//!   `Checkpoint` record, so the log only ever describes changes newer than
+//!   the page file.
+//!
+//! Each record is framed as `len | crc32 | payload`; a torn tail (partial
+//! final record after a crash) fails the length or CRC check and cleanly
+//! terminates the recovery scan.
+
+use crate::error::{Result, StoreError};
+use crate::page::RowId;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, table-driven)
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, e) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 checksum of `data` (IEEE polynomial).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// A redo-able row mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Row `row` (encoded) was inserted into `table` at `rowid`.
+    Insert {
+        table: u32,
+        rowid: RowId,
+        row: Vec<u8>,
+    },
+    /// Row at `rowid` changed from `old` to `new`.
+    Update {
+        table: u32,
+        rowid: RowId,
+        old: Vec<u8>,
+        new: Vec<u8>,
+    },
+    /// Row at `rowid` (encoded image `old`) was deleted.
+    Delete {
+        table: u32,
+        rowid: RowId,
+        old: Vec<u8>,
+    },
+    /// Page `page` was allocated for `table`'s heap. Page allocation is
+    /// *not* transactional: recovery replays it regardless of commit state
+    /// (an aborted transaction's pages simply remain empty heap pages).
+    AllocPage { table: u32, page: u32 },
+}
+
+/// Payload of one WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalPayload {
+    Op(WalOp),
+    Commit,
+    Abort,
+    Checkpoint,
+}
+
+/// A decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    pub lsn: u64,
+    pub txn: u64,
+    pub payload: WalPayload,
+}
+
+const K_INSERT: u8 = 1;
+const K_UPDATE: u8 = 2;
+const K_DELETE: u8 = 3;
+const K_COMMIT: u8 = 4;
+const K_ABORT: u8 = 5;
+const K_CHECKPOINT: u8 = 6;
+const K_ALLOC: u8 = 7;
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+fn encode_payload(lsn: u64, txn: u64, payload: &WalPayload, out: &mut Vec<u8>) {
+    out.extend_from_slice(&lsn.to_be_bytes());
+    out.extend_from_slice(&txn.to_be_bytes());
+    match payload {
+        WalPayload::Op(WalOp::Insert { table, rowid, row }) => {
+            out.push(K_INSERT);
+            out.extend_from_slice(&table.to_be_bytes());
+            out.extend_from_slice(&rowid.to_u64().to_be_bytes());
+            put_bytes(out, row);
+        }
+        WalPayload::Op(WalOp::Update {
+            table,
+            rowid,
+            old,
+            new,
+        }) => {
+            out.push(K_UPDATE);
+            out.extend_from_slice(&table.to_be_bytes());
+            out.extend_from_slice(&rowid.to_u64().to_be_bytes());
+            put_bytes(out, old);
+            put_bytes(out, new);
+        }
+        WalPayload::Op(WalOp::Delete { table, rowid, old }) => {
+            out.push(K_DELETE);
+            out.extend_from_slice(&table.to_be_bytes());
+            out.extend_from_slice(&rowid.to_u64().to_be_bytes());
+            put_bytes(out, old);
+        }
+        WalPayload::Op(WalOp::AllocPage { table, page }) => {
+            out.push(K_ALLOC);
+            out.extend_from_slice(&table.to_be_bytes());
+            out.extend_from_slice(&page.to_be_bytes());
+        }
+        WalPayload::Commit => out.push(K_COMMIT),
+        WalPayload::Abort => out.push(K_ABORT),
+        WalPayload::Checkpoint => out.push(K_CHECKPOINT),
+    }
+}
+
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(StoreError::Corrupt("wal record truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+fn decode_payload(buf: &[u8]) -> Result<WalRecord> {
+    let mut d = Decoder { buf, pos: 0 };
+    let lsn = d.u64()?;
+    let txn = d.u64()?;
+    let kind = d.u8()?;
+    let payload = match kind {
+        K_INSERT => WalPayload::Op(WalOp::Insert {
+            table: d.u32()?,
+            rowid: RowId::from_u64(d.u64()?),
+            row: d.bytes()?,
+        }),
+        K_UPDATE => WalPayload::Op(WalOp::Update {
+            table: d.u32()?,
+            rowid: RowId::from_u64(d.u64()?),
+            old: d.bytes()?,
+            new: d.bytes()?,
+        }),
+        K_DELETE => WalPayload::Op(WalOp::Delete {
+            table: d.u32()?,
+            rowid: RowId::from_u64(d.u64()?),
+            old: d.bytes()?,
+        }),
+        K_ALLOC => WalPayload::Op(WalOp::AllocPage {
+            table: d.u32()?,
+            page: d.u32()?,
+        }),
+        K_COMMIT => WalPayload::Commit,
+        K_ABORT => WalPayload::Abort,
+        K_CHECKPOINT => WalPayload::Checkpoint,
+        other => {
+            return Err(StoreError::Corrupt(format!("bad wal record kind {other}")));
+        }
+    };
+    Ok(WalRecord { lsn, txn, payload })
+}
+
+// ---------------------------------------------------------------------------
+// Log file
+// ---------------------------------------------------------------------------
+
+enum LogBackend {
+    Mem(Vec<u8>),
+    File(File),
+}
+
+struct WalInner {
+    backend: LogBackend,
+    /// Write buffer: records accumulate here and reach the backend on sync.
+    pending: Vec<u8>,
+}
+
+/// Append-only write-ahead log.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+    next_lsn: AtomicU64,
+}
+
+impl Wal {
+    /// Log kept in memory (no durability; tests and ephemeral stores).
+    pub fn in_memory() -> Self {
+        Wal {
+            inner: Mutex::new(WalInner {
+                backend: LogBackend::Mem(Vec::new()),
+                pending: Vec::new(),
+            }),
+            next_lsn: AtomicU64::new(1),
+        }
+    }
+
+    /// Open (or create) a log file. Existing contents are preserved for
+    /// recovery; the next LSN continues after the last intact record.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let wal = Wal {
+            inner: Mutex::new(WalInner {
+                backend: LogBackend::File(file),
+                pending: Vec::new(),
+            }),
+            next_lsn: AtomicU64::new(1),
+        };
+        let max_lsn = wal.read_all()?.iter().map(|r| r.lsn).max().unwrap_or(0);
+        wal.next_lsn.store(max_lsn + 1, Ordering::Release);
+        Ok(wal)
+    }
+
+    /// Append a record; returns its LSN. The record is buffered until
+    /// [`Wal::sync`].
+    pub fn append(&self, txn: u64, payload: &WalPayload) -> Result<u64> {
+        let lsn = self.next_lsn.fetch_add(1, Ordering::AcqRel);
+        let mut body = Vec::with_capacity(64);
+        encode_payload(lsn, txn, payload, &mut body);
+        let mut inner = self.inner.lock();
+        inner
+            .pending
+            .extend_from_slice(&(body.len() as u32).to_be_bytes());
+        inner.pending.extend_from_slice(&crc32(&body).to_be_bytes());
+        inner.pending.extend_from_slice(&body);
+        Ok(lsn)
+    }
+
+    /// Flush buffered records to the backend and fsync (files only).
+    pub fn sync(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.pending.is_empty() {
+            if let LogBackend::File(f) = &mut inner.backend {
+                f.sync_data()?;
+            }
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut inner.pending);
+        match &mut inner.backend {
+            LogBackend::Mem(v) => v.extend_from_slice(&pending),
+            LogBackend::File(f) => {
+                f.seek(SeekFrom::End(0))?;
+                f.write_all(&pending)?;
+                f.sync_data()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read every intact record from the start of the log. Scanning stops
+    /// silently at the first torn or corrupt record (crash tail).
+    pub fn read_all(&self) -> Result<Vec<WalRecord>> {
+        let mut inner = self.inner.lock();
+        let raw = match &mut inner.backend {
+            LogBackend::Mem(v) => v.clone(),
+            LogBackend::File(f) => {
+                let mut buf = Vec::new();
+                f.seek(SeekFrom::Start(0))?;
+                f.read_to_end(&mut buf)?;
+                buf
+            }
+        };
+        drop(inner);
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= raw.len() {
+            let len = u32::from_be_bytes(raw[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_be_bytes(raw[pos + 4..pos + 8].try_into().unwrap());
+            if pos + 8 + len > raw.len() {
+                break; // torn tail
+            }
+            let body = &raw[pos + 8..pos + 8 + len];
+            if crc32(body) != crc {
+                break; // corrupt tail
+            }
+            match decode_payload(body) {
+                Ok(r) => records.push(r),
+                Err(_) => break,
+            }
+            pos += 8 + len;
+        }
+        Ok(records)
+    }
+
+    /// Discard the entire log (used after a checkpoint has made its
+    /// contents redundant) and start fresh.
+    pub fn truncate(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.pending.clear();
+        match &mut inner.backend {
+            LogBackend::Mem(v) => v.clear(),
+            LogBackend::File(f) => {
+                f.set_len(0)?;
+                f.sync_data()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Byte length of the durable portion of the log.
+    pub fn len(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        Ok(match &mut inner.backend {
+            LogBackend::Mem(v) => v.len() as u64,
+            LogBackend::File(f) => f.metadata()?.len(),
+        })
+    }
+
+    /// True if the durable log is empty.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageId;
+
+    fn rid(p: u32, s: u16) -> RowId {
+        RowId {
+            page: PageId(p),
+            slot: s,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn append_sync_read_roundtrip() {
+        let wal = Wal::in_memory();
+        let ops = vec![
+            WalPayload::Op(WalOp::Insert {
+                table: 1,
+                rowid: rid(0, 0),
+                row: vec![1, 2, 3],
+            }),
+            WalPayload::Op(WalOp::Update {
+                table: 1,
+                rowid: rid(0, 0),
+                old: vec![1, 2, 3],
+                new: vec![4, 5],
+            }),
+            WalPayload::Op(WalOp::Delete {
+                table: 2,
+                rowid: rid(3, 7),
+                old: vec![9],
+            }),
+            WalPayload::Op(WalOp::AllocPage { table: 1, page: 5 }),
+            WalPayload::Commit,
+        ];
+        for p in &ops {
+            wal.append(42, p).unwrap();
+        }
+        wal.sync().unwrap();
+        let recs = wal.read_all().unwrap();
+        assert_eq!(recs.len(), 5);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.txn, 42);
+            assert_eq!(r.lsn, i as u64 + 1);
+            assert_eq!(&r.payload, &ops[i]);
+        }
+    }
+
+    #[test]
+    fn unsynced_records_are_not_durable() {
+        let wal = Wal::in_memory();
+        wal.append(1, &WalPayload::Commit).unwrap();
+        assert!(wal.read_all().unwrap().is_empty(), "pending is volatile");
+        wal.sync().unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_stops_scan() {
+        let dir = std::env::temp_dir().join(format!("ptstore-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(1, &WalPayload::Commit).unwrap();
+            wal.append(2, &WalPayload::Commit).unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the end.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let wal = Wal::open(&path).unwrap();
+        let recs = wal.read_all().unwrap();
+        assert_eq!(recs.len(), 1, "only the intact record survives");
+        assert_eq!(recs[0].txn, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_scan() {
+        let dir = std::env::temp_dir().join(format!("ptstore-walcrc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crc.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(1, &WalPayload::Commit).unwrap();
+            wal.append(2, &WalPayload::Commit).unwrap();
+            wal.sync().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a bit in the second record's body
+        std::fs::write(&path, &bytes).unwrap();
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_continues_lsn_sequence() {
+        let dir = std::env::temp_dir().join(format!("ptstore-wallsn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lsn.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(1, &WalPayload::Commit).unwrap();
+            wal.append(1, &WalPayload::Commit).unwrap();
+            wal.sync().unwrap();
+        }
+        let wal = Wal::open(&path).unwrap();
+        let lsn = wal.append(2, &WalPayload::Commit).unwrap();
+        assert_eq!(lsn, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_empties_log() {
+        let wal = Wal::in_memory();
+        wal.append(1, &WalPayload::Commit).unwrap();
+        wal.sync().unwrap();
+        assert!(!wal.is_empty().unwrap());
+        wal.truncate().unwrap();
+        assert!(wal.is_empty().unwrap());
+        assert!(wal.read_all().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Quickstart: create a PerfTrack data store, describe a machine and an
+//! application run, load performance results, and query them through the
+//! GUI session model.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use perftrack_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Create a data store (in-memory here; `PTDataStore::open(dir)` is
+    //    the durable form). The Figure 2 base resource types are loaded
+    //    automatically through the type-extension interface.
+    let store = PTDataStore::in_memory()?;
+    println!(
+        "data store initialized with {} base resource types",
+        store.registry().len()
+    );
+
+    // 2. Describe the machine. Models for the paper's platforms ship in
+    //    perftrack-collect; two nodes are enough for a demo.
+    let frost = MachineModel::frost();
+    store.load_statements(&frost.to_ptdf(2))?;
+    println!("loaded machine description for {}", frost.name);
+
+    // 3. Describe an application, an execution, and some code.
+    store.load_ptdf_str(
+        r#"
+Application Linpack
+Execution linpack-frost-001 Linpack
+Resource /Linpack application
+Resource /Linpack-code build
+Resource /Linpack-code/linpack.c build/module
+Resource /Linpack-code/linpack.c/dgefa build/module/function
+Resource /Linpack-code/linpack.c/dgesl build/module/function
+Resource /run-001 execution
+Resource /run-001/process0 execution/process
+Resource /run-001/process1 execution/process
+"#,
+    )?;
+
+    // 4. Load performance results: per-process CPU time for one function,
+    //    plus a whole-run wall time. The context (a set of resources) says
+    //    exactly what each number covers.
+    let frost_p0 = frost.processor_resource("batch", 0, 0);
+    let frost_p1 = frost.processor_resource("batch", 0, 1);
+    store.load_ptdf_str(&format!(
+        r#"
+PerfResult linpack-frost-001 "/Linpack,/Linpack-code/linpack.c/dgefa,/run-001/process0,{frost_p0}(primary)" PerfTrack "CPU time" 11.25 seconds
+PerfResult linpack-frost-001 "/Linpack,/Linpack-code/linpack.c/dgefa,/run-001/process1,{frost_p1}(primary)" PerfTrack "CPU time" 12.75 seconds
+PerfResult linpack-frost-001 "/Linpack,/run-001(primary)" PerfTrack "wall time" 14.1 seconds
+"#
+    ))?;
+    println!(
+        "store now holds {} resources and {} performance results",
+        store.resource_count()?,
+        store.result_count()?
+    );
+
+    // 5. Query through the selection dialog, exactly like the GUI (§3.2):
+    //    pick the `dgefa` function; descendants are included by default.
+    let mut dialog = SelectionDialog::new(&store);
+    println!("\nresource types available: {}...", dialog.resource_type_menu()[..4].join(", "));
+    dialog.add_name("dgefa", Relatives::Descendants);
+    let counts = dialog.counts()?;
+    println!(
+        "live counts while building the query: family={:?} whole={}",
+        counts.per_family, counts.whole
+    );
+
+    // 6. Retrieve into the main-window table, add a free-resource column,
+    //    and export.
+    let mut table = dialog.retrieve()?;
+    table.add_resource_column("execution/process");
+    println!("\ncolumns: {}", table.columns().join(" | "));
+    for row in table.render()? {
+        println!("  {}", row.join(" | "));
+    }
+    println!("\nCSV export:\n{}", table.to_csv()?);
+
+    // 7. Plot it — category = process (column 5), series = metric.
+    let chart = table.chart("dgefa CPU time per process", 5, 1)?;
+    println!("{}", chart.render_ascii(72));
+    Ok(())
+}

@@ -1,0 +1,176 @@
+//! Figure 1 verification: the PerfTrack schema exists with every table,
+//! key, and index the paper's diagram shows, and referential integrity
+//! holds after a full case-study load.
+
+use perftrack::{PTDataStore, Schema};
+use perftrack_adapters as adapters;
+use perftrack_store::{Database, Value};
+use perftrack_workloads as wl;
+use std::collections::HashSet;
+
+#[test]
+fn all_figure1_tables_exist() {
+    let db = Database::in_memory();
+    let schema = Schema::create(&db).unwrap();
+    let names: Vec<&str> = schema.all_tables().iter().map(|(n, _)| *n).collect();
+    for expected in [
+        "application",
+        "focus_framework",
+        "execution",
+        "resource_item",
+        "resource_attribute",
+        "resource_constraint",
+        "resource_has_ancestor",
+        "resource_has_descendant",
+        "metric",
+        "performance_tool",
+        "performance_result",
+        "focus",
+        "focus_has_resource",
+    ] {
+        assert!(names.contains(&expected), "missing table {expected}");
+    }
+}
+
+#[test]
+fn primary_key_indexes_are_unique() {
+    let db = Database::in_memory();
+    let schema = Schema::create(&db).unwrap();
+    // Inserting duplicate primary keys must fail for id-keyed tables.
+    for (table, row) in [
+        (
+            schema.application,
+            vec![Value::Int(1), Value::Text("A".into())],
+        ),
+        (
+            schema.metric,
+            vec![Value::Int(1), Value::Text("m".into())],
+        ),
+        (
+            schema.performance_tool,
+            vec![Value::Int(1), Value::Text("t".into())],
+        ),
+    ] {
+        let mut txn = db.begin();
+        txn.insert(table, row.clone()).unwrap();
+        let mut dup = row.clone();
+        dup[1] = Value::Text("other".into());
+        assert!(
+            txn.insert(table, dup).is_err(),
+            "duplicate id accepted in a PK-indexed table"
+        );
+        drop(txn);
+    }
+}
+
+/// Load a real study and check foreign-key-style integrity across tables.
+#[test]
+fn referential_integrity_after_study_load() {
+    let store = PTDataStore::in_memory().unwrap();
+    let bundle = &wl::smg_uv(3, 1)[0];
+    let ctx = adapters::ExecContext::new(&bundle.exec_name, &bundle.application);
+    store
+        .load_statements(&adapters::smg::convert(&ctx, &bundle.files[0].content).unwrap())
+        .unwrap();
+    store
+        .load_statements(&adapters::mpip::convert(&ctx, &bundle.files[1].content).unwrap())
+        .unwrap();
+
+    let db = store.db();
+    let s = store.schema();
+    let collect_ids = |table, col: usize| -> HashSet<i64> {
+        db.scan(table)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r[col].as_int().unwrap())
+            .collect()
+    };
+    let resource_ids = collect_ids(s.resource_item, 0);
+    let result_ids = collect_ids(s.performance_result, 0);
+    let focus_ids = collect_ids(s.focus, 0);
+    let metric_ids = collect_ids(s.metric, 0);
+    let tool_ids = collect_ids(s.performance_tool, 0);
+    let exec_ids = collect_ids(s.execution, 0);
+    let type_ids = collect_ids(s.focus_framework, 0);
+
+    // resource_item.focus_framework_id → focus_framework.id
+    for (_, r) in db.scan(s.resource_item).unwrap() {
+        assert!(type_ids.contains(&r[3].as_int().unwrap()));
+        if let Ok(pid) = r[4].as_int() {
+            assert!(resource_ids.contains(&pid), "dangling parent_id");
+        }
+    }
+    // performance_result FKs.
+    for (_, r) in db.scan(s.performance_result).unwrap() {
+        assert!(exec_ids.contains(&r[1].as_int().unwrap()));
+        assert!(metric_ids.contains(&r[2].as_int().unwrap()));
+        assert!(tool_ids.contains(&r[3].as_int().unwrap()));
+    }
+    // focus.result_id → performance_result.id
+    for (_, r) in db.scan(s.focus).unwrap() {
+        assert!(result_ids.contains(&r[1].as_int().unwrap()));
+    }
+    // focus_has_resource FKs.
+    for (_, r) in db.scan(s.focus_has_resource).unwrap() {
+        assert!(focus_ids.contains(&r[0].as_int().unwrap()));
+        assert!(resource_ids.contains(&r[1].as_int().unwrap()));
+    }
+    // Attributes and constraints point at real resources.
+    for (_, r) in db.scan(s.resource_attribute).unwrap() {
+        assert!(resource_ids.contains(&r[0].as_int().unwrap()));
+    }
+    for (_, r) in db.scan(s.resource_constraint).unwrap() {
+        assert!(resource_ids.contains(&r[0].as_int().unwrap()));
+        assert!(resource_ids.contains(&r[1].as_int().unwrap()));
+    }
+    // Closure tables agree with recomputed transitive closure.
+    let mut parent_of = std::collections::HashMap::new();
+    for (_, r) in db.scan(s.resource_item).unwrap() {
+        parent_of.insert(r[0].as_int().unwrap(), r[4].as_int().ok());
+    }
+    let mut expected_pairs = HashSet::new();
+    for &id in parent_of.keys() {
+        let mut cur = parent_of[&id];
+        while let Some(a) = cur {
+            expected_pairs.insert((id, a));
+            cur = parent_of.get(&a).copied().flatten();
+        }
+    }
+    let ancestor_pairs: HashSet<(i64, i64)> = db
+        .scan(s.resource_has_ancestor)
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    assert_eq!(ancestor_pairs, expected_pairs, "rha is the exact closure");
+    let descendant_pairs: HashSet<(i64, i64)> = db
+        .scan(s.resource_has_descendant)
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| (r[1].as_int().unwrap(), r[0].as_int().unwrap()))
+        .collect();
+    assert_eq!(descendant_pairs, expected_pairs, "rhd is the inverse closure");
+}
+
+#[test]
+fn focus_types_are_valid_roles() {
+    let store = PTDataStore::in_memory().unwrap();
+    let bundle = &wl::smg_uv(5, 1)[0];
+    let ctx = adapters::ExecContext::new(&bundle.exec_name, &bundle.application);
+    store
+        .load_statements(&adapters::mpip::convert(&ctx, &bundle.files[1].content).unwrap())
+        .unwrap();
+    let db = store.db();
+    let s = store.schema();
+    let mut seen = HashSet::new();
+    for (_, r) in db.scan(s.focus).unwrap() {
+        let role = r[2].as_text().unwrap().to_string();
+        assert!(
+            perftrack_model::ContextRole::parse(&role).is_some(),
+            "invalid focus type {role:?}"
+        );
+        seen.insert(role);
+    }
+    assert!(seen.contains("primary"));
+    assert!(seen.contains("parent"), "mpiP loads use caller sets");
+}
