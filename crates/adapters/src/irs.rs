@@ -53,8 +53,7 @@ pub fn convert(ctx: &ExecContext, files: &[(String, String)]) -> Result<Vec<Ptdf
     }
 
     // --- timing.dat → (function, metric, stat) results ----------------------
-    let timing = find("timing.dat")
-        .ok_or_else(|| ConvertError::new(TOOL, "missing timing.dat"))?;
+    let timing = find("timing.dat").ok_or_else(|| ConvertError::new(TOOL, "missing timing.dat"))?;
     for (lineno, line) in timing.lines().enumerate() {
         if line.starts_with('#') || line.trim().is_empty() {
             continue;
@@ -79,7 +78,11 @@ pub fn convert(ctx: &ExecContext, files: &[(String, String)]) -> Result<Vec<Ptdf
                     format!("timing.dat line {}: bad value {raw:?}", lineno + 1),
                 )
             })?;
-            let units = if metric.contains("time") { "seconds" } else { "count" };
+            let units = if metric.contains("time") {
+                "seconds"
+            } else {
+                "count"
+            };
             b.result(
                 exec,
                 vec![app_res.clone(), func_res.clone(), ctx.run_resource()],
@@ -146,10 +149,24 @@ pub fn convert(ctx: &ExecContext, files: &[(String, String)]) -> Result<Vec<Ptdf
             let (phase, bytes, secs) = (parts[0], parts[1], parts[2]);
             let ctx_res = vec![app_res.clone(), ctx.run_resource()];
             if let Ok(v) = bytes.parse::<f64>() {
-                b.result(exec, ctx_res.clone(), TOOL, &format!("io bytes: {phase}"), v, "bytes");
+                b.result(
+                    exec,
+                    ctx_res.clone(),
+                    TOOL,
+                    &format!("io bytes: {phase}"),
+                    v,
+                    "bytes",
+                );
             }
             if let Ok(v) = secs.parse::<f64>() {
-                b.result(exec, ctx_res, TOOL, &format!("io time: {phase}"), v, "seconds");
+                b.result(
+                    exec,
+                    ctx_res,
+                    TOOL,
+                    &format!("io time: {phase}"),
+                    v,
+                    "seconds",
+                );
             }
         }
     }
@@ -187,7 +204,10 @@ mod tests {
         // Function resources exist under the shared code tree.
         assert!(store.resource_id("/IRS-code/irs.c/rmatmult3").is_some());
         // Run attributes captured.
-        let run = store.resource_by_name("/irs-mcr-0001-run").unwrap().unwrap();
+        let run = store
+            .resource_by_name("/irs-mcr-0001-run")
+            .unwrap()
+            .unwrap();
         let attrs = store.attributes_of(run.id).unwrap();
         assert!(attrs.iter().any(|(n, v, _)| n == "processes" && v == "8"));
         assert!(attrs.iter().any(|(n, v, _)| n == "machine" && v == "MCR"));
@@ -197,14 +217,24 @@ mod tests {
     fn rank_processor_binding_joins_hardware() {
         let cfg = IrsConfig::new("e1", "MCR", 2, 1);
         let files = files_of(&cfg);
-        let procs = vec!["/G/M/batch/n0/p0".to_string(), "/G/M/batch/n0/p1".to_string()];
+        let procs = vec![
+            "/G/M/batch/n0/p0".to_string(),
+            "/G/M/batch/n0/p1".to_string(),
+        ];
         let ctx = ExecContext::new("e1", "IRS").with_rank_processors(procs);
         let stmts = convert(&ctx, &files).unwrap();
         // Memory results reference the processor resources.
         let has_hw = stmts.iter().any(|s| match s {
-            PtdfStatement::PerfResult { metric, resource_sets, .. } => {
+            PtdfStatement::PerfResult {
+                metric,
+                resource_sets,
+                ..
+            } => {
                 metric == "memory high water"
-                    && resource_sets[0].resources.iter().any(|r| r == "/G/M/batch/n0/p1")
+                    && resource_sets[0]
+                        .resources
+                        .iter()
+                        .any(|r| r == "/G/M/batch/n0/p1")
             }
             _ => false,
         });
@@ -243,6 +273,9 @@ mod tests {
             "e.timing.dat".to_string(),
             "func CPU_time x 1 1 1\n".to_string(),
         )];
-        assert!(convert(&ctx, &bad).unwrap_err().to_string().contains("bad value"));
+        assert!(convert(&ctx, &bad)
+            .unwrap_err()
+            .to_string()
+            .contains("bad value"));
     }
 }

@@ -200,9 +200,9 @@ pub fn convert(ctx: &ExecContext, report: &str) -> Result<Vec<PtdfStatement>> {
                 if parts[2] == "*" {
                     primary.push(run.clone());
                 } else {
-                    let rank: usize = parts[2].parse().map_err(|_| {
-                        ConvertError::new(TOOL, format!("line {n}: bad rank"))
-                    })?;
+                    let rank: usize = parts[2]
+                        .parse()
+                        .map_err(|_| ConvertError::new(TOOL, format!("line {n}: bad rank")))?;
                     primary.extend(process_resource(&mut b, rank));
                 }
                 for (metric, idx, units) in [
@@ -255,11 +255,18 @@ mod tests {
         // Message-size metrics landed.
         assert!(store.metrics().iter().any(|m| m == "Sent Message Total"));
         // MPI functions landed in the environment hierarchy, callers in build.
-        assert!(store
-            .resource_id("/SMG2000-mpi/libmpi/MPI_Waitall")
-            .is_some() || store.resource_id("/SMG2000-mpi/libmpi/MPI_Allreduce").is_some());
-        assert!(store.resource_id("/SMG2000-code/smg_solve.c").is_some()
-            || store.resource_id("/SMG2000-code/smg_relax.c").is_some());
+        assert!(
+            store
+                .resource_id("/SMG2000-mpi/libmpi/MPI_Waitall")
+                .is_some()
+                || store
+                    .resource_id("/SMG2000-mpi/libmpi/MPI_Allreduce")
+                    .is_some()
+        );
+        assert!(
+            store.resource_id("/SMG2000-code/smg_solve.c").is_some()
+                || store.resource_id("/SMG2000-code/smg_relax.c").is_some()
+        );
     }
 
     #[test]

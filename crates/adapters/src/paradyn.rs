@@ -200,9 +200,10 @@ pub fn convert(ctx: &ExecContext, files: &ParadynFiles) -> Result<Vec<PtdfStatem
                     "metric" => metric = v.trim().to_string(),
                     "focus" => focus = v.trim().to_string(),
                     "numBins" => {
-                        num_bins = v.trim().parse().map_err(|_| {
-                            ConvertError::new(TOOL, format!("{name}: bad numBins"))
-                        })?;
+                        num_bins = v
+                            .trim()
+                            .parse()
+                            .map_err(|_| ConvertError::new(TOOL, format!("{name}: bad numBins")))?;
                     }
                     "binWidth" => {
                         bin_width = v.trim().parse().map_err(|_| {
@@ -348,7 +349,9 @@ mod tests {
             .resource_id("/irs-pd-01-sync/Message/MPI_COMM_WORLD")
             .is_some());
         // Code mapped into the build hierarchy.
-        assert!(store.resource_id("/IRS-pd/irs_mod_00.c/func_00_00").is_some());
+        assert!(store
+            .resource_id("/IRS-pd/irs_mod_00.c/func_00_00")
+            .is_some());
         // Time bins exist with interval attributes.
         let bin = store.resource_by_name("/irs-pd-01-time/bin10").unwrap();
         if let Some(bin) = bin {
@@ -375,7 +378,10 @@ mod tests {
         let mut found_node_attr = false;
         for id in fam {
             let attrs = store.attributes_of(id).unwrap();
-            if attrs.iter().any(|(n, v, _)| n == "node" && v.starts_with("mcr")) {
+            if attrs
+                .iter()
+                .any(|(n, v, _)| n == "node" && v.starts_with("mcr"))
+            {
                 found_node_attr = true;
             }
         }
@@ -449,7 +455,10 @@ mod tests {
         let root = store.resource_by_name("/irs-pd-01-shg").unwrap();
         assert!(root.is_some());
         // Node 0 exists with the top-level hypothesis.
-        let node0 = store.resource_by_name("/irs-pd-01-shg/node0").unwrap().unwrap();
+        let node0 = store
+            .resource_by_name("/irs-pd-01-shg/node0")
+            .unwrap()
+            .unwrap();
         let attrs = store.attributes_of(node0.id).unwrap();
         assert!(attrs
             .iter()
@@ -478,10 +487,16 @@ mod tests {
         let ctx = ExecContext::new("e", "A");
         let mut files = sample(1);
         files.shg = Some("node 0 root OnlyFive fields\n".into());
-        assert!(convert(&ctx, &files).unwrap_err().to_string().contains("bad shg line"));
+        assert!(convert(&ctx, &files)
+            .unwrap_err()
+            .to_string()
+            .contains("bad shg line"));
         let mut files = sample(1);
         files.shg = Some("node 0 root H /Code maybe\n".into());
-        assert!(convert(&ctx, &files).unwrap_err().to_string().contains("bad shg state"));
+        assert!(convert(&ctx, &files)
+            .unwrap_err()
+            .to_string()
+            .contains("bad shg state"));
         // Absent SHG is fine.
         let mut files = sample(1);
         files.shg = None;

@@ -26,15 +26,19 @@ pub struct IndexEntry {
 pub fn parse_index(text: &str) -> Result<Vec<IndexEntry>> {
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
-        let tokens = tokenize(line, i + 1)
-            .map_err(|e| ConvertError::new("PTdfGen", e.to_string()))?;
+        let tokens =
+            tokenize(line, i + 1).map_err(|e| ConvertError::new("PTdfGen", e.to_string()))?;
         if tokens.is_empty() {
             continue;
         }
         if tokens.len() != 7 {
             return Err(ConvertError::new(
                 "PTdfGen",
-                format!("index line {}: expected 7 fields, got {}", i + 1, tokens.len()),
+                format!(
+                    "index line {}: expected 7 fields, got {}",
+                    i + 1,
+                    tokens.len()
+                ),
             ));
         }
         let parse_count = |s: &str, what: &str| -> Result<usize> {
@@ -145,7 +149,10 @@ pub fn generate_for_entry(
         .filter(|(n, c)| matches!(sniff(n, c), FileKind::IrsTiming | FileKind::IrsAux))
         .map(|(n, c)| (n.clone(), c.clone()))
         .collect();
-    if irs_files.iter().any(|(n, c)| sniff(n, c) == FileKind::IrsTiming) {
+    if irs_files
+        .iter()
+        .any(|(n, c)| sniff(n, c) == FileKind::IrsTiming)
+    {
         stmts.extend(crate::irs::convert(&ctx, &irs_files)?);
     }
     // Paradyn files likewise form a set.
@@ -327,8 +334,7 @@ mod tests {
         };
         let mut files = mk("run1", 1);
         files.extend(mk("run10", 2));
-        let converted =
-            generate_for_entry(&entry("run1", "IRS", 2), &files).unwrap();
+        let converted = generate_for_entry(&entry("run1", "IRS", 2), &files).unwrap();
         let store = PTDataStore::in_memory().unwrap();
         store.load_statements(&converted).unwrap();
         // Only run1's execution and its ~1,5xx results; run10's data must

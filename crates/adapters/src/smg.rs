@@ -51,13 +51,19 @@ pub fn convert(ctx: &ExecContext, stdout: &str) -> Result<Vec<PtdfStatement>> {
         }
         if trimmed.starts_with("PM_") {
             let rank = pmapi_process.ok_or_else(|| {
-                ConvertError::new(TOOL_PMAPI, format!("line {}: counter outside block", lineno + 1))
+                ConvertError::new(
+                    TOOL_PMAPI,
+                    format!("line {}: counter outside block", lineno + 1),
+                )
             })?;
             let (name, value) = trimmed.split_once(':').ok_or_else(|| {
                 ConvertError::new(TOOL_PMAPI, format!("line {}: bad counter line", lineno + 1))
             })?;
             let value: f64 = value.trim().parse().map_err(|_| {
-                ConvertError::new(TOOL_PMAPI, format!("line {}: bad counter value", lineno + 1))
+                ConvertError::new(
+                    TOOL_PMAPI,
+                    format!("line {}: bad counter value", lineno + 1),
+                )
             })?;
             let proc = ctx.process_resource(rank);
             b.resource(&proc, "execution/process");
@@ -79,15 +85,24 @@ pub fn convert(ctx: &ExecContext, stdout: &str) -> Result<Vec<PtdfStatement>> {
                         .ok()
                         .map(|v| (format!("{section} {label}"), v, "seconds"))
                 }
-                "Iterations" => rest.parse::<f64>().ok().map(|v| (label.to_string(), v, "count")),
-                "Final Relative Residual Norm" => {
-                    rest.parse::<f64>().ok().map(|v| (label.to_string(), v, "norm"))
-                }
+                "Iterations" => rest
+                    .parse::<f64>()
+                    .ok()
+                    .map(|v| (label.to_string(), v, "count")),
+                "Final Relative Residual Norm" => rest
+                    .parse::<f64>()
+                    .ok()
+                    .map(|v| (label.to_string(), v, "norm")),
                 "Total wall clock time" => {
                     let secs = rest.strip_suffix(" seconds").unwrap_or(rest);
-                    secs.parse::<f64>().ok().map(|v| (label.to_string(), v, "seconds"))
+                    secs.parse::<f64>()
+                        .ok()
+                        .map(|v| (label.to_string(), v, "seconds"))
                 }
-                "Solve MFLOPS" => rest.parse::<f64>().ok().map(|v| (label.to_string(), v, "MFLOPS")),
+                "Solve MFLOPS" => rest
+                    .parse::<f64>()
+                    .ok()
+                    .map(|v| (label.to_string(), v, "MFLOPS")),
                 _ => None,
             };
             if let Some((metric, value, units)) = metric_value {
@@ -127,11 +142,16 @@ mod tests {
             .iter()
             .filter(|s| matches!(s, PtdfStatement::PerfResult { .. }))
             .count();
-        assert_eq!(results, 8, "Table 1's SMG-BG/L row: 8 results per execution");
+        assert_eq!(
+            results, 8,
+            "Table 1's SMG-BG/L row: 8 results per execution"
+        );
         let store = PTDataStore::in_memory().unwrap();
         let stats = store.load_statements(&stmts).unwrap();
         assert_eq!(stats.results, 8);
-        assert!(store.metrics().contains(&"SMG Solve wall clock time".to_string()));
+        assert!(store
+            .metrics()
+            .contains(&"SMG Solve wall clock time".to_string()));
     }
 
     #[test]

@@ -12,7 +12,9 @@ fn store_with_tree(nodes: usize) -> PTDataStore {
     let store = PTDataStore::in_memory().unwrap();
     let mut ptdf = String::from("Resource /G grid\nResource /G/M grid/machine\nResource /G/M/batch grid/machine/partition\n");
     for n in 0..nodes {
-        ptdf.push_str(&format!("Resource /G/M/batch/node{n} grid/machine/partition/node\n"));
+        ptdf.push_str(&format!(
+            "Resource /G/M/batch/node{n} grid/machine/partition/node\n"
+        ));
         for p in 0..4 {
             ptdf.push_str(&format!(
                 "Resource /G/M/batch/node{n}/p{p} grid/machine/partition/node/processor\n"
@@ -34,11 +36,9 @@ fn bench_closure(c: &mut Criterion) {
             ("parent_walk", ExpandStrategy::ParentWalk),
         ] {
             let engine = QueryEngine::with_strategy(&store, strategy);
-            group.bench_with_input(
-                BenchmarkId::new(label, nodes),
-                &nodes,
-                |b, _| b.iter(|| engine.family(std::hint::black_box(&filter)).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(label, nodes), &nodes, |b, _| {
+                b.iter(|| engine.family(std::hint::black_box(&filter)).unwrap())
+            });
         }
     }
     group.finish();

@@ -41,7 +41,10 @@ fn bench_index(c: &mut Criterion) {
         let target = format!("/grid/machine/node{}/p0", n / 2);
         // Sanity: the planner picks the index unless forced off.
         assert!(matches!(
-            TableQuery::new(&db, t).eq(name_col, target.as_str()).plan().unwrap(),
+            TableQuery::new(&db, t)
+                .eq(name_col, target.as_str())
+                .plan()
+                .unwrap(),
             AccessPath::IndexEq { .. }
         ));
         group.bench_with_input(BenchmarkId::new("index_lookup", n), &n, |b, _| {

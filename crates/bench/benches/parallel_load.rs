@@ -49,7 +49,10 @@ fn bench_parallel(c: &mut Criterion) {
                                 })
                             })
                             .collect();
-                        handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().unwrap())
+                            .sum::<usize>()
                     })
                     .unwrap()
                 })

@@ -27,9 +27,7 @@ fn bench_prfilter(c: &mut Criterion) {
     // Three stacked families.
     let stacked = vec![
         broad[0].clone(),
-        engine
-            .family(&ResourceFilter::by_name("irs.c"))
-            .unwrap(),
+        engine.family(&ResourceFilter::by_name("irs.c")).unwrap(),
         narrow[0].clone(),
     ];
     for (label, families) in [

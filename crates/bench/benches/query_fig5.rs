@@ -14,12 +14,15 @@ fn bench_fig5(c: &mut Criterion) {
         store.load_statements(&bundle_to_ptdf(&bundle)).unwrap();
     }
     let engine = QueryEngine::new(&store);
-    let filter = ResourceFilter::by_name("/IRS-code/irs.c/rmatmult3")
-        .relatives(Relatives::Neither);
+    let filter = ResourceFilter::by_name("/IRS-code/irs.c/rmatmult3").relatives(Relatives::Neither);
 
     let mut group = c.benchmark_group("fig5_query");
     group.bench_function("function_results", |b| {
-        b.iter(|| engine.run(std::hint::black_box(std::slice::from_ref(&filter))).unwrap())
+        b.iter(|| {
+            engine
+                .run(std::hint::black_box(std::slice::from_ref(&filter)))
+                .unwrap()
+        })
     });
     group.bench_function("family_only", |b| {
         b.iter(|| engine.family(std::hint::black_box(&filter)).unwrap())

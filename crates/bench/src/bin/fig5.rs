@@ -29,19 +29,26 @@ fn main() {
         store.result_count().unwrap()
     );
 
-    // Query: all results for the chosen function (pr-filter by name).
+    // Query: all results for the chosen function (pr-filter by name),
+    // executed with per-operator profiling (the CLI's `--profile`).
     let engine = QueryEngine::new(&store);
-    let rows = engine
-        .run(&[
+    let (rows, profile) = engine
+        .run_profiled(&[
             ResourceFilter::by_name(&format!("/IRS-code/irs.c/{function}"))
                 .relatives(Relatives::Neither),
         ])
         .unwrap();
+    println!("query operator profile (schema: docs/METRICS.md):");
+    print!("{}", profile.render_table());
+    println!("profile JSON: {}\n", profile.to_json().emit());
 
     let mut categories = Vec::new();
     let mut mins = Vec::new();
     let mut maxs = Vec::new();
-    println!("{:<8} {:>12} {:>12} {:>10}", "np", "min (s)", "max (s)", "max/min");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "np", "min (s)", "max (s)", "max/min"
+    );
     for np in nps {
         let exec = format!("irs-mcr-np{np:03}");
         let get = |metric: &str| {
@@ -63,8 +70,14 @@ fn main() {
         &format!("{function}: min/max CPU time across processes (Figure 5)"),
         categories,
         vec![
-            Series { name: "min".into(), values: mins.clone() },
-            Series { name: "max".into(), values: maxs.clone() },
+            Series {
+                name: "min".into(),
+                values: mins.clone(),
+            },
+            Series {
+                name: "max".into(),
+                values: maxs.clone(),
+            },
         ],
         "seconds",
     );
@@ -95,6 +108,12 @@ fn main() {
     let monotone = mins.windows(2).all(|w| w[1] < w[0]);
     let spread_ok = mins.iter().zip(&maxs).all(|(mn, mx)| mx > mn);
     println!("\nShape checks vs the paper:");
-    println!("  - per-process time decreases with process count: {}", if monotone { "yes" } else { "NO" });
-    println!("  - max > min at every process count (load imbalance visible): {}", if spread_ok { "yes" } else { "NO" });
+    println!(
+        "  - per-process time decreases with process count: {}",
+        if monotone { "yes" } else { "NO" }
+    );
+    println!(
+        "  - max > min at every process count (load imbalance visible): {}",
+        if spread_ok { "yes" } else { "NO" }
+    );
 }

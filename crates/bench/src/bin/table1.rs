@@ -33,11 +33,7 @@ const PAPER: [(&str, usize, usize, usize, usize, usize, usize); 3] = [
     ("SMG-BG/L", 1, 1_000, 522, 8, 8, 60),
 ];
 
-fn measure(
-    store: &PTDataStore,
-    name: &'static str,
-    bundles: &[wl::ExecutionBundle],
-) -> Row {
+fn measure(store: &PTDataStore, name: &'static str, bundles: &[wl::ExecutionBundle]) -> Row {
     let execs = bundles.len();
     let raw_bytes: usize = bundles.iter().map(|b| wl::total_bytes(&b.files)).sum();
     let files: usize = bundles.iter().map(|b| b.files.len()).sum();
@@ -57,6 +53,19 @@ fn measure(
     }
     let load_secs = start.elapsed().as_secs_f64();
     store.checkpoint().unwrap();
+
+    // Engine-level observability for this dataset's load (`pt stats`).
+    let m = store.db().metrics();
+    println!(
+        "  [{name}] engine: {} wal appends ({} B, {} fsyncs), pool hit rate {:.1}%, \
+         {} btree splits, {} commits",
+        m.wal.appends,
+        m.wal.append_bytes,
+        m.wal.syncs,
+        m.pool.hit_rate() * 100.0,
+        m.btree.splits,
+        m.txn.commits
+    );
 
     Row {
         name,
@@ -168,21 +177,36 @@ fn main() {
         );
     }
     println!("\nShape checks vs the paper:");
-    println!("  - SMG-UV has the most resources/results per execution: {}", {
-        let uv = &rows[1];
-        let others_max = rows
-            .iter()
-            .filter(|r| r.name != "SMG-UV")
-            .map(|r| r.results_per_exec)
-            .max()
-            .unwrap();
-        if uv.results_per_exec > others_max { "yes" } else { "NO" }
-    });
+    println!(
+        "  - SMG-UV has the most resources/results per execution: {}",
+        {
+            let uv = &rows[1];
+            let others_max = rows
+                .iter()
+                .filter(|r| r.name != "SMG-UV")
+                .map(|r| r.results_per_exec)
+                .max()
+                .unwrap();
+            if uv.results_per_exec > others_max {
+                "yes"
+            } else {
+                "NO"
+            }
+        }
+    );
     println!("  - SMG-BG/L contributes exactly 8 results/exec: {}", {
-        if rows[2].results_per_exec == 8 { "yes" } else { "NO" }
+        if rows[2].results_per_exec == 8 {
+            "yes"
+        } else {
+            "NO"
+        }
     });
     println!("  - IRS results/exec within ±15% of 1,514: {}", {
         let v = rows[0].results_per_exec as f64;
-        if (v - 1514.0).abs() / 1514.0 < 0.15 { "yes" } else { "NO" }
+        if (v - 1514.0).abs() / 1514.0 < 0.15 {
+            "yes"
+        } else {
+            "NO"
+        }
     });
 }

@@ -91,7 +91,9 @@ mod tests {
     #[test]
     fn positionals_options_flags() {
         let a = parse(
-            &argv(&["store", "--name", "Frost", "--name", "MCR", "--csv", "extra"]),
+            &argv(&[
+                "store", "--name", "Frost", "--name", "MCR", "--csv", "extra",
+            ]),
             &["name"],
         )
         .unwrap();

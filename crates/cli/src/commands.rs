@@ -41,7 +41,10 @@ pub fn machines(argv: &[String]) -> Result<()> {
         MachineModel::bgl(),
     ] {
         let stats = store.load_statements(&model.to_ptdf(nodes))?;
-        println!("{}: {} resources, {} attributes", model.name, stats.resources, stats.attributes);
+        println!(
+            "{}: {} resources, {} attributes",
+            model.name, stats.resources, stats.attributes
+        );
     }
     Ok(())
 }
@@ -105,7 +108,10 @@ pub fn gen(argv: &[String]) -> Result<()> {
 pub fn convert(argv: &[String]) -> Result<()> {
     let a = parse(argv, &["index", "out"])?;
     let raw_dir = PathBuf::from(a.positional(0, "raw data directory")?);
-    let index_path = a.get("index").map(PathBuf::from).unwrap_or_else(|| raw_dir.join("ptdfgen.index"));
+    let index_path = a
+        .get("index")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| raw_dir.join("ptdfgen.index"));
     let out = PathBuf::from(a.get("out").ok_or("--out <dir> required")?);
     std::fs::create_dir_all(&out)?;
     let index_text = std::fs::read_to_string(&index_path)?;
@@ -162,6 +168,30 @@ pub fn load(argv: &[String]) -> Result<()> {
         stats.results
     );
     println!("store size: {} bytes", store.size_bytes()?);
+    if a.has_flag("profile") {
+        let snap = store.db().metrics();
+        if a.has_flag("json") {
+            println!("{}", snap.to_json().emit());
+        } else {
+            print!("{}", snap.render_table());
+        }
+    }
+    Ok(())
+}
+
+/// `pt stats <store-dir> [--json]` — engine observability counters
+/// (buffer pool, WAL, B+trees, transactions). The metric names and the
+/// JSON schema are documented in `docs/METRICS.md`.
+pub fn stats(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &[])?;
+    let dir = a.positional(0, "store directory")?;
+    let store = open_store(dir)?;
+    let snap = store.db().metrics();
+    if a.has_flag("json") {
+        println!("{}", snap.to_json().emit());
+    } else {
+        print!("{}", snap.render_table());
+    }
     Ok(())
 }
 
@@ -185,7 +215,10 @@ pub fn report(argv: &[String]) -> Result<()> {
             let name = a.positional(2, "resource full name")?;
             let d = Reports::new(&store).resource(name)?;
             println!("{} ({})", d.name, d.type_path);
-            println!("  children: {}  results in context: {}", d.children, d.results_in_context);
+            println!(
+                "  children: {}  results in context: {}",
+                d.children, d.results_in_context
+            );
             for (k, v) in &d.attributes {
                 println!("  {k} = {v}");
             }
@@ -236,7 +269,9 @@ fn filters_from_args(a: &Args) -> Result<Vec<ResourceFilter>> {
 }
 
 /// `pt query <store-dir> [--name PAT]... [--type PATH]...` — run a
-/// pr-filter query and print the result table.
+/// pr-filter query and print the result table. With `--profile`, an
+/// EXPLAIN-style per-operator profile of the executed pipeline follows
+/// the rows (as JSON with `--json`; schema in `docs/METRICS.md`).
 pub fn query(argv: &[String]) -> Result<()> {
     let a = parse(argv, &["name", "type", "relatives", "add-column"])?;
     let dir = a.positional(0, "store directory")?;
@@ -249,7 +284,12 @@ pub fn query(argv: &[String]) -> Result<()> {
             perftrack_model::Selector::ByAttrs(_) => {}
         }
     }
-    let mut table = dialog.retrieve()?;
+    let (mut table, profile) = if a.has_flag("profile") {
+        let (t, p) = dialog.retrieve_profiled()?;
+        (t, Some(p))
+    } else {
+        (dialog.retrieve()?, None)
+    };
     for col in a.get_all("add-column") {
         table.add_resource_column(col);
     }
@@ -261,6 +301,14 @@ pub fn query(argv: &[String]) -> Result<()> {
             println!("{}", row.join(" | "));
         }
         println!("({} rows)", table.len());
+    }
+    if let Some(p) = profile {
+        if a.has_flag("json") {
+            println!("{}", p.to_json().emit());
+        } else {
+            // To stderr so `--csv | ...` pipelines stay clean.
+            eprint!("{}", p.render_table());
+        }
     }
     Ok(())
 }
@@ -286,7 +334,19 @@ pub fn count(argv: &[String]) -> Result<()> {
 
 /// `pt chart <store-dir> --name PAT --category COL --series COL`.
 pub fn chart(argv: &[String]) -> Result<()> {
-    let a = parse(argv, &["name", "type", "relatives", "category", "series", "title", "add-column", "svg"])?;
+    let a = parse(
+        argv,
+        &[
+            "name",
+            "type",
+            "relatives",
+            "category",
+            "series",
+            "title",
+            "add-column",
+            "svg",
+        ],
+    )?;
     let dir = a.positional(0, "store directory")?;
     let store = open_store(dir)?;
     let mut dialog = SelectionDialog::new(&store);

@@ -18,12 +18,13 @@ USAGE:
   pt machines <store-dir> [--nodes N]
   pt gen <irs|smg-uv|smg-bgl|paradyn> <out-dir> [--execs N] [--seed S]
   pt convert <raw-dir> --index <file> --out <dir>
-  pt load <store-dir> <ptdf-file>... [--threads N]
+  pt load <store-dir> <ptdf-file>... [--threads N] [--profile] [--json]
   pt report <store-dir> [summary|types|executions|metrics|tables]
   pt report <store-dir> execution <name> | resource <full-name>
+  pt stats <store-dir> [--json]
   pt delete <store-dir> <execution>
   pt query <store-dir> [--name PAT]... [--type PATH]... [--relatives D|A|B|N]
-          [--add-column TYPE]... [--csv]
+          [--add-column TYPE]... [--csv] [--profile] [--json]
   pt count <store-dir> [--name PAT]... [--type PATH]...
   pt chart <store-dir> --name PAT --category COL --series COL [--title T] [--svg F]
   pt predict <store-dir> --metric M --train E1,E2,.. [--check EXEC] [--at NP]
@@ -61,6 +62,7 @@ fn main() -> ExitCode {
         "convert" => commands::convert(rest),
         "load" => commands::load(rest),
         "report" => commands::report(rest),
+        "stats" => commands::stats(rest),
         "query" => commands::query(rest),
         "count" => commands::count(rest),
         "chart" => commands::chart(rest),

@@ -45,7 +45,8 @@ impl SimulatedRunner {
 
     /// Register the stdout for `program args...`.
     pub fn on(mut self, command: &str, stdout: &str) -> Self {
-        self.responses.insert(command.to_string(), stdout.to_string());
+        self.responses
+            .insert(command.to_string(), stdout.to_string());
         self
     }
 }
@@ -135,9 +136,10 @@ pub fn parse_make_output(output: &str) -> (Vec<CompilerUse>, Vec<String>) {
                     entry.flags.push(tok.to_string());
                 }
             } else if (tok.ends_with(".c") || tok.ends_with(".f") || tok.ends_with(".C"))
-                && !entry.modules.contains(&tok.to_string()) {
-                    entry.modules.push(tok.to_string());
-                }
+                && !entry.modules.contains(&tok.to_string())
+            {
+                entry.modules.push(tok.to_string());
+            }
         }
     }
     (uses.into_values().collect(), libs)
@@ -170,9 +172,15 @@ pub fn capture_build(
             c.version = v.lines().next().map(str::to_string);
         }
     }
-    let uname_s = runner.run("uname", &["-s"]).unwrap_or_else(|_| "unknown".into());
-    let uname_r = runner.run("uname", &["-r"]).unwrap_or_else(|_| "unknown".into());
-    let hostname = runner.run("hostname", &[]).unwrap_or_else(|_| "unknown".into());
+    let uname_s = runner
+        .run("uname", &["-s"])
+        .unwrap_or_else(|_| "unknown".into());
+    let uname_r = runner
+        .run("uname", &["-r"])
+        .unwrap_or_else(|_| "unknown".into());
+    let hostname = runner
+        .run("hostname", &[])
+        .unwrap_or_else(|_| "unknown".into());
     Ok(BuildInfo {
         build_name: build_name.to_string(),
         application: application.to_string(),
@@ -313,8 +321,8 @@ mod tests {
     fn ptdf_output_loads() {
         use perftrack::PTDataStore;
         let runner = simulated_irs_build();
-        let info = capture_build(&runner, "irs-build-01", "IRS", &["-f", "Makefile.irs"], &[])
-            .unwrap();
+        let info =
+            capture_build(&runner, "irs-build-01", "IRS", &["-f", "Makefile.irs"], &[]).unwrap();
         let stmts = to_ptdf(&info);
         let store = PTDataStore::in_memory().unwrap();
         let stats = store.load_statements(&stmts).unwrap();
@@ -323,7 +331,9 @@ mod tests {
         let build = store.resource_by_name("/irs-build-01").unwrap().unwrap();
         let attrs = store.attributes_of(build.id).unwrap();
         assert!(attrs.iter().any(|(n, _, _)| n == "build host"));
-        assert!(attrs.iter().any(|(n, v, _)| n == "static library" && v == "mpi"));
+        assert!(attrs
+            .iter()
+            .any(|(n, v, _)| n == "static library" && v == "mpi"));
     }
 
     #[test]
@@ -337,6 +347,8 @@ mod tests {
         // `true` exists everywhere we run tests.
         let out = SystemRunner.run("true", &[]).unwrap();
         assert!(out.is_empty());
-        assert!(SystemRunner.run("definitely-not-a-command-xyz", &[]).is_err());
+        assert!(SystemRunner
+            .run("definitely-not-a-command-xyz", &[])
+            .is_err());
     }
 }

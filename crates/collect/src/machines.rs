@@ -162,7 +162,11 @@ impl MachineModel {
         out.push(attr(
             &machine,
             "total nodes",
-            self.partitions.iter().map(|p| p.1).sum::<usize>().to_string(),
+            self.partitions
+                .iter()
+                .map(|p| p.1)
+                .sum::<usize>()
+                .to_string(),
         ));
         for (pname, nodes, procs) in &self.partitions {
             let part = format!("{machine}/{pname}");

@@ -81,8 +81,7 @@ impl RunInfo {
         let mut info = Self::simulated(exec_name, application, np);
         info.environment = std::env::vars()
             .filter(|(k, _)| {
-                ["PATH", "HOME", "USER", "SHELL", "LANG", "HOSTNAME"]
-                    .contains(&k.as_str())
+                ["PATH", "HOME", "USER", "SHELL", "LANG", "HOSTNAME"].contains(&k.as_str())
             })
             .collect();
         info.environment.sort();
@@ -203,7 +202,10 @@ mod tests {
         let attrs = store.attributes_of(run.id).unwrap();
         assert!(attrs.iter().any(|(n, v, _)| n == "processes" && v == "4"));
         assert!(attrs.iter().any(|(n, _, _)| n.starts_with("env:")));
-        let lib = store.resource_by_name("/irs-0001-env/libmpi.so").unwrap().unwrap();
+        let lib = store
+            .resource_by_name("/irs-0001-env/libmpi.so")
+            .unwrap()
+            .unwrap();
         let attrs = store.attributes_of(lib.id).unwrap();
         assert!(attrs.iter().any(|(n, v, _)| n == "type" && v == "MPI"));
     }

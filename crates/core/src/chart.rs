@@ -141,10 +141,7 @@ impl BarChart {
             for (si, s) in self.series.iter().enumerate() {
                 let v = s.values[ci];
                 let h = plot_h * (v / max);
-                let x = margin_left
-                    + ci as f64 * group_w
-                    + group_w * 0.1
-                    + si as f64 * bar_w;
+                let x = margin_left + ci as f64 * group_w + group_w * 0.1 + si as f64 * bar_w;
                 let y = margin_top + plot_h - h;
                 svg.push_str(&format!(
                     r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{h:.1}" fill="{}"><title>{}: {v}</title></rect>"#,
@@ -244,7 +241,9 @@ mod tests {
     #[test]
     fn ascii_contains_all_labels_and_values() {
         let text = chart().render_ascii(80);
-        for needle in ["np=8", "np=16", "np=32", "min", "max", "1.4000", "0.4000", "seconds"] {
+        for needle in [
+            "np=8", "np=16", "np=32", "min", "max", "1.4000", "0.4000", "seconds",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }
@@ -255,8 +254,14 @@ mod tests {
         let count_bars = |line: &str| line.matches('█').count();
         let lines: Vec<&str> = text.lines().collect();
         // Within np=8, max (1.4) has more filled cells than min (1.0).
-        let min_line = lines.iter().find(|l| l.contains("min") && l.contains("1.0000")).unwrap();
-        let max_line = lines.iter().find(|l| l.contains("max") && l.contains("1.4000")).unwrap();
+        let min_line = lines
+            .iter()
+            .find(|l| l.contains("min") && l.contains("1.0000"))
+            .unwrap();
+        let max_line = lines
+            .iter()
+            .find(|l| l.contains("max") && l.contains("1.4000"))
+            .unwrap();
         assert!(count_bars(max_line) > count_bars(min_line));
     }
 
@@ -296,7 +301,10 @@ mod tests {
         let c = BarChart::new(
             "a < b & \"c\"",
             vec!["x<y".into()],
-            vec![Series { name: "s>1".into(), values: vec![1.0] }],
+            vec![Series {
+                name: "s>1".into(),
+                values: vec![1.0],
+            }],
             "u",
         );
         let svg = c.to_svg(300, 200);

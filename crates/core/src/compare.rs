@@ -238,9 +238,7 @@ mod tests {
             ptdf.push_str(&format!("Execution {exec} IRS\n"));
             ptdf.push_str(&format!("Resource /run-{exec} execution\n"));
             for p in 0..4 {
-                ptdf.push_str(&format!(
-                    "Resource /run-{exec}/p{p} execution/process\n"
-                ));
+                ptdf.push_str(&format!("Resource /run-{exec}/p{p} execution/process\n"));
                 // Per-process solve time with imbalance: process p takes
                 // (10 + p) * scale.
                 ptdf.push_str(&format!(
@@ -266,13 +264,13 @@ mod tests {
         let store = setup();
         let c = Compare::new(&store);
         let rows = c.rows_of_execution("v1").unwrap();
-        let solve_row = rows
-            .iter()
-            .find(|r| r.value == 10.0)
-            .expect("p0 solve row");
+        let solve_row = rows.iter().find(|r| r.value == 10.0).expect("p0 solve row");
         let key = c.alignment_key(solve_row).unwrap();
         assert!(key.contains("solve"));
-        assert!(!key.contains("p0"), "process resource must be dropped: {key}");
+        assert!(
+            !key.contains("p0"),
+            "process resource must be dropped: {key}"
+        );
         assert!(!key.contains("run-v1"));
     }
 
@@ -287,7 +285,10 @@ mod tests {
         assert_eq!(report.only_in_b, 1, "extra function only in v2");
         for row in &report.rows {
             let q = row.ratio.unwrap();
-            assert!((q - 0.5).abs() < 1e-9, "v2 should be exactly 2x faster: {row:?}");
+            assert!(
+                (q - 0.5).abs() < 1e-9,
+                "v2 should be exactly 2x faster: {row:?}"
+            );
             assert!(row.difference < 0.0);
         }
         let gm = report.geo_mean_ratio().unwrap();
@@ -307,10 +308,10 @@ mod tests {
         let engine = QueryEngine::new(&store);
         // All solve rows (per-process) across both executions.
         let rows: Vec<ResultRow> = engine
-            .run(&[perftrack_model::ResourceFilter::by_name(
-                "/irs-build/main.c/solve",
-            )
-            .relatives(perftrack_model::Relatives::Neither)])
+            .run(&[
+                perftrack_model::ResourceFilter::by_name("/irs-build/main.c/solve")
+                    .relatives(perftrack_model::Relatives::Neither),
+            ])
             .unwrap();
         assert_eq!(rows.len(), 8);
         let lb = c.load_balance(&rows);

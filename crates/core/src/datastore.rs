@@ -9,10 +9,10 @@
 
 use crate::error::{PtError, Result};
 use crate::schema::{col, Schema};
+use parking_lot::{Mutex, RwLock};
 use perftrack_model::{ContextRole, ModelError, PerformanceResult, ResourceName, TypeRegistry};
 use perftrack_ptdf::{AttrType, PtdfStatement};
 use perftrack_store::{Database, DbOptions, Row, Value};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -134,9 +134,7 @@ impl PTDataStore {
             .enumerate()
         {
             let next_id = i as i64 + 1;
-            let parent_id = path
-                .rfind('/')
-                .map(|i| by_path[&path[..i]]);
+            let parent_id = path.rfind('/').map(|i| by_path[&path[..i]]);
             txn.insert(
                 self.schema.focus_framework,
                 vec![
@@ -178,9 +176,7 @@ impl PTDataStore {
         for r in &type_rows {
             let id = r[col::focus_framework::ID].as_int()?;
             let path = r[col::focus_framework::TYPE_PATH].as_text()?;
-            registry
-                .add_or_get(path)
-                .map_err(PtError::Model)?;
+            registry.add_or_get(path).map_err(PtError::Model)?;
             cache.types.insert(path.to_string(), id);
             track("focus_framework", id, &mut max);
         }
@@ -218,7 +214,8 @@ impl PTDataStore {
             true
         })?;
         self.db.for_each_row(self.schema.metric, |_, r| {
-            if let (Ok(id), Ok(name)) = (r[col::metric::ID].as_int(), r[col::metric::NAME].as_text())
+            if let (Ok(id), Ok(name)) =
+                (r[col::metric::ID].as_int(), r[col::metric::NAME].as_text())
             {
                 cache.metrics.insert(name.to_string(), id);
                 track("metric", id, &mut max);
@@ -235,12 +232,13 @@ impl PTDataStore {
             }
             true
         })?;
-        self.db.for_each_row(self.schema.performance_result, |_, r| {
-            if let Ok(id) = r[col::performance_result::ID].as_int() {
-                track("performance_result", id, &mut max);
-            }
-            true
-        })?;
+        self.db
+            .for_each_row(self.schema.performance_result, |_, r| {
+                if let Ok(id) = r[col::performance_result::ID].as_int() {
+                    track("performance_result", id, &mut max);
+                }
+                true
+            })?;
         self.db.for_each_row(self.schema.focus, |_, r| {
             if let Ok(id) = r[col::focus::ID].as_int() {
                 track("focus", id, &mut max);
@@ -373,7 +371,11 @@ impl PTDataStore {
     /// Load many PTdf files: parsing fans out across `threads` worker
     /// threads, application stays serial (single-writer engine). This is
     /// the optimization the paper's §4.2 flags data-load time for.
-    pub fn load_ptdf_files_parallel(&self, paths: &[std::path::PathBuf], threads: usize) -> Result<LoadStats> {
+    pub fn load_ptdf_files_parallel(
+        &self,
+        paths: &[std::path::PathBuf],
+        threads: usize,
+    ) -> Result<LoadStats> {
         let texts: Vec<String> = paths
             .iter()
             .map(std::fs::read_to_string)
@@ -433,7 +435,10 @@ impl PTDataStore {
         self.db.for_each_row(self.schema.application, |_, r| {
             apps.push((
                 r[col::application::ID].as_int().unwrap_or(0),
-                r[col::application::NAME].as_text().unwrap_or("").to_string(),
+                r[col::application::NAME]
+                    .as_text()
+                    .unwrap_or("")
+                    .to_string(),
             ));
             true
         })?;
@@ -478,10 +483,8 @@ impl PTDataStore {
             let cache = self.cache.read();
             cache.types.iter().map(|(k, v)| (*v, k.clone())).collect()
         };
-        let res_by_id: HashMap<i64, String> = resources
-            .iter()
-            .map(|r| (r.id, r.name.clone()))
-            .collect();
+        let res_by_id: HashMap<i64, String> =
+            resources.iter().map(|r| (r.id, r.name.clone())).collect();
         for r in &resources {
             out.push(PtdfStatement::Resource {
                 name: r.name.clone(),
@@ -490,36 +493,44 @@ impl PTDataStore {
             });
         }
         // Attributes.
-        self.db.for_each_row(self.schema.resource_attribute, |_, r| {
-            let rid = r[col::resource_attribute::RESOURCE_ID].as_int().unwrap_or(0);
-            if let Some(name) = res_by_id.get(&rid) {
-                out.push(PtdfStatement::ResourceAttribute {
-                    resource: name.clone(),
-                    attribute: r[col::resource_attribute::NAME]
-                        .as_text()
-                        .unwrap_or("")
-                        .to_string(),
-                    value: r[col::resource_attribute::VALUE]
-                        .as_text()
-                        .unwrap_or("")
-                        .to_string(),
-                    attr_type: AttrType::String,
-                });
-            }
-            true
-        })?;
+        self.db
+            .for_each_row(self.schema.resource_attribute, |_, r| {
+                let rid = r[col::resource_attribute::RESOURCE_ID]
+                    .as_int()
+                    .unwrap_or(0);
+                if let Some(name) = res_by_id.get(&rid) {
+                    out.push(PtdfStatement::ResourceAttribute {
+                        resource: name.clone(),
+                        attribute: r[col::resource_attribute::NAME]
+                            .as_text()
+                            .unwrap_or("")
+                            .to_string(),
+                        value: r[col::resource_attribute::VALUE]
+                            .as_text()
+                            .unwrap_or("")
+                            .to_string(),
+                        attr_type: AttrType::String,
+                    });
+                }
+                true
+            })?;
         // Constraints.
-        self.db.for_each_row(self.schema.resource_constraint, |_, r| {
-            let a = r[col::resource_constraint::RESOURCE1_ID].as_int().unwrap_or(0);
-            let b = r[col::resource_constraint::RESOURCE2_ID].as_int().unwrap_or(0);
-            if let (Some(an), Some(bn)) = (res_by_id.get(&a), res_by_id.get(&b)) {
-                out.push(PtdfStatement::ResourceConstraint {
-                    first: an.clone(),
-                    second: bn.clone(),
-                });
-            }
-            true
-        })?;
+        self.db
+            .for_each_row(self.schema.resource_constraint, |_, r| {
+                let a = r[col::resource_constraint::RESOURCE1_ID]
+                    .as_int()
+                    .unwrap_or(0);
+                let b = r[col::resource_constraint::RESOURCE2_ID]
+                    .as_int()
+                    .unwrap_or(0);
+                if let (Some(an), Some(bn)) = (res_by_id.get(&a), res_by_id.get(&b)) {
+                    out.push(PtdfStatement::ResourceConstraint {
+                        first: an.clone(),
+                        second: bn.clone(),
+                    });
+                }
+                true
+            })?;
         // Performance results with their foci.
         let metric_by_id: HashMap<i64, String> = {
             let cache = self.cache.read();
@@ -536,20 +547,26 @@ impl PTDataStore {
                 r[col::focus::ID].as_int().unwrap_or(0),
                 (
                     r[col::focus::RESULT_ID].as_int().unwrap_or(0),
-                    r[col::focus::FOCUS_TYPE].as_text().unwrap_or("primary").to_string(),
+                    r[col::focus::FOCUS_TYPE]
+                        .as_text()
+                        .unwrap_or("primary")
+                        .to_string(),
                 ),
             );
             true
         })?;
         let mut focus_resources: HashMap<i64, Vec<String>> = HashMap::new();
-        self.db.for_each_row(self.schema.focus_has_resource, |_, r| {
-            let fid = r[col::focus_has_resource::FOCUS_ID].as_int().unwrap_or(0);
-            let rid = r[col::focus_has_resource::RESOURCE_ID].as_int().unwrap_or(0);
-            if let Some(name) = res_by_id.get(&rid) {
-                focus_resources.entry(fid).or_default().push(name.clone());
-            }
-            true
-        })?;
+        self.db
+            .for_each_row(self.schema.focus_has_resource, |_, r| {
+                let fid = r[col::focus_has_resource::FOCUS_ID].as_int().unwrap_or(0);
+                let rid = r[col::focus_has_resource::RESOURCE_ID]
+                    .as_int()
+                    .unwrap_or(0);
+                if let Some(name) = res_by_id.get(&rid) {
+                    focus_resources.entry(fid).or_default().push(name.clone());
+                }
+                true
+            })?;
         let mut result_sets: HashMap<i64, Vec<perftrack_ptdf::PtdfResourceSet>> = HashMap::new();
         let mut focus_ids: Vec<i64> = focus_info.keys().copied().collect();
         focus_ids.sort_unstable();
@@ -564,10 +581,11 @@ impl PTDataStore {
                 });
         }
         let mut result_rows: Vec<Row> = Vec::new();
-        self.db.for_each_row(self.schema.performance_result, |_, r| {
-            result_rows.push(r.clone());
-            true
-        })?;
+        self.db
+            .for_each_row(self.schema.performance_result, |_, r| {
+                result_rows.push(r.clone());
+                true
+            })?;
         result_rows.sort_by_key(|r| r[col::performance_result::ID].as_int().unwrap_or(0));
         for r in result_rows {
             let id = r[col::performance_result::ID].as_int()?;
@@ -637,7 +655,9 @@ impl PTDataStore {
             out.push((
                 row[col::resource_attribute::NAME].as_text()?.to_string(),
                 row[col::resource_attribute::VALUE].as_text()?.to_string(),
-                row[col::resource_attribute::ATTR_TYPE].as_text()?.to_string(),
+                row[col::resource_attribute::ATTR_TYPE]
+                    .as_text()?
+                    .to_string(),
             ));
         }
         out.sort();
@@ -1111,7 +1131,8 @@ impl<'s> Loader<'s> {
         let metric_id = self.ensure_metric(&result.metric)?;
         let tool_id = self.ensure_tool(&result.tool)?;
         // Resolve every resource up front so failures leave no partial foci.
-        let mut resolved: Vec<(ContextRole, Vec<i64>)> = Vec::with_capacity(result.resource_sets.len());
+        let mut resolved: Vec<(ContextRole, Vec<i64>)> =
+            Vec::with_capacity(result.resource_sets.len());
         for set in &result.resource_sets {
             let ids = set
                 .resources
@@ -1175,7 +1196,9 @@ impl<'s> Loader<'s> {
         cache.resources.extend(self.overlay.resources.drain());
         cache.metrics.extend(self.overlay.metrics.drain());
         cache.tools.extend(self.overlay.tools.drain());
-        cache.resource_meta.extend(self.overlay.resource_meta.drain());
+        cache
+            .resource_meta
+            .extend(self.overlay.resource_meta.drain());
         drop(cache);
         *self.store.registry.write() = std::mem::replace(&mut self.registry, TypeRegistry::empty());
         Ok(self.stats)
@@ -1194,7 +1217,6 @@ impl<'s> Loader<'s> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn sample_ptdf() -> &'static str {
         r#"
@@ -1222,7 +1244,10 @@ PerfResult irs-mcr-008 /irs-run(primary) IRS "wall time" 99.25 seconds
         assert!(reg.contains("grid/machine/partition/node/processor"));
         assert!(reg.contains("metric"));
         assert_eq!(
-            store.db().row_count(store.schema().focus_framework).unwrap(),
+            store
+                .db()
+                .row_count(store.schema().focus_framework)
+                .unwrap(),
             perftrack_model::types::BASE_HIERARCHIES.len()
                 + perftrack_model::types::BASE_SINGLETON_TYPES.len()
         );
@@ -1237,22 +1262,33 @@ PerfResult irs-mcr-008 /irs-run(primary) IRS "wall time" 99.25 seconds
         assert_eq!(stats.executions, 1);
         assert_eq!(stats.resources, 7);
         assert_eq!(stats.attributes, 2);
-        assert_eq!(stats.constraints, 1, "resource-typed attribute becomes constraint");
+        assert_eq!(
+            stats.constraints, 1,
+            "resource-typed attribute becomes constraint"
+        );
         assert_eq!(stats.results, 2);
         assert_eq!(store.result_count().unwrap(), 2);
         assert_eq!(store.resource_count().unwrap(), 7);
         // Attributes readable back.
-        let p0 = store.resource_by_name("/MCRGrid/MCR/batch/n1/p0").unwrap().unwrap();
+        let p0 = store
+            .resource_by_name("/MCRGrid/MCR/batch/n1/p0")
+            .unwrap()
+            .unwrap();
         let attrs = store.attributes_of(p0.id).unwrap();
         assert_eq!(attrs.len(), 2);
-        assert!(attrs.iter().any(|(n, v, _)| n == "clock MHz" && v == "2400"));
+        assert!(attrs
+            .iter()
+            .any(|(n, v, _)| n == "clock MHz" && v == "2400"));
     }
 
     #[test]
     fn closure_tables_maintained() {
         let store = PTDataStore::in_memory().unwrap();
         store.load_ptdf_str(sample_ptdf()).unwrap();
-        let p0 = store.resource_by_name("/MCRGrid/MCR/batch/n1/p0").unwrap().unwrap();
+        let p0 = store
+            .resource_by_name("/MCRGrid/MCR/batch/n1/p0")
+            .unwrap()
+            .unwrap();
         // p0 has 4 ancestors.
         let idx = store.db().index_id("rha_resource").unwrap();
         let rows = store.db().index_lookup(idx, &[Value::Int(p0.id)]).unwrap();
@@ -1260,7 +1296,10 @@ PerfResult irs-mcr-008 /irs-run(primary) IRS "wall time" 99.25 seconds
         // The grid has 4 descendants (machine, partition, node, p0).
         let grid = store.resource_by_name("/MCRGrid").unwrap().unwrap();
         let idx = store.db().index_id("rhd_resource").unwrap();
-        let rows = store.db().index_lookup(idx, &[Value::Int(grid.id)]).unwrap();
+        let rows = store
+            .db()
+            .index_lookup(idx, &[Value::Int(grid.id)])
+            .unwrap();
         assert_eq!(rows.len(), 4);
     }
 
@@ -1356,8 +1395,14 @@ PerfResult irs-mcr-008 /irs-run(primary) IRS "wall time" 99.25 seconds
         let exported = store.export_ptdf().unwrap();
         let store2 = PTDataStore::in_memory().unwrap();
         store2.load_statements(&exported).unwrap();
-        assert_eq!(store2.result_count().unwrap(), store.result_count().unwrap());
-        assert_eq!(store2.resource_count().unwrap(), store.resource_count().unwrap());
+        assert_eq!(
+            store2.result_count().unwrap(),
+            store.result_count().unwrap()
+        );
+        assert_eq!(
+            store2.resource_count().unwrap(),
+            store.resource_count().unwrap()
+        );
         assert!(store2.registry().contains("syncObject"));
         // Second export is identical (canonical order).
         let exported2 = store2.export_ptdf().unwrap();
@@ -1387,7 +1432,10 @@ Resource /G/M grid/machine
         }
         let stats = store2.load_ptdf_texts_parallel(&texts, 3).unwrap();
         assert_eq!(stats.results, 6);
-        assert_eq!(store1.result_count().unwrap(), store2.result_count().unwrap());
+        assert_eq!(
+            store1.result_count().unwrap(),
+            store2.result_count().unwrap()
+        );
         assert_eq!(store1.metrics(), store2.metrics());
     }
 
@@ -1405,7 +1453,10 @@ Resource /G/M grid/machine
         assert!(store.registry().contains("grid/machine"));
         // Ids keep advancing after reopen (no collisions).
         let id = store.add_resource("/NewTop", "grid").unwrap();
-        let p0 = store.resource_by_name("/MCRGrid/MCR/batch/n1/p0").unwrap().unwrap();
+        let p0 = store
+            .resource_by_name("/MCRGrid/MCR/batch/n1/p0")
+            .unwrap()
+            .unwrap();
         assert!(id > p0.id);
         std::fs::remove_dir_all(&dir).unwrap();
     }

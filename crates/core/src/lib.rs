@@ -17,12 +17,13 @@ pub mod reports;
 pub mod schema;
 pub mod session;
 
-pub use datastore::{LoadStats, Loader, PTDataStore, ResourceRecord};
-pub use error::{PtError, Result};
-pub use predict::{Observation, PredictionCheck, Predictor, ScalingModel};
-pub use reports::{ExecutionDetail, MetricSummary, Reports, ResourceDetail, StoreSummary};
-pub use query::{ExpandStrategy, FreeResourceColumn, QueryEngine, ResultRow};
 pub use chart::{BarChart, Series};
 pub use compare::{Compare, ComparisonReport, ComparisonRow, LoadBalanceRow};
+pub use datastore::{LoadStats, Loader, PTDataStore, ResourceRecord};
+pub use error::{PtError, Result};
+pub use perftrack_store::metrics::{Json, MetricsSnapshot, OperatorProfile, QueryProfile};
+pub use predict::{Observation, PredictionCheck, Predictor, ScalingModel};
+pub use query::{ExpandStrategy, FreeResourceColumn, QueryEngine, ResultRow};
+pub use reports::{ExecutionDetail, MetricSummary, Reports, ResourceDetail, StoreSummary};
 pub use schema::Schema;
 pub use session::{DetachedTable, ResultTable, SelectionDialog, BASE_COLUMNS};

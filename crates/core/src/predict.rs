@@ -48,7 +48,10 @@ impl ScalingModel {
             )));
         }
         let n = observations.len() as f64;
-        let xs: Vec<f64> = observations.iter().map(|o| 1.0 / o.processes as f64).collect();
+        let xs: Vec<f64> = observations
+            .iter()
+            .map(|o| 1.0 / o.processes as f64)
+            .collect();
         let ys: Vec<f64> = observations.iter().map(|o| o.value).collect();
         let sx: f64 = xs.iter().sum();
         let sy: f64 = ys.iter().sum();
@@ -76,7 +79,11 @@ impl ScalingModel {
             .zip(&ys)
             .map(|(x, y)| (y - (serial + parallel * x)).powi(2))
             .sum();
-        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
         Ok(ScalingModel {
             metric: metric.to_string(),
             serial,
@@ -262,8 +269,14 @@ mod tests {
     #[test]
     fn fit_requires_two_process_counts() {
         let obs = vec![
-            Observation { processes: 4, value: 10.0 },
-            Observation { processes: 4, value: 11.0 },
+            Observation {
+                processes: 4,
+                value: 10.0,
+            },
+            Observation {
+                processes: 4,
+                value: 11.0,
+            },
         ];
         assert!(ScalingModel::fit("m", &obs).is_err());
     }
@@ -348,8 +361,13 @@ mod tests {
         let ratio = report.rows[0].ratio.unwrap();
         assert!((ratio - 1.0).abs() < 0.01, "prediction within 1%: {ratio}");
         // Predicted executions are flagged.
-        let run = store.resource_by_name("/predicted-128-run").unwrap().unwrap();
+        let run = store
+            .resource_by_name("/predicted-128-run")
+            .unwrap()
+            .unwrap();
         let attrs = store.attributes_of(run.id).unwrap();
-        assert!(attrs.iter().any(|(n, v, _)| n == "predicted" && v == "true"));
+        assert!(attrs
+            .iter()
+            .any(|(n, v, _)| n == "predicted" && v == "true"));
     }
 }

@@ -6,11 +6,13 @@
 use crate::datastore::{decode_resource, PTDataStore, ResourceRecord};
 use crate::error::{PtError, Result};
 use crate::schema::col;
-use perftrack_model::{AttrPredicate, Relatives, ResourceFilter, Selector};
 use parking_lot::Mutex;
+use perftrack_model::{AttrPredicate, Relatives, ResourceFilter, Selector};
+use perftrack_store::metrics::{OperatorProfile, QueryProfile};
 use perftrack_store::Value;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How ancestor/descendant expansion is computed — the design choice the
 /// paper calls out ("added for performance reasons") and the
@@ -107,9 +109,7 @@ impl<'s> QueryEngine<'s> {
                 let idx = db.index_id("resource_item_type")?;
                 let rids = db.index_lookup(idx, &[Value::Int(type_id)])?;
                 rids.iter()
-                    .map(|&rid| {
-                        Ok(decode_resource(&db.get(schema.resource_item, rid)?).id)
-                    })
+                    .map(|&rid| Ok(decode_resource(&db.get(schema.resource_item, rid)?).id))
                     .collect::<Result<Vec<_>>>()?
             }
             Selector::ByName(pattern) => {
@@ -230,7 +230,11 @@ impl<'s> QueryEngine<'s> {
     /// Without closure tables: scan every resource and climb its parent
     /// chain looking for a seed — the exact query pattern the paper's
     /// closure tables exist to avoid.
-    fn collect_descendants_walk(&self, seeds: &HashSet<i64>, into: &mut HashSet<i64>) -> Result<()> {
+    fn collect_descendants_walk(
+        &self,
+        seeds: &HashSet<i64>,
+        into: &mut HashSet<i64>,
+    ) -> Result<()> {
         let db = self.store.db();
         let schema = self.store.schema();
         let mut all: Vec<ResourceRecord> = Vec::new();
@@ -343,12 +347,64 @@ impl<'s> QueryEngine<'s> {
     /// Full query: build families from filters, match, and denormalize
     /// into displayable rows.
     pub fn run(&self, filters: &[ResourceFilter]) -> Result<Vec<ResultRow>> {
-        let families = filters
-            .iter()
-            .map(|f| self.family(f))
-            .collect::<Result<Vec<_>>>()?;
+        Ok(self.run_profiled(filters)?.0)
+    }
+
+    /// Like [`QueryEngine::run`], but also returns a per-operator profile
+    /// of the pr-filter pipeline (operator names documented in
+    /// `docs/METRICS.md`): one `family` operator per filter, then
+    /// `context-map`, `match`, and `fetch`.
+    pub fn run_profiled(
+        &self,
+        filters: &[ResourceFilter],
+    ) -> Result<(Vec<ResultRow>, QueryProfile)> {
+        let total_start = Instant::now();
+        let mut profile = QueryProfile::default();
+
+        let mut families = Vec::with_capacity(filters.len());
+        for (i, f) in filters.iter().enumerate() {
+            let stage = Instant::now();
+            let fam = self.family(f)?;
+            profile.push(OperatorProfile::new(
+                format!("family[{i}]"),
+                0,
+                fam.len() as u64,
+                stage.elapsed(),
+            ));
+            families.push(fam);
+        }
+
+        // Context map (cached after the first build; the profile records
+        // whatever this call actually cost).
+        let stage = Instant::now();
+        let contexts = self.result_context_map()?;
+        profile.push(OperatorProfile::new(
+            "context-map",
+            0,
+            contexts.len() as u64,
+            stage.elapsed(),
+        ));
+
+        let stage = Instant::now();
         let ids = self.matching_result_ids(&families)?;
-        self.fetch_rows(&ids)
+        profile.push(OperatorProfile::new(
+            "match",
+            contexts.len() as u64,
+            ids.len() as u64,
+            stage.elapsed(),
+        ));
+
+        let stage = Instant::now();
+        let rows = self.fetch_rows(&ids)?;
+        profile.push(OperatorProfile::new(
+            "fetch",
+            ids.len() as u64,
+            rows.len() as u64,
+            stage.elapsed(),
+        ));
+
+        profile.total_nanos = total_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        Ok((rows, profile))
     }
 
     /// Denormalize result rows by id.
@@ -357,11 +413,7 @@ impl<'s> QueryEngine<'s> {
         let schema = self.store.schema();
         let contexts = self.result_context_map()?;
         // Reverse maps for names.
-        let exec_by_id: HashMap<i64, String> = self
-            .store
-            .executions()
-            .into_iter()
-            .collect();
+        let exec_by_id: HashMap<i64, String> = self.store.executions().into_iter().collect();
         let mut metric_by_id: HashMap<i64, String> = HashMap::new();
         db.for_each_row(schema.metric, |_, row| {
             if let (Ok(id), Ok(name)) = (
@@ -435,10 +487,7 @@ impl<'s> QueryEngine<'s> {
                 let Some(rec) = self.store.resource_by_id(res_id)? else {
                     continue;
                 };
-                let tp = type_by_id
-                    .get(&rec.type_id)
-                    .cloned()
-                    .unwrap_or_default();
+                let tp = type_by_id.get(&rec.type_id).cloned().unwrap_or_default();
                 per_type_values
                     .entry(tp.clone())
                     .or_default()
@@ -469,7 +518,11 @@ impl<'s> QueryEngine<'s> {
 
     /// Values for an added column: per result, the base name(s) of context
     /// resources of `type_path` (joined with `+` when several).
-    pub fn column_values(&self, rows: &[ResultRow], type_path: &str) -> Result<Vec<Option<String>>> {
+    pub fn column_values(
+        &self,
+        rows: &[ResultRow],
+        type_path: &str,
+    ) -> Result<Vec<Option<String>>> {
         let type_id = self
             .store
             .type_id(type_path)
@@ -683,6 +736,35 @@ mod tests {
         assert_eq!(counts.whole, 5);
         // Empty filter matches all 10 results.
         assert_eq!(q.run(&[]).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn run_profiled_reports_pipeline_stages() {
+        let store = setup();
+        let q = QueryEngine::new(&store);
+        let filters = vec![
+            ResourceFilter::by_name("/IRS-Frost").relatives(Relatives::Neither),
+            ResourceFilter::by_name("Frost"),
+        ];
+        let (rows, profile) = q.run_profiled(&filters).unwrap();
+        assert_eq!(rows.len(), 5);
+        let names: Vec<&str> = profile
+            .operators
+            .iter()
+            .map(|o| o.operator.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["family[0]", "family[1]", "context-map", "match", "fetch"]
+        );
+        assert_eq!(profile.operators[0].rows_out, 1, "exact-name family");
+        assert_eq!(profile.operators[3].rows_out, 5, "match narrows to 5 ids");
+        assert_eq!(profile.operators[4].rows_out, 5, "all ids fetched");
+        assert!(profile.total_nanos > 0);
+        // The profile serializes to the documented JSON schema.
+        let json = profile.to_json().emit();
+        let parsed = perftrack_store::metrics::Json::parse(&json).unwrap();
+        assert_eq!(parsed, profile.to_json());
     }
 
     #[test]

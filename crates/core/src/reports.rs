@@ -78,22 +78,27 @@ impl<'s> Reports<'s> {
         }
         let types = engine.type_path_by_id()?;
         let mut resources_by_root_type: BTreeMap<String, usize> = BTreeMap::new();
-        self.store.db().for_each_row(self.store.schema().resource_item, |_, row| {
-            if let Ok(tid) = row[crate::schema::col::resource_item::FOCUS_FRAMEWORK_ID].as_int() {
-                if let Some(tp) = types.get(&tid) {
-                    let root = tp.split('/').next().unwrap_or(tp).to_string();
-                    *resources_by_root_type.entry(root).or_insert(0) += 1;
+        self.store
+            .db()
+            .for_each_row(self.store.schema().resource_item, |_, row| {
+                if let Ok(tid) = row[crate::schema::col::resource_item::FOCUS_FRAMEWORK_ID].as_int()
+                {
+                    if let Some(tp) = types.get(&tid) {
+                        let root = tp.split('/').next().unwrap_or(tp).to_string();
+                        *resources_by_root_type.entry(root).or_insert(0) += 1;
+                    }
                 }
-            }
-            true
-        })?;
+                true
+            })?;
         let mut applications: Vec<String> = Vec::new();
-        self.store.db().for_each_row(self.store.schema().application, |_, row| {
-            if let Ok(n) = row[crate::schema::col::application::NAME].as_text() {
-                applications.push(n.to_string());
-            }
-            true
-        })?;
+        self.store
+            .db()
+            .for_each_row(self.store.schema().application, |_, row| {
+                if let Ok(n) = row[crate::schema::col::application::NAME].as_text() {
+                    applications.push(n.to_string());
+                }
+                true
+            })?;
         applications.sort();
         Ok(StoreSummary {
             applications,
@@ -200,12 +205,18 @@ impl<'s> Reports<'s> {
         let types = engine.type_path_by_id()?;
         // Children: resources whose parent_id is this id.
         let mut children = 0usize;
-        self.store.db().for_each_row(self.store.schema().resource_item, |_, row| {
-            if row[crate::schema::col::resource_item::PARENT_ID].as_int().ok() == Some(rec.id) {
-                children += 1;
-            }
-            true
-        })?;
+        self.store
+            .db()
+            .for_each_row(self.store.schema().resource_item, |_, row| {
+                if row[crate::schema::col::resource_item::PARENT_ID]
+                    .as_int()
+                    .ok()
+                    == Some(rec.id)
+                {
+                    children += 1;
+                }
+                true
+            })?;
         // Results whose context contains this resource.
         let contexts = engine.result_context_map()?;
         let results_in_context = contexts
@@ -249,7 +260,12 @@ impl<'s> Reports<'s> {
     pub fn render_execution(d: &ExecutionDetail) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "execution {} (application {})", d.name, d.application);
-        let _ = writeln!(out, "  results: {}  tools: {}", d.results, d.tools.join(", "));
+        let _ = writeln!(
+            out,
+            "  results: {}  tools: {}",
+            d.results,
+            d.tools.join(", ")
+        );
         if !d.run_attributes.is_empty() {
             let _ = writeln!(out, "  run attributes:");
             for (k, v) in &d.run_attributes {

@@ -145,7 +145,12 @@ impl Schema {
             ],
         )?;
         db.create_index("focus_framework_id", focus_framework, &["id"], true)?;
-        db.create_index("focus_framework_path", focus_framework, &["type_path"], true)?;
+        db.create_index(
+            "focus_framework_path",
+            focus_framework,
+            &["type_path"],
+            true,
+        )?;
 
         let execution = db.create_table(
             "execution",
@@ -172,7 +177,12 @@ impl Schema {
         db.create_index("resource_item_id", resource_item, &["id"], true)?;
         db.create_index("resource_item_name", resource_item, &["name"], true)?;
         db.create_index("resource_item_base", resource_item, &["base_name"], false)?;
-        db.create_index("resource_item_type", resource_item, &["focus_framework_id"], false)?;
+        db.create_index(
+            "resource_item_type",
+            resource_item,
+            &["focus_framework_id"],
+            false,
+        )?;
 
         let resource_attribute = db.create_table(
             "resource_attribute",
@@ -183,8 +193,18 @@ impl Schema {
                 Column::new("attr_type", ColumnType::Text),
             ],
         )?;
-        db.create_index("resource_attribute_rid", resource_attribute, &["resource_id"], false)?;
-        db.create_index("resource_attribute_name", resource_attribute, &["name"], false)?;
+        db.create_index(
+            "resource_attribute_rid",
+            resource_attribute,
+            &["resource_id"],
+            false,
+        )?;
+        db.create_index(
+            "resource_attribute_name",
+            resource_attribute,
+            &["name"],
+            false,
+        )?;
 
         let resource_constraint = db.create_table(
             "resource_constraint",
@@ -194,8 +214,18 @@ impl Schema {
                 Column::new("name", ColumnType::Text),
             ],
         )?;
-        db.create_index("resource_constraint_r1", resource_constraint, &["resource1_id"], false)?;
-        db.create_index("resource_constraint_r2", resource_constraint, &["resource2_id"], false)?;
+        db.create_index(
+            "resource_constraint_r1",
+            resource_constraint,
+            &["resource1_id"],
+            false,
+        )?;
+        db.create_index(
+            "resource_constraint_r2",
+            resource_constraint,
+            &["resource2_id"],
+            false,
+        )?;
 
         let resource_has_ancestor = db.create_table(
             "resource_has_ancestor",
@@ -204,8 +234,18 @@ impl Schema {
                 Column::new("ancestor_id", ColumnType::Int),
             ],
         )?;
-        db.create_index("rha_resource", resource_has_ancestor, &["resource_id"], false)?;
-        db.create_index("rha_ancestor", resource_has_ancestor, &["ancestor_id"], false)?;
+        db.create_index(
+            "rha_resource",
+            resource_has_ancestor,
+            &["resource_id"],
+            false,
+        )?;
+        db.create_index(
+            "rha_ancestor",
+            resource_has_ancestor,
+            &["ancestor_id"],
+            false,
+        )?;
 
         let resource_has_descendant = db.create_table(
             "resource_has_descendant",
@@ -214,7 +254,12 @@ impl Schema {
                 Column::new("descendant_id", ColumnType::Int),
             ],
         )?;
-        db.create_index("rhd_resource", resource_has_descendant, &["resource_id"], false)?;
+        db.create_index(
+            "rhd_resource",
+            resource_has_descendant,
+            &["resource_id"],
+            false,
+        )?;
 
         let metric = db.create_table(
             "metric",
@@ -248,8 +293,18 @@ impl Schema {
             ],
         )?;
         db.create_index("performance_result_id", performance_result, &["id"], true)?;
-        db.create_index("performance_result_exec", performance_result, &["execution_id"], false)?;
-        db.create_index("performance_result_metric", performance_result, &["metric_id"], false)?;
+        db.create_index(
+            "performance_result_exec",
+            performance_result,
+            &["execution_id"],
+            false,
+        )?;
+        db.create_index(
+            "performance_result_metric",
+            performance_result,
+            &["metric_id"],
+            false,
+        )?;
 
         let focus = db.create_table(
             "focus",
@@ -366,14 +421,21 @@ mod tests {
     fn column_ordinals_match_schema() {
         let db = Database::in_memory();
         let s = Schema::create(&db).unwrap();
-        assert_eq!(db.column_index(s.resource_item, "id").unwrap(), col::resource_item::ID);
-        assert_eq!(db.column_index(s.resource_item, "name").unwrap(), col::resource_item::NAME);
+        assert_eq!(
+            db.column_index(s.resource_item, "id").unwrap(),
+            col::resource_item::ID
+        );
+        assert_eq!(
+            db.column_index(s.resource_item, "name").unwrap(),
+            col::resource_item::NAME
+        );
         assert_eq!(
             db.column_index(s.resource_item, "base_name").unwrap(),
             col::resource_item::BASE_NAME
         );
         assert_eq!(
-            db.column_index(s.resource_item, "focus_framework_id").unwrap(),
+            db.column_index(s.resource_item, "focus_framework_id")
+                .unwrap(),
             col::resource_item::FOCUS_FRAMEWORK_ID
         );
         assert_eq!(
@@ -384,9 +446,13 @@ mod tests {
             db.column_index(s.performance_result, "value").unwrap(),
             col::performance_result::VALUE
         );
-        assert_eq!(db.column_index(s.focus, "focus_type").unwrap(), col::focus::FOCUS_TYPE);
         assert_eq!(
-            db.column_index(s.focus_has_resource, "resource_id").unwrap(),
+            db.column_index(s.focus, "focus_type").unwrap(),
+            col::focus::FOCUS_TYPE
+        );
+        assert_eq!(
+            db.column_index(s.focus_has_resource, "resource_id")
+                .unwrap(),
             col::focus_has_resource::RESOURCE_ID
         );
     }
@@ -397,11 +463,20 @@ mod tests {
         let s = Schema::create(&db).unwrap();
         use perftrack_store::Value;
         let mut txn = db.begin();
-        txn.insert(s.application, vec![Value::Int(1), Value::Text("IRS".into())])
-            .unwrap();
+        txn.insert(
+            s.application,
+            vec![Value::Int(1), Value::Text("IRS".into())],
+        )
+        .unwrap();
         let err = txn
-            .insert(s.application, vec![Value::Int(2), Value::Text("IRS".into())])
+            .insert(
+                s.application,
+                vec![Value::Int(2), Value::Text("IRS".into())],
+            )
             .unwrap_err();
-        assert!(matches!(err, perftrack_store::StoreError::UniqueViolation(_)));
+        assert!(matches!(
+            err,
+            perftrack_store::StoreError::UniqueViolation(_)
+        ));
     }
 }

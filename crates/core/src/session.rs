@@ -12,6 +12,7 @@ use crate::datastore::PTDataStore;
 use crate::error::{PtError, Result};
 use crate::query::{FreeResourceColumn, MatchCounts, QueryEngine, ResultRow};
 use perftrack_model::{AttrPredicate, Relatives, ResourceFilter, TypePath};
+use perftrack_store::metrics::QueryProfile;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// One entry in the dialog's "Selected Parameters" list.
@@ -100,9 +101,7 @@ impl<'s> SelectionDialog<'s> {
     /// under a machine named Frost".
     pub fn children_of_name(&self, suffix: &str) -> Result<Vec<(String, usize)>> {
         let engine = QueryEngine::new(self.store);
-        let fam = engine.family(
-            &ResourceFilter::by_name(suffix).relatives(Relatives::Neither),
-        )?;
+        let fam = engine.family(&ResourceFilter::by_name(suffix).relatives(Relatives::Neither))?;
         let mut counts: BTreeMap<String, usize> = BTreeMap::new();
         let db = self.store.db();
         let schema = self.store.schema();
@@ -124,9 +123,7 @@ impl<'s> SelectionDialog<'s> {
     /// every resource an entry refers to.
     pub fn attribute_viewer(&self, suffix: &str) -> Result<Vec<(String, String, String)>> {
         let engine = QueryEngine::new(self.store);
-        let fam = engine.family(
-            &ResourceFilter::by_name(suffix).relatives(Relatives::Neither),
-        )?;
+        let fam = engine.family(&ResourceFilter::by_name(suffix).relatives(Relatives::Neither))?;
         let mut out = Vec::new();
         for id in fam {
             if let Some(rec) = self.store.resource_by_id(id)? {
@@ -205,21 +202,31 @@ impl<'s> SelectionDialog<'s> {
 
     /// Execute the query and open the main window (Figure 4).
     pub fn retrieve(&self) -> Result<ResultTable<'s>> {
+        Ok(self.retrieve_profiled()?.0)
+    }
+
+    /// Like [`SelectionDialog::retrieve`], but also returns the
+    /// per-operator [`QueryProfile`] of the executed pr-filter pipeline
+    /// (the CLI's `--profile` flag surfaces this).
+    pub fn retrieve_profiled(&self) -> Result<(ResultTable<'s>, QueryProfile)> {
         let engine = QueryEngine::new(self.store);
+        let filters: Vec<ResourceFilter> = self.selected.iter().map(|p| p.filter.clone()).collect();
+        let (rows, profile) = engine.run_profiled(&filters)?;
         let families = self
             .selected
             .iter()
             .map(|p| engine.family(&p.filter))
             .collect::<Result<Vec<_>>>()?;
-        let ids = engine.matching_result_ids(&families)?;
-        let rows = engine.fetch_rows(&ids)?;
-        Ok(ResultTable {
-            store: self.store,
-            fixed_families: families,
-            base_rows: rows,
-            extra_columns: Vec::new(),
-            hidden: HashSet::new(),
-        })
+        Ok((
+            ResultTable {
+                store: self.store,
+                fixed_families: families,
+                base_rows: rows,
+                extra_columns: Vec::new(),
+                hidden: HashSet::new(),
+            },
+            profile,
+        ))
     }
 }
 
@@ -528,10 +535,7 @@ impl DetachedTable {
         if column >= self.columns.len() {
             return Err(PtError::Invalid(format!("no column {column}")));
         }
-        let numeric = self
-            .rows
-            .iter()
-            .all(|r| r[column].parse::<f64>().is_ok());
+        let numeric = self.rows.iter().all(|r| r[column].parse::<f64>().is_ok());
         self.rows.sort_by(|a, b| {
             let ord = if numeric {
                 a[column]
@@ -717,7 +721,10 @@ mod tests {
         let menu = d.resource_type_menu();
         assert!(menu.contains(&"grid/machine".to_string()));
         let names = d.names_for_type("grid/machine").unwrap();
-        assert_eq!(names, vec![("Frost".to_string(), 1), ("MCR".to_string(), 1)]);
+        assert_eq!(
+            names,
+            vec![("Frost".to_string(), 1), ("MCR".to_string(), 1)]
+        );
         // "batch" appears once per machine.
         let names = d.names_for_type("grid/machine/partition").unwrap();
         assert_eq!(names, vec![("batch".to_string(), 2)]);
@@ -733,7 +740,10 @@ mod tests {
         let kids = d.children_of_name("batch").unwrap();
         assert_eq!(
             kids,
-            vec![("batch/node0".to_string(), 2), ("batch/node1".to_string(), 2)]
+            vec![
+                ("batch/node0".to_string(), 2),
+                ("batch/node1".to_string(), 2)
+            ]
         );
         // Children of "Frost/batch" restrict to Frost (Fig. 3 semantics).
         let kids = d.children_of_name("Frost/batch").unwrap();
@@ -804,7 +814,9 @@ mod tests {
         // Add a free-resource column.
         let addable = table.addable_columns().unwrap();
         assert!(
-            addable.iter().any(|c| c.type_path == "grid/machine/partition/node"),
+            addable
+                .iter()
+                .any(|c| c.type_path == "grid/machine/partition/node"),
             "node varies: {addable:?}"
         );
         table.add_resource_column("grid/machine/partition/node");
@@ -822,6 +834,23 @@ mod tests {
     }
 
     #[test]
+    fn retrieve_profiled_matches_retrieve() {
+        let store = setup();
+        let mut d = SelectionDialog::new(&store);
+        d.add_name("Frost", Relatives::Descendants);
+        let plain = d.retrieve().unwrap();
+        let (profiled, profile) = d.retrieve_profiled().unwrap();
+        assert_eq!(profiled.rows(), plain.rows());
+        let names: Vec<&str> = profile
+            .operators
+            .iter()
+            .map(|o| o.operator.as_str())
+            .collect();
+        assert_eq!(names, vec!["family[0]", "context-map", "match", "fetch"]);
+        assert!(profile.total_nanos > 0);
+    }
+
+    #[test]
     fn csv_roundtrip_through_detached_table() {
         let store = setup();
         let d = SelectionDialog::new(&store);
@@ -835,7 +864,11 @@ mod tests {
         assert_eq!(detached.to_csv(), csv);
         // Display-side operations work offline.
         detached.sort_by(2, false).unwrap();
-        let vals: Vec<f64> = detached.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let vals: Vec<f64> = detached
+            .rows
+            .iter()
+            .map(|r| r[2].parse().unwrap())
+            .collect();
         assert!(vals.windows(2).all(|w| w[0] >= w[1]));
         detached.filter_eq(0, "exec-Frost").unwrap();
         assert_eq!(detached.rows.len(), 2);

@@ -95,9 +95,7 @@ impl AttrCmp {
             AttrCmp::StartsWith => actual.starts_with(expected),
             ordered => {
                 let ord = match (actual.parse::<f64>(), expected.parse::<f64>()) {
-                    (Ok(a), Ok(b)) => a
-                        .partial_cmp(&b)
-                        .unwrap_or(std::cmp::Ordering::Equal),
+                    (Ok(a), Ok(b)) => a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal),
                     _ => actual.cmp(expected),
                 };
                 match ordered {
@@ -280,12 +278,9 @@ impl PrFilter {
         &self,
         context: impl IntoIterator<Item = &'a ResourceName> + Clone,
     ) -> bool {
-        self.families.iter().all(|family| {
-            context
-                .clone()
-                .into_iter()
-                .any(|r| family.contains(r))
-        })
+        self.families
+            .iter()
+            .all(|family| context.clone().into_iter().any(|r| family.contains(r)))
     }
 
     /// Does this pr-filter match a performance result? The result's
@@ -359,7 +354,8 @@ mod tests {
             .unwrap();
             for n in 0..2 {
                 let node = format!("/{grid}/{machine}/batch/node{n}");
-                repo.add(&reg, &node, "grid/machine/partition/node").unwrap();
+                repo.add(&reg, &node, "grid/machine/partition/node")
+                    .unwrap();
                 let nn = rn(&node);
                 repo.set_attr(&nn, "memoryGB", AttrValue::Str(format!("{}", 8 * (n + 1))))
                     .unwrap();
@@ -417,8 +413,14 @@ mod tests {
     #[test]
     fn attr_cmp_numeric_and_string() {
         assert!(AttrCmp::Eq.apply("IBM", "IBM"));
-        assert!(AttrCmp::Lt.apply("9", "10"), "numeric compare when both parse");
-        assert!(AttrCmp::Gt.apply("zebra", "apple"), "lexicographic otherwise");
+        assert!(
+            AttrCmp::Lt.apply("9", "10"),
+            "numeric compare when both parse"
+        );
+        assert!(
+            AttrCmp::Gt.apply("zebra", "apple"),
+            "lexicographic otherwise"
+        );
         assert!(AttrCmp::Contains.apply("Power4+", "ower4"));
         assert!(AttrCmp::StartsWith.apply("linux-2.6", "linux"));
         assert!(AttrCmp::parse("bogus").is_err());
@@ -432,7 +434,7 @@ mod tests {
         // and processors.
         let fam = ResourceFilter::by_name("Frost").apply(&repo);
         assert_eq!(fam.len(), 1 + 1 + 2 + 4); // Frost + batch + 2 nodes + 4 procs
-        // With Neither, just the machine itself.
+                                              // With Neither, just the machine itself.
         let fam = ResourceFilter::by_name("Frost")
             .relatives(Relatives::Neither)
             .apply(&repo);

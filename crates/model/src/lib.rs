@@ -31,8 +31,8 @@ pub mod types;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::filter::{
-        AttrCmp, AttrPredicate, MatchCounts, PrFilter, Relatives, ResourceFamily,
-        ResourceFilter, Selector,
+        AttrCmp, AttrPredicate, MatchCounts, PrFilter, Relatives, ResourceFamily, ResourceFilter,
+        Selector,
     };
     pub use crate::resource::{AttrValue, Resource, ResourceName, ResourceRepo};
     pub use crate::result::{ContextRole, PerformanceResult, ResourceSet};

@@ -163,17 +163,15 @@ impl ResourceRepo {
         }
         match name.parent() {
             Some(parent_name) => {
-                let parent = self.resources.get(&parent_name).ok_or_else(|| {
-                    ModelError::UnknownResource(parent_name.as_str().to_string())
-                })?;
-                let expected_parent_type = rtype.parent().ok_or_else(|| {
-                    ModelError::TypeMismatch {
+                let parent = self
+                    .resources
+                    .get(&parent_name)
+                    .ok_or_else(|| ModelError::UnknownResource(parent_name.as_str().to_string()))?;
+                let expected_parent_type =
+                    rtype.parent().ok_or_else(|| ModelError::TypeMismatch {
                         resource: name.as_str().to_string(),
-                        detail: format!(
-                            "top-level type {rtype} cannot name a nested resource"
-                        ),
-                    }
-                })?;
+                        detail: format!("top-level type {rtype} cannot name a nested resource"),
+                    })?;
                 if parent.rtype != expected_parent_type {
                     return Err(ModelError::TypeMismatch {
                         resource: name.as_str().to_string(),
@@ -463,7 +461,8 @@ mod tests {
 
         // Resource-valued attribute (constraint): process runs on node.
         repo.add(&reg, "/exec1", "execution").unwrap();
-        repo.add(&reg, "/exec1/process8", "execution/process").unwrap();
+        repo.add(&reg, "/exec1/process8", "execution/process")
+            .unwrap();
         let proc8 = ResourceName::new("/exec1/process8").unwrap();
         let node = ResourceName::new("/SingleMachineFrost/Frost/batch/frost121").unwrap();
         repo.set_attr(&proc8, "node", AttrValue::Resource(node.clone()))

@@ -210,10 +210,7 @@ impl TypeRegistry {
     /// short name is ambiguous across hierarchies (like `module`, which
     /// exists under both `build` and `environment`).
     pub fn resolve_short(&self, short: &str) -> Result<TypePath, ModelError> {
-        let mut hits = self
-            .types
-            .keys()
-            .filter(|tp| tp.short_name() == short);
+        let mut hits = self.types.keys().filter(|tp| tp.short_name() == short);
         match (hits.next(), hits.next()) {
             (Some(tp), None) => Ok(tp.clone()),
             (Some(_), Some(_)) => Err(ModelError::UnknownType(format!(
@@ -229,8 +226,7 @@ impl TypeRegistry {
         self.types
             .keys()
             .filter(|tp| {
-                tp.as_str().starts_with(&prefix)
-                    && !tp.as_str()[prefix.len()..].contains('/')
+                tp.as_str().starts_with(&prefix) && !tp.as_str()[prefix.len()..].contains('/')
             })
             .cloned()
             .collect()
@@ -295,7 +291,10 @@ mod tests {
     #[test]
     fn base_types_load() {
         let reg = TypeRegistry::with_base_types();
-        assert_eq!(reg.len(), BASE_HIERARCHIES.len() + BASE_SINGLETON_TYPES.len());
+        assert_eq!(
+            reg.len(),
+            BASE_HIERARCHIES.len() + BASE_SINGLETON_TYPES.len()
+        );
         assert!(reg.contains("grid/machine/partition/node/processor"));
         assert!(reg.contains("metric"));
         assert!(!reg.contains("syncObject"));
@@ -319,7 +318,10 @@ mod tests {
         reg.add("syncObject/communicator").unwrap();
         assert!(reg.contains("syncObject/communicator"));
         // Duplicates rejected, add_or_get tolerates them.
-        assert!(matches!(reg.add("syncObject"), Err(ModelError::DuplicateType(_))));
+        assert!(matches!(
+            reg.add("syncObject"),
+            Err(ModelError::DuplicateType(_))
+        ));
         assert_eq!(reg.add_or_get("syncObject").unwrap().as_str(), "syncObject");
     }
 

@@ -102,7 +102,10 @@ mod tests {
             tokenize("Application IRS", 1).unwrap(),
             vec!["Application", "IRS"]
         );
-        assert_eq!(tokenize("   spaced   out  ", 1).unwrap(), vec!["spaced", "out"]);
+        assert_eq!(
+            tokenize("   spaced   out  ", 1).unwrap(),
+            vec!["spaced", "out"]
+        );
     }
 
     #[test]
@@ -125,7 +128,10 @@ mod tests {
 
     #[test]
     fn quote_errors() {
-        assert!(tokenize("\"unterminated", 3).unwrap_err().to_string().contains("line 3"));
+        assert!(tokenize("\"unterminated", 3)
+            .unwrap_err()
+            .to_string()
+            .contains("line 3"));
         assert!(tokenize(r#""bad \x escape""#, 1).is_err());
         assert!(tokenize("\"dangling \\", 1).is_err());
     }

@@ -128,8 +128,7 @@ impl<R: BufRead> Iterator for PtdfReader<R> {
                 Ok(0) => return None,
                 Ok(_) => {
                     self.line_no += 1;
-                    match PtdfStatement::parse_line(self.buf.trim_end_matches('\n'), self.line_no)
-                    {
+                    match PtdfStatement::parse_line(self.buf.trim_end_matches('\n'), self.line_no) {
                         Ok(Some(stmt)) => return Some(Ok(stmt)),
                         Ok(None) => continue,
                         Err(e) => return Some(Err(ReadError::Parse(e))),

@@ -181,10 +181,7 @@ impl PtdfStatement {
 /// comma-separated resource-name list followed by a set type name in
 /// parentheses. Example: `/irs,/M/m/b/n/p0(primary):/irs/build/f(parent)`.
 /// A bare list with no parentheses is treated as `(primary)`.
-pub fn parse_resource_sets(
-    field: &str,
-    line_no: usize,
-) -> Result<Vec<PtdfResourceSet>, PtdfError> {
+pub fn parse_resource_sets(field: &str, line_no: usize) -> Result<Vec<PtdfResourceSet>, PtdfError> {
     let mut sets = Vec::new();
     for part in field.split(':') {
         let part = part.trim();
@@ -407,16 +404,11 @@ mod tests {
         assert!(e.to_string().contains("line 42"));
         assert!(PtdfStatement::parse_line("Application", 1).is_err());
         assert!(PtdfStatement::parse_line("Execution only-one", 1).is_err());
-        assert!(PtdfStatement::parse_line(
-            "PerfResult e /r(primary) tool metric NaNish units",
-            1
-        )
-        .is_err());
-        assert!(PtdfStatement::parse_line(
-            "ResourceAttribute /r a v badtype",
-            1
-        )
-        .is_err());
+        assert!(
+            PtdfStatement::parse_line("PerfResult e /r(primary) tool metric NaNish units", 1)
+                .is_err()
+        );
+        assert!(PtdfStatement::parse_line("ResourceAttribute /r a v badtype", 1).is_err());
     }
 
     #[test]
@@ -428,8 +420,12 @@ mod tests {
     #[test]
     fn display_parse_roundtrip() {
         let samples = vec![
-            PtdfStatement::Application { name: "SMG 2000".into() },
-            PtdfStatement::ResourceType { type_path: "time/interval".into() },
+            PtdfStatement::Application {
+                name: "SMG 2000".into(),
+            },
+            PtdfStatement::ResourceType {
+                type_path: "time/interval".into(),
+            },
             PtdfStatement::Execution {
                 name: "smg-uv-0007".into(),
                 application: "SMG 2000".into(),

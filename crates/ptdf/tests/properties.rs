@@ -36,17 +36,18 @@ fn arb_statement() -> impl Strategy<Value = PtdfStatement> {
                 type_path: segs.join("/"),
             }
         }),
-        (arb_name(), arb_name()).prop_map(|(name, application)| PtdfStatement::Execution {
-            name,
-            application
-        }),
-        (arb_resource_name(), "[a-z/]{1,16}", prop::option::of(arb_name())).prop_map(
-            |(name, type_path, execution)| PtdfStatement::Resource {
+        (arb_name(), arb_name())
+            .prop_map(|(name, application)| PtdfStatement::Execution { name, application }),
+        (
+            arb_resource_name(),
+            "[a-z/]{1,16}",
+            prop::option::of(arb_name())
+        )
+            .prop_map(|(name, type_path, execution)| PtdfStatement::Resource {
                 name,
                 type_path,
                 execution
-            }
-        ),
+            }),
         (arb_resource_name(), arb_name(), arb_name()).prop_map(|(resource, attribute, value)| {
             PtdfStatement::ResourceAttribute {
                 resource,

@@ -14,7 +14,9 @@
 //! never becomes incorrect, only — under adversarial delete patterns —
 //! shallower than optimal. Bulk rebuilds restore tightness.
 
+use crate::metrics::BTreeStatsSnapshot;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum entries per node before it splits.
 const MAX_KEYS: usize = 64;
@@ -37,7 +39,7 @@ fn cmp_entry(a: &(Key, u64), key: &[u8], rid: u64) -> std::cmp::Ordering {
 }
 
 impl Node {
-    fn insert(&mut self, key: Key, rid: u64) -> Option<(Entry, Node)> {
+    fn insert(&mut self, key: Key, rid: u64, splits: &mut u64) -> Option<(Entry, Node)> {
         match self {
             Node::Leaf(entries) => {
                 let pos = entries.partition_point(|e| cmp_entry(e, &key, rid).is_lt());
@@ -45,16 +47,18 @@ impl Node {
                 if entries.len() <= MAX_KEYS {
                     return None;
                 }
+                *splits += 1;
                 let right: Vec<Entry> = entries.split_off(entries.len() / 2);
                 let sep = (right[0].0.clone(), right[0].1);
                 Some((sep, Node::Leaf(right)))
             }
             Node::Internal { seps, children } => {
                 let idx = seps.partition_point(|s| cmp_entry(s, &key, rid).is_le());
-                if let Some((sep, new_child)) = children[idx].insert(key, rid) {
+                if let Some((sep, new_child)) = children[idx].insert(key, rid, splits) {
                     seps.insert(idx, sep);
                     children.insert(idx + 1, new_child);
                     if seps.len() > MAX_KEYS {
+                        *splits += 1;
                         let mid = seps.len() / 2;
                         let up = seps.remove(mid);
                         let right_seps = seps.split_off(mid);
@@ -75,15 +79,13 @@ impl Node {
 
     fn remove(&mut self, key: &[u8], rid: u64) -> bool {
         match self {
-            Node::Leaf(entries) => {
-                match entries.binary_search_by(|e| cmp_entry(e, key, rid)) {
-                    Ok(pos) => {
-                        entries.remove(pos);
-                        true
-                    }
-                    Err(_) => false,
+            Node::Leaf(entries) => match entries.binary_search_by(|e| cmp_entry(e, key, rid)) {
+                Ok(pos) => {
+                    entries.remove(pos);
+                    true
                 }
-            }
+                Err(_) => false,
+            },
             Node::Internal { seps, children } => {
                 let idx = seps.partition_point(|s| cmp_entry(s, key, rid).is_le());
                 children[idx].remove(key, rid)
@@ -98,7 +100,9 @@ impl Node {
         lo: Bound<&[u8]>,
         hi: Bound<&[u8]>,
         f: &mut impl FnMut(&[u8], u64) -> bool,
+        reads: &mut u64,
     ) -> bool {
+        *reads += 1;
         match self {
             Node::Leaf(entries) => {
                 let start = match lo {
@@ -145,7 +149,7 @@ impl Node {
                             break;
                         }
                     }
-                    if !children[idx].visit_range(lo, hi, f) {
+                    if !children[idx].visit_range(lo, hi, f, reads) {
                         return false;
                     }
                 }
@@ -166,6 +170,8 @@ impl Node {
 pub struct BTreeIndex {
     root: Node,
     len: usize,
+    splits: u64,
+    node_reads: AtomicU64,
 }
 
 impl Default for BTreeIndex {
@@ -180,6 +186,19 @@ impl BTreeIndex {
         BTreeIndex {
             root: Node::Leaf(Vec::new()),
             len: 0,
+            splits: 0,
+            node_reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Observability counters for this index: entry count, node splits
+    /// performed by inserts, nodes visited by lookups/scans, and depth.
+    pub fn stats(&self) -> BTreeStatsSnapshot {
+        BTreeStatsSnapshot {
+            entries: self.len as u64,
+            splits: self.splits,
+            node_reads: self.node_reads.load(Ordering::Relaxed),
+            max_depth: self.depth() as u64,
         }
     }
 
@@ -202,7 +221,7 @@ impl BTreeIndex {
     /// stored once is not guaranteed — callers (the table layer) never
     /// insert the same pair twice.
     pub fn insert(&mut self, key: &[u8], rid: u64) {
-        if let Some((sep, right)) = self.root.insert(key.into(), rid) {
+        if let Some((sep, right)) = self.root.insert(key.into(), rid, &mut self.splits) {
             let old_root = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
             self.root = Node::Internal {
                 seps: vec![sep],
@@ -224,22 +243,34 @@ impl BTreeIndex {
     /// All rowids whose key equals `key`, in rowid order.
     pub fn get_eq(&self, key: &[u8]) -> Vec<u64> {
         let mut out = Vec::new();
-        self.root
-            .visit_range(Bound::Included(key), Bound::Included(key), &mut |_, rid| {
+        let mut reads = 0u64;
+        self.root.visit_range(
+            Bound::Included(key),
+            Bound::Included(key),
+            &mut |_, rid| {
                 out.push(rid);
                 true
-            });
+            },
+            &mut reads,
+        );
+        self.node_reads.fetch_add(reads, Ordering::Relaxed);
         out
     }
 
     /// True if at least one entry has exactly this key.
     pub fn contains_key(&self, key: &[u8]) -> bool {
         let mut found = false;
-        self.root
-            .visit_range(Bound::Included(key), Bound::Included(key), &mut |_, _| {
+        let mut reads = 0u64;
+        self.root.visit_range(
+            Bound::Included(key),
+            Bound::Included(key),
+            &mut |_, _| {
                 found = true;
                 false
-            });
+            },
+            &mut reads,
+        );
+        self.node_reads.fetch_add(reads, Ordering::Relaxed);
         found
     }
 
@@ -251,7 +282,9 @@ impl BTreeIndex {
         hi: Bound<&[u8]>,
         mut f: impl FnMut(&[u8], u64) -> bool,
     ) {
-        self.root.visit_range(lo, hi, &mut f);
+        let mut reads = 0u64;
+        self.root.visit_range(lo, hi, &mut f, &mut reads);
+        self.node_reads.fetch_add(reads, Ordering::Relaxed);
     }
 
     /// Rowids for all keys in the (inclusive) range, in key order.
@@ -267,13 +300,19 @@ impl BTreeIndex {
     /// Visit all entries whose key starts with `prefix` (contiguous under
     /// the order-preserving encoding).
     pub fn for_prefix(&self, prefix: &[u8], mut f: impl FnMut(&[u8], u64) -> bool) {
-        self.root
-            .visit_range(Bound::Included(prefix), Bound::Unbounded, &mut |key, rid| {
+        let mut reads = 0u64;
+        self.root.visit_range(
+            Bound::Included(prefix),
+            Bound::Unbounded,
+            &mut |key, rid| {
                 if !key.starts_with(prefix) {
                     return false;
                 }
                 f(key, rid)
-            });
+            },
+            &mut reads,
+        );
+        self.node_reads.fetch_add(reads, Ordering::Relaxed);
     }
 }
 
@@ -424,6 +463,26 @@ mod tests {
     }
 
     #[test]
+    fn stats_track_splits_and_node_reads() {
+        let mut t = BTreeIndex::new();
+        assert_eq!(t.stats().splits, 0);
+        for i in 0..1000u64 {
+            t.insert(format!("k{i:05}").as_bytes(), i);
+        }
+        let s = t.stats();
+        assert_eq!(s.entries, 1000);
+        assert!(s.splits >= 1000 / MAX_KEYS as u64, "many leaf splits");
+        assert!(s.max_depth >= 2);
+        assert_eq!(s.node_reads, 0, "no lookups yet");
+        t.get_eq(b"k00500");
+        let s2 = t.stats();
+        assert!(
+            s2.node_reads >= s.max_depth,
+            "point lookup walks a root-to-leaf path"
+        );
+    }
+
+    #[test]
     fn matches_std_btreemap_model() {
         use std::collections::BTreeSet;
         let mut tree = BTreeIndex::new();
@@ -431,7 +490,9 @@ mod tests {
         // Deterministic pseudo-random ops.
         let mut state = 0x1234_5678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..5000 {

@@ -28,19 +28,39 @@ use std::sync::Arc;
 /// Cache-hit statistics, readable at any time.
 #[derive(Debug, Default)]
 pub struct PoolStats {
+    /// Page requests served from a cached frame.
     pub hits: AtomicU64,
+    /// Page requests that had to read from disk.
     pub misses: AtomicU64,
+    /// Frames whose previous page was displaced to load another.
     pub evictions: AtomicU64,
+    /// Dirty pages written back to disk (eviction or flush).
     pub writebacks: AtomicU64,
 }
 
 /// A point-in-time copy of [`PoolStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStatsSnapshot {
+    /// Page requests served from a cached frame.
     pub hits: u64,
+    /// Page requests that had to read from disk.
     pub misses: u64,
+    /// Frames whose previous page was displaced to load another.
     pub evictions: u64,
+    /// Dirty pages written back to disk (eviction or flush).
     pub writebacks: u64,
+}
+
+impl PoolStatsSnapshot {
+    /// Fraction of page requests served from cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 struct Frame {
@@ -272,9 +292,7 @@ mod tests {
         })
         .unwrap();
         let rec = p
-            .with_page(id, |buf| {
-                PageRef::new(&buf[..]).get(0).map(<[u8]>::to_vec)
-            })
+            .with_page(id, |buf| PageRef::new(&buf[..]).get(0).map(<[u8]>::to_vec))
             .unwrap();
         assert_eq!(rec.unwrap(), b"cached");
         let s = p.stats();

@@ -24,8 +24,11 @@ pub struct IndexId(pub u32);
 /// One column of a table schema.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Column {
+    /// Column name, unique within its table.
     pub name: String,
+    /// Declared value type.
     pub ty: ColumnType,
+    /// Whether `Value::Null` is accepted.
     pub nullable: bool,
 }
 
@@ -68,8 +71,11 @@ impl Column {
 /// A table: schema plus the ordered list of heap pages it owns.
 #[derive(Debug, Clone)]
 pub struct TableMeta {
+    /// The table's id.
     pub id: TableId,
+    /// The table's name, unique within the catalog.
     pub name: String,
+    /// Schema columns in declaration order.
     pub columns: Vec<Column>,
     /// Heap pages in allocation order; inserts go to the last page.
     pub pages: Vec<PageId>,
@@ -106,11 +112,15 @@ impl TableMeta {
 /// An index definition over a table's columns.
 #[derive(Debug, Clone)]
 pub struct IndexMeta {
+    /// The index's id.
     pub id: IndexId,
+    /// The index's name, unique within the catalog.
     pub name: String,
+    /// The table this index covers.
     pub table: TableId,
     /// Column ordinals forming the key, in key order.
     pub columns: Vec<usize>,
+    /// Whether duplicate keys are rejected.
     pub unique: bool,
 }
 
@@ -127,7 +137,9 @@ impl IndexMeta {
 /// The whole catalog.
 #[derive(Debug, Default)]
 pub struct Catalog {
+    /// All tables, by id.
     pub tables: HashMap<TableId, TableMeta>,
+    /// All indexes, by id.
     pub indexes: HashMap<IndexId, IndexMeta>,
     by_table_name: HashMap<String, TableId>,
     by_index_name: HashMap<String, IndexId>,

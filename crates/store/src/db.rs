@@ -13,11 +13,12 @@
 //! `checkpoint` flushes all pages, persists the catalog, and truncates the
 //! log.
 
-use crate::buffer::{BufferPool, PoolStatsSnapshot};
 use crate::btree::BTreeIndex;
+use crate::buffer::{BufferPool, PoolStatsSnapshot};
 use crate::catalog::{Catalog, Column, IndexId, IndexMeta, TableId};
 use crate::disk::DiskManager;
 use crate::error::{Result, StoreError};
+use crate::metrics::{BTreeStatsSnapshot, Counter, MetricsSnapshot, TxnStatsSnapshot};
 use crate::page::{PageId, PageMut, PageRef, PageType, RowId, MAX_RECORD, PAGE_SIZE};
 use crate::value::{decode_row, encode_key_vec, encode_row_vec, Row, Value};
 use crate::wal::{Wal, WalOp, WalPayload};
@@ -75,6 +76,8 @@ pub struct Database {
     next_txn: AtomicU64,
     dir: Option<PathBuf>,
     opts: DbOptions,
+    commits: Counter,
+    rollbacks: Counter,
 }
 
 const CATALOG_FILE: &str = "catalog.meta";
@@ -101,6 +104,8 @@ impl Database {
             next_txn: AtomicU64::new(1),
             dir: None,
             opts,
+            commits: Counter::new(),
+            rollbacks: Counter::new(),
         };
         db.install_wal_hook();
         db
@@ -133,6 +138,8 @@ impl Database {
             next_txn: AtomicU64::new(1),
             dir: Some(dir.to_path_buf()),
             opts,
+            commits: Counter::new(),
+            rollbacks: Counter::new(),
         };
         db.recover()?;
         db.rebuild_indexes()?;
@@ -144,8 +151,7 @@ impl Database {
 
     fn install_wal_hook(&self) {
         let wal = Arc::clone(&self.wal);
-        self.pool
-            .set_writeback_hook(Box::new(move || wal.sync()));
+        self.pool.set_writeback_hook(Box::new(move || wal.sync()));
     }
 
     // -- DDL ----------------------------------------------------------------
@@ -314,7 +320,12 @@ impl Database {
     /// Parallel filtered scan: partitions the table's pages across
     /// `threads` worker threads (crossbeam scoped), applying `pred` to each
     /// row. Results are concatenated in page order.
-    pub fn scan_parallel<F>(&self, table: TableId, threads: usize, pred: F) -> Result<Vec<(RowId, Row)>>
+    pub fn scan_parallel<F>(
+        &self,
+        table: TableId,
+        threads: usize,
+        pred: F,
+    ) -> Result<Vec<(RowId, Row)>>
     where
         F: Fn(&Row) -> bool + Sync,
     {
@@ -454,6 +465,29 @@ impl Database {
     /// Buffer pool statistics.
     pub fn pool_stats(&self) -> PoolStatsSnapshot {
         self.pool.stats()
+    }
+
+    /// Point-in-time snapshot of every engine metric: buffer pool, WAL,
+    /// B+tree (aggregated over all indexes), and transaction counters.
+    /// See `docs/METRICS.md` for the meaning and JSON schema of each field.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut btree = BTreeStatsSnapshot::default();
+        for tree in self.indexes.read().values() {
+            let s = tree.read().stats();
+            btree.entries += s.entries;
+            btree.splits += s.splits;
+            btree.node_reads += s.node_reads;
+            btree.max_depth = btree.max_depth.max(s.max_depth);
+        }
+        MetricsSnapshot {
+            pool: self.pool.stats(),
+            wal: self.wal.stats(),
+            btree,
+            txn: TxnStatsSnapshot {
+                commits: self.commits.get(),
+                rollbacks: self.rollbacks.get(),
+            },
+        }
     }
 
     /// Pages allocated in the page file.
@@ -723,7 +757,10 @@ impl<'db> Txn<'db> {
         )?;
         for meta in &index_metas {
             let key = encode_key_vec(&meta.key_values(&row));
-            self.db.index_tree(meta.id)?.write().insert(&key, rowid.to_u64());
+            self.db
+                .index_tree(meta.id)?
+                .write()
+                .insert(&key, rowid.to_u64());
         }
         self.undo.push(UndoOp::Insert { table, rowid, row });
         Ok(rowid)
@@ -742,12 +779,15 @@ impl<'db> Txn<'db> {
                 old: old_bytes,
             }),
         )?;
-        self.db
-            .pool
-            .with_page_mut(rowid.page, |buf| PageMut::new(&mut buf[..]).delete(rowid.slot))??;
+        self.db.pool.with_page_mut(rowid.page, |buf| {
+            PageMut::new(&mut buf[..]).delete(rowid.slot)
+        })??;
         for meta in &index_metas {
             let key = encode_key_vec(&meta.key_values(&old));
-            self.db.index_tree(meta.id)?.write().remove(&key, rowid.to_u64());
+            self.db
+                .index_tree(meta.id)?
+                .write()
+                .remove(&key, rowid.to_u64());
         }
         self.undo.push(UndoOp::Delete {
             table,
@@ -825,6 +865,7 @@ impl<'db> Txn<'db> {
         self.db.wal.append(self.id, &WalPayload::Commit)?;
         self.db.wal.sync()?;
         self.finished = true;
+        self.db.commits.inc();
         // Opportunistic checkpoint to bound WAL growth.
         if self.db.dir.is_some() && self.db.wal.len()? > self.db.opts.checkpoint_wal_bytes {
             self.db.checkpoint_locked()?;
@@ -842,6 +883,7 @@ impl<'db> Txn<'db> {
             return Ok(());
         }
         self.finished = true;
+        self.db.rollbacks.inc();
         while let Some(op) = self.undo.pop() {
             match op {
                 UndoOp::Insert { table, rowid, row } => {
@@ -850,17 +892,25 @@ impl<'db> Txn<'db> {
                     })??;
                     for meta in self.table_indexes(table)? {
                         let key = encode_key_vec(&meta.key_values(&row));
-                        self.db.index_tree(meta.id)?.write().remove(&key, rowid.to_u64());
+                        self.db
+                            .index_tree(meta.id)?
+                            .write()
+                            .remove(&key, rowid.to_u64());
                     }
                 }
                 UndoOp::Delete { table, rowid, row } => {
                     let bytes = encode_row_vec(&row);
                     self.db.pool.with_page_mut(rowid.page, |buf| {
-                        PageMut::new(&mut buf[..]).insert_at(rowid.slot, &bytes).map(|_| ())
+                        PageMut::new(&mut buf[..])
+                            .insert_at(rowid.slot, &bytes)
+                            .map(|_| ())
                     })??;
                     for meta in self.table_indexes(table)? {
                         let key = encode_key_vec(&meta.key_values(&row));
-                        self.db.index_tree(meta.id)?.write().insert(&key, rowid.to_u64());
+                        self.db
+                            .index_tree(meta.id)?
+                            .write()
+                            .insert(&key, rowid.to_u64());
                     }
                 }
                 UndoOp::Update {
@@ -892,8 +942,7 @@ impl<'db> Txn<'db> {
 
     fn table_indexes(&self, table: TableId) -> Result<Vec<IndexMeta>> {
         let cat = self.db.catalog.read();
-        cat
-            .indexes_on(table)
+        cat.indexes_on(table)
             .into_iter()
             .map(|id| cat.index(id).cloned())
             .collect::<Result<Vec<_>>>()
@@ -904,9 +953,10 @@ impl<'db> Txn<'db> {
     fn place(&self, table: TableId, bytes: &[u8]) -> Result<RowId> {
         let last = self.db.catalog.read().table(table)?.pages.last().copied();
         if let Some(page) = last {
-            let placed = self.db.pool.with_page_mut(page, |buf| {
-                PageMut::new(&mut buf[..]).insert(bytes)
-            })?;
+            let placed = self
+                .db
+                .pool
+                .with_page_mut(page, |buf| PageMut::new(&mut buf[..]).insert(bytes))?;
             match placed {
                 Ok(slot) => return Ok(RowId { page, slot }),
                 Err(StoreError::PageFull) => {}
@@ -1066,7 +1116,14 @@ mod tests {
             .insert(t, vec![Value::Null, Value::Text("x".into()), Value::Null])
             .is_err());
         assert!(txn
-            .insert(t, vec![Value::Text("no".into()), Value::Text("x".into()), Value::Null])
+            .insert(
+                t,
+                vec![
+                    Value::Text("no".into()),
+                    Value::Text("x".into()),
+                    Value::Null
+                ]
+            )
             .is_err());
     }
 
@@ -1098,7 +1155,8 @@ mod tests {
         let t = setup(&db);
         let mut txn = db.begin();
         for i in 0..100 {
-            txn.insert(t, row(i, &format!("n{:03}", i % 10), None)).unwrap();
+            txn.insert(t, row(i, &format!("n{:03}", i % 10), None))
+                .unwrap();
         }
         txn.commit().unwrap();
         let idx = db.index_id("people_id").unwrap();
@@ -1148,7 +1206,8 @@ mod tests {
             let t = setup(&db);
             let mut txn = db.begin();
             for i in 0..100 {
-                txn.insert(t, row(i, &format!("persist-{i}"), None)).unwrap();
+                txn.insert(t, row(i, &format!("persist-{i}"), None))
+                    .unwrap();
             }
             txn.commit().unwrap();
         } // Drop → checkpoint
@@ -1157,7 +1216,10 @@ mod tests {
         assert_eq!(db.row_count(t).unwrap(), 100);
         let idx = db.index_id("people_id").unwrap();
         let rids = db.index_lookup(idx, &[Value::Int(42)]).unwrap();
-        assert_eq!(db.get(t, rids[0]).unwrap()[1], Value::Text("persist-42".into()));
+        assert_eq!(
+            db.get(t, rids[0]).unwrap()[1],
+            Value::Text("persist-42".into())
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1170,7 +1232,8 @@ mod tests {
             let t = setup(&db);
             let mut txn = db.begin();
             for i in 0..50 {
-                txn.insert(t, row(i, &format!("committed-{i}"), None)).unwrap();
+                txn.insert(t, row(i, &format!("committed-{i}"), None))
+                    .unwrap();
             }
             txn.commit().unwrap();
             // Second transaction never commits; simulate a crash by leaking
@@ -1178,7 +1241,8 @@ mod tests {
             // checkpoint, pages never flushed).
             let mut txn2 = db.begin();
             for i in 100..120 {
-                txn2.insert(t, row(i, &format!("uncommitted-{i}"), None)).unwrap();
+                txn2.insert(t, row(i, &format!("uncommitted-{i}"), None))
+                    .unwrap();
             }
             // Crash: neither txn2 rollback nor db checkpoint runs.
             std::mem::forget(txn2);
@@ -1316,6 +1380,39 @@ mod tests {
     }
 
     #[test]
+    fn metrics_snapshot_aggregates_subsystems() {
+        let db = Database::in_memory();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        for i in 0..2000 {
+            txn.insert(t, row(i, &format!("obs-{i}"), None)).unwrap();
+        }
+        txn.commit().unwrap();
+        {
+            let mut txn = db.begin();
+            txn.insert(t, row(9999, "rolled-back", None)).unwrap();
+            // dropped without commit → rollback
+        }
+        let m = db.metrics();
+        assert_eq!(m.txn.commits, 1);
+        assert_eq!(m.txn.rollbacks, 1);
+        assert!(m.wal.appends > 2000, "one op record per insert plus commit");
+        assert!(m.wal.append_bytes > 0);
+        assert!(m.wal.syncs >= 1);
+        // Two indexes (id, name) over 2000 committed rows.
+        assert_eq!(m.btree.entries, 4000);
+        assert!(m.btree.splits > 0);
+        assert!(m.btree.max_depth >= 2);
+        assert!(m.pool.hits > 0);
+        // The snapshot serializes to JSON that parses back identically.
+        let json = m.to_json();
+        let reparsed = crate::metrics::Json::parse(&json.emit()).unwrap();
+        assert_eq!(reparsed, json);
+        assert!(json.get("buffer_pool").is_some());
+        assert!(json.get("wal").is_some());
+    }
+
+    #[test]
     fn readers_concurrent_with_writer() {
         let db = Arc::new(Database::in_memory());
         let t = setup(&db);
@@ -1345,7 +1442,8 @@ mod tests {
         for batch in 0..5 {
             let mut txn = db.begin();
             for i in 0..200 {
-                txn.insert(t, row(10_000 + batch * 200 + i, "more", None)).unwrap();
+                txn.insert(t, row(10_000 + batch * 200 + i, "more", None))
+                    .unwrap();
             }
             txn.commit().unwrap();
         }

@@ -20,6 +20,9 @@
 //! * [`db`] — [`db::Database`]: transactions, recovery, scans, lookups.
 //! * [`query`] — expressions, filter/project/join/group-by/order-by
 //!   operators, and a single-table access planner.
+//! * [`metrics`] — observability: counters, latency histograms,
+//!   per-operator query profiles, and the JSON codec that serializes them
+//!   (schema documented in `docs/METRICS.md`).
 //!
 //! ## Quick example
 //!
@@ -50,12 +53,15 @@
 //! assert_eq!(hits.len(), 1);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod btree;
 pub mod buffer;
 pub mod catalog;
 pub mod db;
 pub mod disk;
 pub mod error;
+pub mod metrics;
 pub mod page;
 pub mod query;
 pub mod value;
@@ -66,8 +72,11 @@ pub mod prelude {
     pub use crate::catalog::{Column, IndexId, TableId};
     pub use crate::db::{Database, DbOptions, Txn};
     pub use crate::error::{Result as StoreResult, StoreError};
+    pub use crate::metrics::{Json, MetricsSnapshot, OperatorProfile, QueryProfile};
     pub use crate::page::{PageId, RowId};
-    pub use crate::query::{group_by, hash_join, order_by, AccessPath, AggFn, CmpOp, Expr, TableQuery};
+    pub use crate::query::{
+        group_by, hash_join, order_by, AccessPath, AggFn, CmpOp, Expr, TableQuery,
+    };
     pub use crate::value::{ColumnType, Row, Value};
 }
 

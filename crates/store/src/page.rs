@@ -67,7 +67,9 @@ pub struct PageId(pub u32);
 /// Stable address of a record: page plus slot index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowId {
+    /// The page holding the record.
     pub page: PageId,
+    /// Slot index within the page's slot directory.
     pub slot: u16,
 }
 
@@ -335,11 +337,8 @@ impl<'a> PageMut<'a> {
     /// Rewrite live records contiguously at the end of the page, erasing
     /// fragmentation. Slot ids are preserved.
     pub fn compact(&mut self) {
-        let live: Vec<(u16, Vec<u8>)> = self
-            .as_ref()
-            .iter()
-            .map(|(s, r)| (s, r.to_vec()))
-            .collect();
+        let live: Vec<(u16, Vec<u8>)> =
+            self.as_ref().iter().map(|(s, r)| (s, r.to_vec())).collect();
         let mut end = PAGE_SIZE;
         // Zero the record area first for deterministic bytes on disk.
         let dir_end = HEADER_SIZE + usize::from(self.as_ref().slot_count()) * SLOT_SIZE;
@@ -413,7 +412,8 @@ mod tests {
         p.insert(b"bbb").unwrap();
         p.update(0, b"shorter").unwrap();
         assert_eq!(p.as_ref().get(0).unwrap(), b"shorter");
-        p.update(0, b"now a much longer record than before").unwrap();
+        p.update(0, b"now a much longer record than before")
+            .unwrap();
         assert_eq!(
             p.as_ref().get(0).unwrap(),
             b"now a much longer record than before"

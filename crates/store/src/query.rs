@@ -9,19 +9,27 @@
 use crate::catalog::{IndexId, TableId};
 use crate::db::Database;
 use crate::error::{Result, StoreError};
+use crate::metrics::{OperatorProfile, QueryProfile};
 use crate::page::RowId;
 use crate::value::{Row, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Comparison operators usable in expressions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
+    /// Equal.
     Eq,
+    /// Not equal.
     Ne,
+    /// Less than.
     Lt,
+    /// Less than or equal.
     Le,
+    /// Greater than.
     Gt,
+    /// Greater than or equal.
     Ge,
 }
 
@@ -68,6 +76,7 @@ pub enum Expr {
     And(Vec<Expr>),
     /// Any of the sub-expressions is true. Empty = false.
     Or(Vec<Expr>),
+    /// Logical negation of the sub-expression.
     Not(Box<Expr>),
     /// Sub-expression evaluates to NULL.
     IsNull(Box<Expr>),
@@ -89,7 +98,11 @@ impl Expr {
 
     /// Convenience: comparison between a column and a literal.
     pub fn col_cmp(col: usize, op: CmpOp, lit: impl Into<Value>) -> Expr {
-        Expr::Cmp(op, Box::new(Expr::Col(col)), Box::new(Expr::Lit(lit.into())))
+        Expr::Cmp(
+            op,
+            Box::new(Expr::Col(col)),
+            Box::new(Expr::Lit(lit.into())),
+        )
     }
 
     /// Evaluate to a [`Value`].
@@ -258,11 +271,15 @@ pub fn hash_join(
 /// Aggregate functions for [`group_by`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFn {
+    /// Number of rows in the group.
     Count,
     /// Sum of a numeric column (NULLs skipped).
     Sum(usize),
+    /// Minimum value of a column (NULLs skipped).
     Min(usize),
+    /// Maximum value of a column (NULLs skipped).
     Max(usize),
+    /// Mean of a numeric column (NULLs skipped).
     Avg(usize),
 }
 
@@ -368,8 +385,13 @@ pub fn group_by(rows: &[Row], key_cols: &[usize], aggs: &[AggFn]) -> Result<Vec<
 /// verify the planner's choice).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AccessPath {
+    /// Read every live row of the table.
     FullScan,
-    IndexEq { index: IndexId },
+    /// Point lookup through an index fully covered by equality constraints.
+    IndexEq {
+        /// The chosen index.
+        index: IndexId,
+    },
 }
 
 /// A single-table query: equality constraints that may be served by an
@@ -460,10 +482,7 @@ impl<'db> TableQuery<'db> {
         let eq_cols: Vec<usize> = self.eq.iter().map(|(c, _)| *c).collect();
         let mut best: Option<(IndexId, usize)> = None;
         for (id, cols) in cat_indexes {
-            let covered = cols
-                .iter()
-                .take_while(|c| eq_cols.contains(c))
-                .count();
+            let covered = cols.iter().take_while(|c| eq_cols.contains(c)).count();
             if covered == cols.len() && covered > 0 {
                 // Full key covered by equality constraints.
                 if best.is_none_or(|(_, n)| covered > n) {
@@ -480,10 +499,22 @@ impl<'db> TableQuery<'db> {
     /// Execute, returning `(RowId, Row)` pairs (projection applied to the
     /// row only).
     pub fn run(self) -> Result<Vec<(RowId, Row)>> {
+        Ok(self.run_profiled()?.0)
+    }
+
+    /// Execute, additionally returning an EXPLAIN-style
+    /// [`QueryProfile`]: one [`OperatorProfile`] per executed operator
+    /// (access path, sort, limit, projection) with rows-in/rows-out and
+    /// wall time. Timing is per-operator (a handful of clock reads per
+    /// query), so profiling is always on and costs nothing per row.
+    pub fn run_profiled(self) -> Result<(Vec<(RowId, Row)>, QueryProfile)> {
+        let total_start = Instant::now();
+        let mut profile = QueryProfile::default();
         let plan = self.plan()?;
         let pred = self.full_predicate();
         let mut rows: Vec<(RowId, Row)> = match plan {
             AccessPath::IndexEq { index } => {
+                let stage = Instant::now();
                 // Build the key in index column order.
                 let key_cols = self.db.index_columns(index)?;
                 let key: Vec<Value> = key_cols
@@ -497,6 +528,7 @@ impl<'db> TableQuery<'db> {
                     })
                     .collect();
                 let rids = self.db.index_lookup(index, &key)?;
+                let candidates = rids.len() as u64;
                 let mut out = Vec::with_capacity(rids.len());
                 for rid in rids {
                     let row = self.db.get(self.table, rid)?;
@@ -504,22 +536,40 @@ impl<'db> TableQuery<'db> {
                         out.push((rid, row));
                     }
                 }
+                profile.push(OperatorProfile::new(
+                    "index-eq",
+                    candidates,
+                    out.len() as u64,
+                    stage.elapsed(),
+                ));
                 out
             }
             AccessPath::FullScan => {
+                let stage = Instant::now();
                 if let Some(threads) = self.parallel {
                     // Predicate evaluation errors degrade to "no match" in
                     // the parallel path; the serial path reports them.
                     let pred_ref = &pred;
-                    self.db.scan_parallel(self.table, threads, move |row| {
+                    let examined = std::sync::atomic::AtomicU64::new(0);
+                    let out = self.db.scan_parallel(self.table, threads, |row| {
+                        examined.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         pred_ref
                             .as_ref()
                             .is_none_or(|p| p.eval_bool(row).unwrap_or(false))
-                    })?
+                    })?;
+                    profile.push(OperatorProfile::new(
+                        "parallel-scan",
+                        examined.load(std::sync::atomic::Ordering::Relaxed),
+                        out.len() as u64,
+                        stage.elapsed(),
+                    ));
+                    out
                 } else {
                     let mut out = Vec::new();
                     let mut eval_err = None;
+                    let mut examined = 0u64;
                     self.db.for_each_row(self.table, |rid, row| {
+                        examined += 1;
                         match pred.as_ref().map_or(Ok(true), |p| p.eval_bool(row)) {
                             Ok(true) => out.push((rid, row.clone())),
                             Ok(false) => {}
@@ -533,6 +583,12 @@ impl<'db> TableQuery<'db> {
                     if let Some(e) = eval_err {
                         return Err(e);
                     }
+                    profile.push(OperatorProfile::new(
+                        "full-scan",
+                        examined,
+                        out.len() as u64,
+                        stage.elapsed(),
+                    ));
                     out
                 }
             }
@@ -540,6 +596,7 @@ impl<'db> TableQuery<'db> {
         // Order and truncate on the full rows (ordinals are
         // pre-projection), then project.
         if !self.order.is_empty() {
+            let stage = Instant::now();
             for &(c, _) in &self.order {
                 if rows.iter().any(|(_, r)| c >= r.len()) {
                     return Err(StoreError::QueryError(format!(
@@ -557,11 +614,23 @@ impl<'db> TableQuery<'db> {
                 }
                 std::cmp::Ordering::Equal
             });
+            let n = rows.len() as u64;
+            profile.push(OperatorProfile::new("sort", n, n, stage.elapsed()));
         }
         if let Some(n) = self.limit {
+            let stage = Instant::now();
+            let before = rows.len() as u64;
             rows.truncate(n);
+            profile.push(OperatorProfile::new(
+                "limit",
+                before,
+                rows.len() as u64,
+                stage.elapsed(),
+            ));
         }
         if let Some(cols) = &self.projection {
+            let stage = Instant::now();
+            let n = rows.len() as u64;
             for (_, row) in &mut rows {
                 let projected: Result<Row> = cols
                     .iter()
@@ -573,8 +642,10 @@ impl<'db> TableQuery<'db> {
                     .collect();
                 *row = projected?;
             }
+            profile.push(OperatorProfile::new("project", n, n, stage.elapsed()));
         }
-        Ok(rows)
+        profile.total_nanos = total_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        Ok((rows, profile))
     }
 
     fn full_predicate(&self) -> Option<Expr> {
@@ -639,7 +710,11 @@ mod tests {
                 vec![
                     Value::Int(i),
                     Value::Text(format!("g{}", i % 5)),
-                    if i % 10 == 0 { Value::Null } else { Value::Real(i as f64) },
+                    if i % 10 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Real(i as f64)
+                    },
                 ],
             )
             .unwrap();
@@ -654,19 +729,25 @@ mod tests {
         assert!(Expr::col_eq(0, 5i64).eval_bool(&row).unwrap());
         assert!(!Expr::col_eq(0, 6i64).eval_bool(&row).unwrap());
         assert!(Expr::col_cmp(0, CmpOp::Lt, 10i64).eval_bool(&row).unwrap());
-        assert!(Expr::IsNull(Box::new(Expr::Col(2))).eval_bool(&row).unwrap());
+        assert!(Expr::IsNull(Box::new(Expr::Col(2)))
+            .eval_bool(&row)
+            .unwrap());
         assert!(Expr::StartsWith(Box::new(Expr::Col(1)), "ab".into())
             .eval_bool(&row)
             .unwrap());
         assert!(Expr::Contains(Box::new(Expr::Col(1)), "bc".into())
             .eval_bool(&row)
             .unwrap());
-        assert!(Expr::And(vec![Expr::col_eq(0, 5i64), Expr::col_eq(1, "abc")])
-            .eval_bool(&row)
-            .unwrap());
-        assert!(Expr::Or(vec![Expr::col_eq(0, 9i64), Expr::col_eq(1, "abc")])
-            .eval_bool(&row)
-            .unwrap());
+        assert!(
+            Expr::And(vec![Expr::col_eq(0, 5i64), Expr::col_eq(1, "abc")])
+                .eval_bool(&row)
+                .unwrap()
+        );
+        assert!(
+            Expr::Or(vec![Expr::col_eq(0, 9i64), Expr::col_eq(1, "abc")])
+                .eval_bool(&row)
+                .unwrap()
+        );
         assert!(Expr::Not(Box::new(Expr::col_eq(0, 9i64)))
             .eval_bool(&row)
             .unwrap());
@@ -739,7 +820,7 @@ mod tests {
     fn hash_join_swaps_build_side() {
         // Larger left than right: output schema must still be left ++ right.
         let left: Vec<Row> = (0..50)
-            .map(|i| vec![Value::Int(i % 5), Value::Text(format!("L{i}")) ])
+            .map(|i| vec![Value::Int(i % 5), Value::Text(format!("L{i}"))])
             .collect();
         let right: Vec<Row> = vec![vec![Value::Int(3), Value::Text("R".into())]];
         let joined = hash_join(&left, &right, &[0], &[0]).unwrap();
@@ -759,7 +840,13 @@ mod tests {
         let out = group_by(
             &rows,
             &[0],
-            &[AggFn::Count, AggFn::Sum(1), AggFn::Min(1), AggFn::Max(1), AggFn::Avg(1)],
+            &[
+                AggFn::Count,
+                AggFn::Sum(1),
+                AggFn::Min(1),
+                AggFn::Max(1),
+                AggFn::Avg(1),
+            ],
         )
         .unwrap();
         assert_eq!(out.len(), 3);
@@ -842,10 +929,7 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(rows.len(), 5);
-        let vals: Vec<f64> = rows
-            .iter()
-            .map(|(_, r)| r[1].as_real().unwrap())
-            .collect();
+        let vals: Vec<f64> = rows.iter().map(|(_, r)| r[1].as_real().unwrap()).collect();
         assert!(vals.windows(2).all(|w| w[0] >= w[1]), "{vals:?}");
         assert_eq!(vals[0], 99.0);
         // Secondary key: order by name then id.
@@ -860,6 +944,46 @@ mod tests {
         assert_eq!(ids, vec![0, 5, 10], "g0 rows in id order");
         // Bad order column errors.
         assert!(TableQuery::new(&db, t).order_by(99, true).run().is_err());
+    }
+
+    #[test]
+    fn run_profiled_reports_operator_pipeline() {
+        let (db, t) = db_with_data();
+        let name_col = db.column_index(t, "name").unwrap();
+        let id_col = db.column_index(t, "id").unwrap();
+        // Index path: 20 candidate rows, all pass, then sort + limit + project.
+        let (rows, profile) = TableQuery::new(&db, t)
+            .eq(name_col, "g3")
+            .order_by(id_col, false)
+            .limit(7)
+            .select(vec![id_col])
+            .run_profiled()
+            .unwrap();
+        assert_eq!(rows.len(), 7);
+        let names: Vec<&str> = profile
+            .operators
+            .iter()
+            .map(|o| o.operator.as_str())
+            .collect();
+        assert_eq!(names, vec!["index-eq", "sort", "limit", "project"]);
+        assert_eq!(profile.operators[0].rows_in, 20);
+        assert_eq!(profile.operators[0].rows_out, 20);
+        assert_eq!(profile.operators[2].rows_in, 20);
+        assert_eq!(profile.operators[2].rows_out, 7);
+        assert!(profile.total_nanos > 0);
+        // Scan path examines every row.
+        let (_, scan_profile) = TableQuery::new(&db, t)
+            .eq(name_col, "g3")
+            .force_scan()
+            .run_profiled()
+            .unwrap();
+        assert_eq!(scan_profile.operators[0].operator, "full-scan");
+        assert_eq!(scan_profile.operators[0].rows_in, 100);
+        assert_eq!(scan_profile.operators[0].rows_out, 20);
+        // Profile JSON round-trips through the codec.
+        let json = scan_profile.to_json();
+        let parsed = crate::metrics::Json::parse(&json.emit()).unwrap();
+        assert_eq!(parsed, json);
     }
 
     #[test]

@@ -64,9 +64,13 @@ impl fmt::Display for ColumnType {
 pub enum Value {
     /// SQL-style NULL; allowed in any nullable column.
     Null,
+    /// 64-bit signed integer.
     Int(i64),
+    /// 64-bit IEEE-754 float.
     Real(f64),
+    /// UTF-8 string.
     Text(String),
+    /// Boolean.
     Bool(bool),
 }
 
@@ -410,7 +414,10 @@ mod tests {
             Value::Null,
         ]);
         roundtrip(vec![Value::Int(i64::MIN), Value::Int(i64::MAX)]);
-        roundtrip(vec![Value::Real(f64::NEG_INFINITY), Value::Real(f64::INFINITY)]);
+        roundtrip(vec![
+            Value::Real(f64::NEG_INFINITY),
+            Value::Real(f64::INFINITY),
+        ]);
     }
 
     #[test]

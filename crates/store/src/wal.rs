@@ -18,6 +18,7 @@
 //! terminates the recovery scan.
 
 use crate::error::{Result, StoreError};
+use crate::metrics::{Counter, LatencyHistogram, WalStatsSnapshot};
 use crate::page::RowId;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -37,7 +38,11 @@ fn crc32_table() -> &'static [u32; 256] {
         for (i, e) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -64,43 +69,65 @@ pub fn crc32(data: &[u8]) -> u32 {
 pub enum WalOp {
     /// Row `row` (encoded) was inserted into `table` at `rowid`.
     Insert {
+        /// Table id the row belongs to.
         table: u32,
+        /// Where the row was placed.
         rowid: RowId,
+        /// Encoded row image.
         row: Vec<u8>,
     },
     /// Row at `rowid` changed from `old` to `new`.
     Update {
+        /// Table id the row belongs to.
         table: u32,
+        /// Address of the updated row.
         rowid: RowId,
+        /// Encoded row image before the update (undo).
         old: Vec<u8>,
+        /// Encoded row image after the update (redo).
         new: Vec<u8>,
     },
     /// Row at `rowid` (encoded image `old`) was deleted.
     Delete {
+        /// Table id the row belonged to.
         table: u32,
+        /// Address the row occupied.
         rowid: RowId,
+        /// Encoded row image before deletion (undo).
         old: Vec<u8>,
     },
     /// Page `page` was allocated for `table`'s heap. Page allocation is
     /// *not* transactional: recovery replays it regardless of commit state
     /// (an aborted transaction's pages simply remain empty heap pages).
-    AllocPage { table: u32, page: u32 },
+    AllocPage {
+        /// Table id whose heap grew.
+        table: u32,
+        /// The newly allocated page number.
+        page: u32,
+    },
 }
 
 /// Payload of one WAL record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalPayload {
+    /// A row mutation (redo information).
     Op(WalOp),
+    /// Seals the transaction: its ops are durable once this record is.
     Commit,
+    /// The transaction was rolled back; its ops must not be redone.
     Abort,
+    /// All preceding records are reflected in the page file.
     Checkpoint,
 }
 
 /// A decoded WAL record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalRecord {
+    /// Log sequence number (monotonically increasing, 1-based).
     pub lsn: u64,
+    /// Id of the transaction that wrote the record (0 = non-transactional).
     pub txn: u64,
+    /// The record payload.
     pub payload: WalPayload,
 }
 
@@ -236,10 +263,20 @@ struct WalInner {
     pending: Vec<u8>,
 }
 
+/// Observability counters for one [`Wal`].
+#[derive(Debug, Default)]
+struct WalStats {
+    appends: Counter,
+    append_bytes: Counter,
+    syncs: Counter,
+    sync_latency: LatencyHistogram,
+}
+
 /// Append-only write-ahead log.
 pub struct Wal {
     inner: Mutex<WalInner>,
     next_lsn: AtomicU64,
+    stats: WalStats,
 }
 
 impl Wal {
@@ -251,6 +288,7 @@ impl Wal {
                 pending: Vec::new(),
             }),
             next_lsn: AtomicU64::new(1),
+            stats: WalStats::default(),
         }
     }
 
@@ -269,6 +307,7 @@ impl Wal {
                 pending: Vec::new(),
             }),
             next_lsn: AtomicU64::new(1),
+            stats: WalStats::default(),
         };
         let max_lsn = wal.read_all()?.iter().map(|r| r.lsn).max().unwrap_or(0);
         wal.next_lsn.store(max_lsn + 1, Ordering::Release);
@@ -281,6 +320,8 @@ impl Wal {
         let lsn = self.next_lsn.fetch_add(1, Ordering::AcqRel);
         let mut body = Vec::with_capacity(64);
         encode_payload(lsn, txn, payload, &mut body);
+        self.stats.appends.inc();
+        self.stats.append_bytes.add(body.len() as u64);
         let mut inner = self.inner.lock();
         inner
             .pending
@@ -292,11 +333,14 @@ impl Wal {
 
     /// Flush buffered records to the backend and fsync (files only).
     pub fn sync(&self) -> Result<()> {
+        let start = std::time::Instant::now();
         let mut inner = self.inner.lock();
         if inner.pending.is_empty() {
             if let LogBackend::File(f) = &mut inner.backend {
                 f.sync_data()?;
             }
+            self.stats.syncs.inc();
+            self.stats.sync_latency.record_duration(start.elapsed());
             return Ok(());
         }
         let pending = std::mem::take(&mut inner.pending);
@@ -308,7 +352,20 @@ impl Wal {
                 f.sync_data()?;
             }
         }
+        drop(inner);
+        self.stats.syncs.inc();
+        self.stats.sync_latency.record_duration(start.elapsed());
         Ok(())
+    }
+
+    /// Snapshot of append/sync counters and fsync latency.
+    pub fn stats(&self) -> WalStatsSnapshot {
+        WalStatsSnapshot {
+            appends: self.stats.appends.get(),
+            append_bytes: self.stats.append_bytes.get(),
+            syncs: self.stats.syncs.get(),
+            sync_latency: self.stats.sync_latency.snapshot(),
+        }
     }
 
     /// Read every intact record from the start of the log. Scanning stops
@@ -499,6 +556,27 @@ mod tests {
         let lsn = wal.append(2, &WalPayload::Commit).unwrap();
         assert_eq!(lsn, 3);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_count_appends_and_syncs() {
+        let wal = Wal::in_memory();
+        wal.append(1, &WalPayload::Commit).unwrap();
+        wal.append(
+            1,
+            &WalPayload::Op(WalOp::Insert {
+                table: 1,
+                rowid: rid(0, 0),
+                row: vec![1, 2, 3],
+            }),
+        )
+        .unwrap();
+        wal.sync().unwrap();
+        let s = wal.stats();
+        assert_eq!(s.appends, 2);
+        assert!(s.append_bytes > 0);
+        assert_eq!(s.syncs, 1);
+        assert_eq!(s.sync_latency.count, 1);
     }
 
     #[test]

@@ -37,7 +37,15 @@ impl MpipConfig {
 
 /// MPI functions that appear in callsites.
 pub const MPI_CALLS: [&str; 10] = [
-    "Waitall", "Isend", "Irecv", "Allreduce", "Barrier", "Bcast", "Reduce", "Wait", "Send",
+    "Waitall",
+    "Isend",
+    "Irecv",
+    "Allreduce",
+    "Barrier",
+    "Bcast",
+    "Reduce",
+    "Wait",
+    "Send",
     "Recv",
 ];
 
@@ -68,7 +76,10 @@ pub fn generate(cfg: &MpipConfig) -> GenFile {
     let mut rng = rng_for(cfg.seed, &format!("mpip:{}", cfg.exec_name));
     let mut out = String::with_capacity(64 * 1024);
     out.push_str("@ mpiP\n");
-    out.push_str(&format!("@ Command : ./smg2000 -n 40 40 40 ({})\n", cfg.exec_name));
+    out.push_str(&format!(
+        "@ Command : ./smg2000 -n 40 40 40 ({})\n",
+        cfg.exec_name
+    ));
     out.push_str("@ Version : 2.8.2\n");
     out.push_str(&format!("@ MPI Task Assignment : {} tasks\n", cfg.np));
     out.push('\n');
@@ -223,7 +234,11 @@ mod tests {
                 if l.is_empty() {
                     break;
                 }
-                if let Some(id) = l.split_whitespace().next().and_then(|t| t.parse::<u32>().ok()) {
+                if let Some(id) = l
+                    .split_whitespace()
+                    .next()
+                    .and_then(|t| t.parse::<u32>().ok())
+                {
                     site_ids.insert(id);
                 }
             }

@@ -248,14 +248,24 @@ mod tests {
     #[test]
     fn export_structure() {
         let e = generate(&ParadynConfig::small("irs-p1", 3));
-        assert!(e.resources.content.contains("/Code/irs_mod_00.c/func_00_00"));
-        assert!(e.resources.content.contains("/SyncObject/Message/MPI_COMM_WORLD"));
+        assert!(e
+            .resources
+            .content
+            .contains("/Code/irs_mod_00.c/func_00_00"));
+        assert!(e
+            .resources
+            .content
+            .contains("/SyncObject/Message/MPI_COMM_WORLD"));
         assert_eq!(e.histograms.len(), 6);
         assert_eq!(e.index.content.lines().count(), 7); // header + 6
         for h in &e.histograms {
             assert!(h.content.contains("numBins: 20"));
             assert_eq!(
-                h.content.lines().skip_while(|l| *l != "values:").skip(1).count(),
+                h.content
+                    .lines()
+                    .skip_while(|l| *l != "values:")
+                    .skip(1)
+                    .count(),
                 20
             );
         }
@@ -266,9 +276,17 @@ mod tests {
         let e = generate(&ParadynConfig::small("irs-p1", 5));
         let mut any_nan = false;
         for h in &e.histograms {
-            let values: Vec<&str> = h.content.lines().skip_while(|l| *l != "values:").skip(1).collect();
+            let values: Vec<&str> = h
+                .content
+                .lines()
+                .skip_while(|l| *l != "values:")
+                .skip(1)
+                .collect();
             // nans form a (possibly empty) prefix only.
-            let first_real = values.iter().position(|v| *v != "nan").unwrap_or(values.len());
+            let first_real = values
+                .iter()
+                .position(|v| *v != "nan")
+                .unwrap_or(values.len());
             assert!(values[first_real..].iter().all(|v| *v != "nan"));
             any_nan |= first_real > 0;
         }

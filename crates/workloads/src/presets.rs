@@ -51,7 +51,11 @@ pub fn smg_uv(seed: u64, execs: usize) -> Vec<ExecutionBundle> {
             let exec_name = format!("smg-uv-{i:04}");
             let np = 128;
             let smg = smg_generate(&SmgConfig::uv(&exec_name, np, seed.wrapping_add(i as u64)));
-            let mpip = mpip_generate(&MpipConfig::new(&exec_name, np, seed.wrapping_add(i as u64)));
+            let mpip = mpip_generate(&MpipConfig::new(
+                &exec_name,
+                np,
+                seed.wrapping_add(i as u64),
+            ));
             ExecutionBundle {
                 exec_name,
                 application: "SMG2000".into(),

@@ -129,8 +129,14 @@ pub fn generate(cfg: &SmgConfig) -> GenFile {
     let mut rng = rng_for(cfg.seed, &format!("smg:{}", cfg.exec_name));
     let mut out = String::with_capacity(8 * 1024);
     out.push_str("Running with these driver parameters:\n");
-    out.push_str(&format!("  (nx, ny, nz)    = ({}, {}, {})\n", cfg.nx, cfg.ny, cfg.nz));
-    out.push_str(&format!("  (Px, Py, Pz)    = ({}, {}, {})\n", cfg.px, cfg.py, cfg.pz));
+    out.push_str(&format!(
+        "  (nx, ny, nz)    = ({}, {}, {})\n",
+        cfg.nx, cfg.ny, cfg.nz
+    ));
+    out.push_str(&format!(
+        "  (Px, Py, Pz)    = ({}, {}, {})\n",
+        cfg.px, cfg.py, cfg.pz
+    ));
     out.push_str("  (bx, by, bz)    = (1, 1, 1)\n");
     out.push_str("  (cx, cy, cz)    = (1.0, 1.0, 1.0)\n");
     out.push_str("  (n_pre, n_post) = (1, 1)\n");

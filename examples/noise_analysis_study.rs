@@ -96,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     for (caller, (sum, n)) in &by_caller {
-        println!("  {caller:<28} {:>8.3} ms over {n} callsite rows", sum / *n as f64);
+        println!(
+            "  {caller:<28} {:>8.3} ms over {n} callsite rows",
+            sum / *n as f64
+        );
     }
     assert!(!by_caller.is_empty(), "caller attribution must resolve");
 

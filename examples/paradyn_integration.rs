@@ -66,25 +66,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ))?;
     let mut node_attrs = 0;
     for &id in &procs {
-        if store
-            .attributes_of(id)?
-            .iter()
-            .any(|(n, _, _)| n == "node")
-        {
+        if store.attributes_of(id)?.iter().any(|(n, _, _)| n == "node") {
             node_attrs += 1;
         }
     }
-    println!("{node_attrs}/{} process resources carry a node attribute", procs.len());
+    println!(
+        "{node_attrs}/{} process resources carry a node attribute",
+        procs.len()
+    );
 
     // Query Paradyn data through the ordinary pr-filter machinery: cpu
     // time for one code function across time bins.
     let rows = engine.run(&[
-        ResourceFilter::by_name("/IRS-pd/irs_mod_00.c").relatives(Relatives::Descendants),
+        ResourceFilter::by_name("/IRS-pd/irs_mod_00.c").relatives(Relatives::Descendants)
     ])?;
     println!(
         "\n{} results for module irs_mod_00.c; metrics: {:?}",
         rows.len(),
-        rows.iter().map(|r| r.metric.as_str()).collect::<std::collections::BTreeSet<_>>()
+        rows.iter()
+            .map(|r| r.metric.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
     );
 
     // Time bins: each result's context includes a time/interval resource
@@ -93,10 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for &res in &row.context {
             let rec = store.resource_by_id(res)?.unwrap();
             let attrs = store.attributes_of(res)?;
-            let attr_str: Vec<String> = attrs
-                .iter()
-                .map(|(n, v, _)| format!("{n}={v}"))
-                .collect();
+            let attr_str: Vec<String> = attrs.iter().map(|(n, v, _)| format!("{n}={v}")).collect();
             println!("  context: {} [{}]", rec.name, attr_str.join(", "));
         }
     }
@@ -113,7 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {exec}: {n}");
     }
     let distinct: std::collections::BTreeSet<_> = per_exec.values().collect();
-    assert!(distinct.len() > 1, "executions should differ in result counts");
+    assert!(
+        distinct.len() > 1,
+        "executions should differ in result counts"
+    );
 
     // The Performance Consultant's search history graph is loaded too:
     // list the confirmed (true) hypotheses — Paradyn's diagnoses — with
@@ -125,7 +126,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut shown = 0;
     for id in nodes {
         let attrs = store.attributes_of(id)?;
-        let get = |k: &str| attrs.iter().find(|(n, _, _)| n == k).map(|(_, v, _)| v.clone());
+        let get = |k: &str| {
+            attrs
+                .iter()
+                .find(|(n, _, _)| n == k)
+                .map(|(_, v, _)| v.clone())
+        };
         if get("state").as_deref() == Some("true") {
             if let (Some(h), Some(f)) = (get("hypothesis"), get("focus")) {
                 if h != "TopLevelHypothesis" && shown < 6 {

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "irs-build-2005-06",
         "IRS",
         &["-f", "Makefile.irs"],
-        &[("CC".into(), "mpicc".into()), ("OBJECT_MODE".into(), "64".into())],
+        &[
+            ("CC".into(), "mpicc".into()),
+            ("OBJECT_MODE".into(), "64".into()),
+        ],
     )?;
     store.load_statements(&perftrack_collect::build_to_ptdf(&build))?;
     println!(
@@ -36,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         build.build_host,
         build.os_name,
         build.os_version,
-        build.compilers.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+        build
+            .compilers
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>(),
         build.static_libs
     );
 
@@ -72,9 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- navigate: dominant function, per machine ----------------------------
     let engine = QueryEngine::new(&store);
-    let rows = engine.run(&[ResourceFilter::by_name("/IRS-code/irs.c/rmatmult3")
-        .relatives(Relatives::Neither)])?;
-    println!("\n{} results touch rmatmult3 across machines/np", rows.len());
+    let rows = engine.run(&[
+        ResourceFilter::by_name("/IRS-code/irs.c/rmatmult3").relatives(Relatives::Neither)
+    ])?;
+    println!(
+        "\n{} results touch rmatmult3 across machines/np",
+        rows.len()
+    );
 
     // --- the Figure 5 dataset: min/max CPU time vs process count -------------
     // IRS reports max/min across processes directly; select those metrics
@@ -91,10 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .find(|r| r.metric == metric)
                 .map(|r| r.value)
         };
-        if let (Some(min), Some(max)) = (
-            value_of("CPU_time (min)"),
-            value_of("CPU_time (max)"),
-        ) {
+        if let (Some(min), Some(max)) = (value_of("CPU_time (min)"), value_of("CPU_time (max)")) {
             categories.push(format!("np={np}"));
             mins.push(min);
             maxs.push(max);
@@ -104,8 +112,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "rmatmult3 min/max CPU time across processes (MCR)",
         categories,
         vec![
-            Series { name: "min".into(), values: mins },
-            Series { name: "max".into(), values: maxs },
+            Series {
+                name: "min".into(),
+                values: mins,
+            },
+            Series {
+                name: "max".into(),
+                values: maxs,
+            },
         ],
         "seconds",
     );

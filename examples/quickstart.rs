@@ -59,7 +59,10 @@ PerfResult linpack-frost-001 "/Linpack,/run-001(primary)" PerfTrack "wall time" 
     // 5. Query through the selection dialog, exactly like the GUI (§3.2):
     //    pick the `dgefa` function; descendants are included by default.
     let mut dialog = SelectionDialog::new(&store);
-    println!("\nresource types available: {}...", dialog.resource_type_menu()[..4].join(", "));
+    println!(
+        "\nresource types available: {}...",
+        dialog.resource_type_menu()[..4].join(", ")
+    );
     dialog.add_name("dgefa", Relatives::Descendants);
     let counts = dialog.counts()?;
     println!(

@@ -68,10 +68,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Store a prediction for an *untested* scale as a first-class result,
     // flagged `predicted=true`, then query it back like any measurement.
     let app = ResourceName::new("/IRS")?;
-    predictor.store_prediction(&model, "irs-mcr-predicted-1024", "IRS", 1024, vec![app], "seconds")?;
+    predictor.store_prediction(
+        &model,
+        "irs-mcr-predicted-1024",
+        "IRS",
+        1024,
+        vec![app],
+        "seconds",
+    )?;
     let engine = QueryEngine::new(&store);
-    let rows = engine.run(&[ResourceFilter::by_name("/irs-mcr-predicted-1024-run")
-        .relatives(Relatives::Neither)])?;
+    let rows =
+        engine
+            .run(&[ResourceFilter::by_name("/irs-mcr-predicted-1024-run")
+                .relatives(Relatives::Neither)])?;
     println!("\nstored prediction queryable like a measurement:");
     for r in &rows {
         println!(

@@ -34,7 +34,10 @@ fn parallel_load_equals_serial_load() {
     let parallel = PTDataStore::in_memory().unwrap();
     let stats = parallel.load_ptdf_texts_parallel(&texts, 4).unwrap();
     assert_eq!(stats.results, serial.result_count().unwrap());
-    assert_eq!(serial.result_count().unwrap(), parallel.result_count().unwrap());
+    assert_eq!(
+        serial.result_count().unwrap(),
+        parallel.result_count().unwrap()
+    );
     assert_eq!(
         serial.resource_count().unwrap(),
         parallel.resource_count().unwrap()
@@ -43,8 +46,9 @@ fn parallel_load_equals_serial_load() {
     // Same query answers.
     let q = |s: &PTDataStore| {
         QueryEngine::new(s)
-            .run(&[ResourceFilter::by_name("/IRS-code/irs.c/rmatmult3")
-                .relatives(Relatives::Neither)])
+            .run(&[
+                ResourceFilter::by_name("/IRS-code/irs.c/rmatmult3").relatives(Relatives::Neither)
+            ])
             .unwrap()
             .len()
     };
@@ -168,7 +172,10 @@ fn checkpoint_bounds_growth_and_preserves_data() {
     let wal = dir.join("wal.log");
     assert_eq!(std::fs::metadata(&wal).unwrap().len(), 0, "WAL truncated");
     store.load_ptdf_str(&texts[1]).unwrap();
-    assert!(std::fs::metadata(&wal).unwrap().len() > 0, "WAL grows again");
+    assert!(
+        std::fs::metadata(&wal).unwrap().len() > 0,
+        "WAL grows again"
+    );
     assert_eq!(store.executions().len(), 2);
     drop(store);
     std::fs::remove_dir_all(&dir).unwrap();

@@ -90,8 +90,12 @@ fn purple_study_pipeline() {
 #[test]
 fn noise_study_pipeline_and_multiset_results() {
     let store = PTDataStore::in_memory().unwrap();
-    store.load_statements(&MachineModel::uv().to_ptdf(2)).unwrap();
-    store.load_statements(&MachineModel::bgl().to_ptdf(2)).unwrap();
+    store
+        .load_statements(&MachineModel::uv().to_ptdf(2))
+        .unwrap();
+    store
+        .load_statements(&MachineModel::bgl().to_ptdf(2))
+        .unwrap();
     load_smg(&store, 2, 2, 3);
     assert_eq!(store.executions().len(), 5);
     // BG/L executions contribute exactly 8 results each.
@@ -159,13 +163,19 @@ fn combined_store_single_analysis_session() {
     // Cross-tool query: every result for the execution/process type.
     let dialog = SelectionDialog::new(&store);
     let menu = dialog.resource_type_menu();
-    assert!(menu.contains(&"syncObject".to_string()), "extended types visible");
+    assert!(
+        menu.contains(&"syncObject".to_string()),
+        "extended types visible"
+    );
     // Export the combined store and reload it elsewhere — granularity of
     // exchange is statements, not opaque files.
     let exported = store.export_ptdf().unwrap();
     let store2 = PTDataStore::in_memory().unwrap();
     store2.load_statements(&exported).unwrap();
-    assert_eq!(store.result_count().unwrap(), store2.result_count().unwrap());
+    assert_eq!(
+        store.result_count().unwrap(),
+        store2.result_count().unwrap()
+    );
     assert_eq!(
         store.resource_count().unwrap(),
         store2.resource_count().unwrap()

@@ -117,7 +117,9 @@ fn conflicting_resource_type_rejected_without_damage() {
     assert!(err.to_string().contains("type"), "{err}");
     // Original type intact.
     let rec = store.resource_by_name("/r").unwrap().unwrap();
-    let types = perftrack::QueryEngine::new(&store).type_path_by_id().unwrap();
+    let types = perftrack::QueryEngine::new(&store)
+        .type_path_by_id()
+        .unwrap();
     assert_eq!(types[&rec.type_id], "application");
 }
 
@@ -157,9 +159,7 @@ fn oversized_row_rejected_cleanly() {
     // load errors and rolls back.
     let store = PTDataStore::in_memory().unwrap();
     let huge = "x".repeat(9000);
-    let doc = format!(
-        "Resource /r application\nResourceAttribute /r big {huge} string\n"
-    );
+    let doc = format!("Resource /r application\nResourceAttribute /r big {huge} string\n");
     assert!(store.load_ptdf_str(&doc).is_err());
     assert_eq!(store.resource_count().unwrap(), 0, "rolled back");
     // Reasonable sizes still work afterwards.

@@ -23,12 +23,14 @@ fn build_model(w: &World) -> (TypeRegistry, ResourceRepo, Vec<PerformanceResult>
     repo.add(&reg, "/App", "application").unwrap();
     for m in 0..w.machines {
         repo.add(&reg, &format!("/G{m}"), "grid").unwrap();
-        repo.add(&reg, &format!("/G{m}/M{m}"), "grid/machine").unwrap();
+        repo.add(&reg, &format!("/G{m}/M{m}"), "grid/machine")
+            .unwrap();
         repo.add(&reg, &format!("/G{m}/M{m}/batch"), "grid/machine/partition")
             .unwrap();
         for n in 0..w.nodes {
             let node = format!("/G{m}/M{m}/batch/node{n}");
-            repo.add(&reg, &node, "grid/machine/partition/node").unwrap();
+            repo.add(&reg, &node, "grid/machine/partition/node")
+                .unwrap();
             repo.set_attr(
                 &ResourceName::new(&node).unwrap(),
                 "mem",
@@ -144,7 +146,10 @@ fn check_equivalence(w: &World) {
         let model_matched = prf.filter(&model_results).len();
         let families: Vec<_> = pair.iter().map(|f| engine.family(f).unwrap()).collect();
         let db_matched = engine.matching_result_ids(&families).unwrap().len();
-        assert_eq!(model_matched, db_matched, "match count mismatch for {pair:?}");
+        assert_eq!(
+            model_matched, db_matched,
+            "match count mismatch for {pair:?}"
+        );
 
         // 3. Live counts agree.
         let model_counts = prf.match_counts(&model_results);

@@ -77,7 +77,9 @@ fn fig11_machine_maps_to_execution_with_node_attrs() {
         // The Paradyn machine node became an attribute, not an ancestor.
         let attrs = store.attributes_of(*id).unwrap();
         assert!(
-            attrs.iter().any(|(n, v, _)| n == "node" && v.starts_with("mcr")),
+            attrs
+                .iter()
+                .any(|(n, v, _)| n == "node" && v.starts_with("mcr")),
             "process {} lacks node attribute",
             rec.name
         );
@@ -88,7 +90,11 @@ fn fig11_machine_maps_to_execution_with_node_attrs() {
             TypePath::new("execution/process/thread").unwrap(),
         ))
         .unwrap();
-    assert_eq!(threads.len(), procs.len(), "one thread per process in the fixture");
+    assert_eq!(
+        threads.len(),
+        procs.len(),
+        "one thread per process in the fixture"
+    );
 }
 
 #[test]
@@ -102,7 +108,11 @@ fn fig11_syncobject_becomes_new_top_level_hierarchy() {
     assert!(!before.iter().any(|t| t.starts_with("syncObject")));
     load_one(&store, "pd1", 3);
     let reg = store.registry();
-    for t in ["syncObject", "syncObject/class", "syncObject/class/instance"] {
+    for t in [
+        "syncObject",
+        "syncObject/class",
+        "syncObject/class/instance",
+    ] {
         assert!(reg.contains(t), "{t} not registered");
     }
     // Instances exist for the MPI communicators.
@@ -141,10 +151,7 @@ fn fig11_time_hierarchy_bins_shared_across_histograms() {
     }
     intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     for w in intervals.windows(2) {
-        assert!(
-            (w[0].1 - w[1].0).abs() < 1e-6,
-            "bins must tile time: {w:?}"
-        );
+        assert!((w[0].1 - w[1].0).abs() < 1e-6, "bins must tile time: {w:?}");
     }
 }
 

@@ -42,10 +42,7 @@ fn primary_key_indexes_are_unique() {
             schema.application,
             vec![Value::Int(1), Value::Text("A".into())],
         ),
-        (
-            schema.metric,
-            vec![Value::Int(1), Value::Text("m".into())],
-        ),
+        (schema.metric, vec![Value::Int(1), Value::Text("m".into())]),
         (
             schema.performance_tool,
             vec![Value::Int(1), Value::Text("t".into())],
@@ -149,7 +146,10 @@ fn referential_integrity_after_study_load() {
         .into_iter()
         .map(|(_, r)| (r[1].as_int().unwrap(), r[0].as_int().unwrap()))
         .collect();
-    assert_eq!(descendant_pairs, expected_pairs, "rhd is the inverse closure");
+    assert_eq!(
+        descendant_pairs, expected_pairs,
+        "rhd is the inverse closure"
+    );
 }
 
 #[test]

@@ -16,7 +16,9 @@ fn study_store() -> PTDataStore {
     store
         .load_statements(&MachineModel::frost().to_ptdf(2))
         .unwrap();
-    store.load_statements(&MachineModel::mcr().to_ptdf(2)).unwrap();
+    store
+        .load_statements(&MachineModel::mcr().to_ptdf(2))
+        .unwrap();
     for bundle in wl::irs_purple(17, 2) {
         let files: Vec<(String, String)> = bundle
             .files
@@ -37,7 +39,12 @@ fn fig3_type_menu_and_name_lists() {
     let dialog = SelectionDialog::new(&store);
     let menu = dialog.resource_type_menu();
     // Base types plus hierarchies appear.
-    for t in ["application", "grid/machine", "build/module/function", "metric"] {
+    for t in [
+        "application",
+        "grid/machine",
+        "build/module/function",
+        "metric",
+    ] {
         assert!(menu.contains(&t.to_string()), "{t} missing from menu");
     }
     // Selecting a type lists names with counts; "batch" spans machines.
@@ -62,7 +69,9 @@ fn fig3_child_expansion_restricts_scope() {
     let top_total: usize = top.iter().map(|(_, c)| c).sum();
     let frost_total: usize = frost_only.iter().map(|(_, c)| c).sum();
     assert!(top_total > frost_total);
-    assert!(frost_only.iter().all(|(n, _)| n.starts_with("Frost/batch/")));
+    assert!(frost_only
+        .iter()
+        .all(|(n, _)| n.starts_with("Frost/batch/")));
 }
 
 #[test]
@@ -130,7 +139,10 @@ fn fig4_two_step_columns_sort_filter_export() {
     table.sort_by(2, false).unwrap();
     let rendered = table.render().unwrap();
     let vals: Vec<f64> = rendered.iter().map(|r| r[2].parse().unwrap()).collect();
-    assert!(vals.windows(2).all(|w| w[0] >= w[1]), "descending: {vals:?}");
+    assert!(
+        vals.windows(2).all(|w| w[0] >= w[1]),
+        "descending: {vals:?}"
+    );
 
     // Filter by metric, then clear.
     table.filter_metric("CPU_time (max)");
@@ -151,7 +163,11 @@ fn fig4_two_step_columns_sort_filter_export() {
 
     // Chart the table (Figure 5's pathway): category=execution col,
     // series=metric col.
-    let exec_col = table.columns().iter().position(|c| c == "execution").unwrap();
+    let exec_col = table
+        .columns()
+        .iter()
+        .position(|c| c == "execution")
+        .unwrap();
     let chart = table.chart("per-exec", exec_col, 1).unwrap();
     assert_eq!(chart.categories.len(), 2, "two executions loaded");
     assert!(!chart.series.is_empty());
