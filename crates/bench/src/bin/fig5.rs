@@ -116,4 +116,11 @@ fn main() {
         "  - max > min at every process count (load imbalance visible): {}",
         if spread_ok { "yes" } else { "NO" }
     );
+
+    // Integrity gate: fast fsck over the loaded store (docs/FSCK.md).
+    if std::env::args().any(|a| a == "--verify") {
+        let report = store.fsck(false).unwrap();
+        println!("\nfsck: {}", report.summary());
+        assert_eq!(report.error_count(), 0, "integrity check failed");
+    }
 }

@@ -54,6 +54,13 @@ fn measure(store: &PTDataStore, name: &'static str, bundles: &[wl::ExecutionBund
     let load_secs = start.elapsed().as_secs_f64();
     store.checkpoint().unwrap();
 
+    // Integrity gate: fast fsck after each dataset load (docs/FSCK.md).
+    if std::env::args().any(|a| a == "--verify") {
+        let report = store.fsck(false).unwrap();
+        println!("  [{name}] fsck: {}", report.summary());
+        assert_eq!(report.error_count(), 0, "integrity check failed for {name}");
+    }
+
     // Engine-level observability for this dataset's load (`pt stats`).
     let m = store.db().metrics();
     println!(
@@ -176,6 +183,16 @@ fn main() {
             start.elapsed().as_secs_f64()
         );
     }
+    if std::env::args().any(|a| a == "--verify") {
+        let report = store.fsck(false).unwrap();
+        println!("  [Paradyn] fsck: {}", report.summary());
+        assert_eq!(
+            report.error_count(),
+            0,
+            "integrity check failed for Paradyn"
+        );
+    }
+
     println!("\nShape checks vs the paper:");
     println!(
         "  - SMG-UV has the most resources/results per execution: {}",

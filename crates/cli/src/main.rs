@@ -18,10 +18,11 @@ USAGE:
   pt machines <store-dir> [--nodes N]
   pt gen <irs|smg-uv|smg-bgl|paradyn> <out-dir> [--execs N] [--seed S]
   pt convert <raw-dir> --index <file> --out <dir>
-  pt load <store-dir> <ptdf-file>... [--threads N] [--profile] [--json]
+  pt load <store-dir> <ptdf-file>... [--threads N] [--verify] [--profile] [--json]
   pt report <store-dir> [summary|types|executions|metrics|tables]
   pt report <store-dir> execution <name> | resource <full-name>
   pt stats <store-dir> [--json]
+  pt fsck <store-dir> [--deep] [--json]
   pt delete <store-dir> <execution>
   pt query <store-dir> [--name PAT]... [--type PATH]... [--relatives D|A|B|N]
           [--add-column TYPE]... [--csv] [--profile] [--json]
@@ -63,6 +64,7 @@ fn main() -> ExitCode {
         "load" => commands::load(rest),
         "report" => commands::report(rest),
         "stats" => commands::stats(rest),
+        "fsck" => commands::fsck(rest),
         "query" => commands::query(rest),
         "count" => commands::count(rest),
         "chart" => commands::chart(rest),

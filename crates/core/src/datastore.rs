@@ -714,6 +714,17 @@ impl PTDataStore {
         Ok(self.db.checkpoint()?)
     }
 
+    /// Whole-store integrity verification: the storage engine's structural
+    /// fsck (pages, B+trees, WAL, catalog) plus PerfTrack's logical checks
+    /// (closure-table consistency, referential integrity). `deep` adds the
+    /// engine's index-entry ↔ row bijection checks. See `docs/FSCK.md`.
+    ///
+    /// Takes the writer lock for the structural pass — do not call while a
+    /// [`Txn`](perftrack_store::Txn) or [`Loader`] is open on this thread.
+    pub fn fsck(&self, deep: bool) -> Result<crate::fsck::FsckReport> {
+        crate::fsck::verify_store(self, deep)
+    }
+
     /// Delete an execution and everything hanging off it: its performance
     /// results, their foci and focus-resource links, and the execution row
     /// itself. Resources are left in place (they are shared across

@@ -11,6 +11,7 @@ pub mod chart;
 pub mod compare;
 pub mod datastore;
 pub mod error;
+pub mod fsck;
 pub mod predict;
 pub mod query;
 pub mod reports;
@@ -21,6 +22,7 @@ pub use chart::{BarChart, Series};
 pub use compare::{Compare, ComparisonReport, ComparisonRow, LoadBalanceRow};
 pub use datastore::{LoadStats, Loader, PTDataStore, ResourceRecord};
 pub use error::{PtError, Result};
+pub use perftrack_store::check::{Finding, FsckReport, Severity};
 pub use perftrack_store::metrics::{Json, MetricsSnapshot, OperatorProfile, QueryProfile};
 pub use predict::{Observation, PredictionCheck, Predictor, ScalingModel};
 pub use query::{ExpandStrategy, FreeResourceColumn, QueryEngine, ResultRow};

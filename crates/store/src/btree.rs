@@ -19,12 +19,12 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum entries per node before it splits.
-const MAX_KEYS: usize = 64;
+pub(crate) const MAX_KEYS: usize = 64;
 
-type Key = Box<[u8]>;
-type Entry = (Key, u64);
+pub(crate) type Key = Box<[u8]>;
+pub(crate) type Entry = (Key, u64);
 
-enum Node {
+pub(crate) enum Node {
     Leaf(Vec<Entry>),
     Internal {
         /// `children[i]` holds entries `< seps[i]`; `children[i+1]` holds
@@ -172,6 +172,10 @@ pub struct BTreeIndex {
     len: usize,
     splits: u64,
     node_reads: AtomicU64,
+    /// Mutation counter driving the sampled structural self-check; only
+    /// maintained (and only present) in debug builds.
+    #[cfg(debug_assertions)]
+    mutations: u64,
 }
 
 impl Default for BTreeIndex {
@@ -188,6 +192,28 @@ impl BTreeIndex {
             len: 0,
             splits: 0,
             node_reads: AtomicU64::new(0),
+            #[cfg(debug_assertions)]
+            mutations: 0,
+        }
+    }
+
+    /// Root node, for the structural verifier in [`crate::check`].
+    pub(crate) fn root_node(&self) -> &Node {
+        &self.root
+    }
+
+    /// Sampled invariant hook: every debug-build mutation re-verifies the
+    /// whole tree while it is small, then every 1024th mutation once full
+    /// walks get expensive. Release builds compile this away entirely.
+    #[cfg(debug_assertions)]
+    fn debug_validate(&mut self) {
+        self.mutations += 1;
+        if self.len <= 512 || self.mutations % 1024 == 0 {
+            debug_assert!(
+                crate::check::tree_is_sound(self),
+                "B+tree invariants broken after mutation #{}",
+                self.mutations
+            );
         }
     }
 
@@ -229,6 +255,8 @@ impl BTreeIndex {
             };
         }
         self.len += 1;
+        #[cfg(debug_assertions)]
+        self.debug_validate();
     }
 
     /// Remove `(key, rid)`; returns whether it was present.
@@ -236,6 +264,8 @@ impl BTreeIndex {
         let removed = self.root.remove(key, rid);
         if removed {
             self.len -= 1;
+            #[cfg(debug_assertions)]
+            self.debug_validate();
         }
         removed
     }

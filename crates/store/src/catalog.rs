@@ -215,6 +215,17 @@ impl Catalog {
         Ok(id)
     }
 
+    /// Remove an index definition (used to roll back a failed
+    /// `CREATE INDEX`; there is no user-facing DROP INDEX).
+    pub fn drop_index(&mut self, id: IndexId) -> Result<()> {
+        let meta = self
+            .indexes
+            .remove(&id)
+            .ok_or_else(|| StoreError::NoSuchIndex(format!("index id {}", id.0)))?;
+        self.by_index_name.remove(&meta.name);
+        Ok(())
+    }
+
     /// Look up a table id by name.
     pub fn table_id(&self, name: &str) -> Result<TableId> {
         self.by_table_name
@@ -515,6 +526,20 @@ mod tests {
         assert!(c.create_index("i1", t, vec![], false).is_err());
         assert!(c.create_index("i2", t, vec![9], false).is_err());
         assert!(c.create_index("i3", TableId(99), vec![0], false).is_err());
+    }
+
+    #[test]
+    fn drop_index_removes_both_maps() {
+        let mut c = sample();
+        let i = c.index_id("resource_item_name").unwrap();
+        c.drop_index(i).unwrap();
+        assert!(c.index_id("resource_item_name").is_err());
+        assert!(c.index(i).is_err());
+        assert!(c.drop_index(i).is_err(), "double drop fails");
+        // The name is reusable afterwards.
+        let t = c.table_id("resource_item").unwrap();
+        c.create_index("resource_item_name", t, vec![1], true)
+            .unwrap();
     }
 
     #[test]

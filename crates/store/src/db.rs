@@ -146,6 +146,16 @@ impl Database {
         db.install_wal_hook();
         // Start from a clean checkpoint so the log only holds new work.
         db.checkpoint()?;
+        // Post-recovery verification: recovery must hand back a
+        // structurally sound store. Failing the open here beats serving
+        // corrupt rows later.
+        let report = db.verify(false)?;
+        if report.error_count() > 0 {
+            return Err(StoreError::Corrupt(format!(
+                "post-recovery verification failed: {}",
+                report.summary()
+            )));
+        }
         Ok(db)
     }
 
@@ -200,8 +210,10 @@ impl Database {
             true
         })?;
         if let Some(msg) = dup {
-            // Roll the DDL back by dropping the index definition we just
-            // added. Catalog has no drop API surface otherwise, so rebuild.
+            // Roll the DDL back: without this, the catalog keeps an
+            // IndexMeta that has no tree, and every later write on the
+            // table fails with NoSuchIndex.
+            self.catalog.write().drop_index(id)?;
             return Err(StoreError::UniqueViolation(msg));
         }
         self.indexes.write().insert(id, Arc::new(RwLock::new(tree)));
@@ -498,6 +510,33 @@ impl Database {
     /// Read access to the catalog (crate-internal; used by the planner).
     pub(crate) fn catalog_read(&self) -> parking_lot::RwLockReadGuard<'_, Catalog> {
         self.catalog.read()
+    }
+
+    /// Buffer pool handle for the structural verifier.
+    pub(crate) fn pool_ref(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// WAL handle for the structural verifier.
+    pub(crate) fn wal_handle(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// The installed B+tree for `id`, if any (the verifier must
+    /// distinguish a missing tree from an empty one).
+    pub(crate) fn index_tree_opt(&self, id: IndexId) -> Option<Arc<RwLock<BTreeIndex>>> {
+        self.indexes.read().get(&id).cloned()
+    }
+
+    /// Run the structural verifier over the whole database and return its
+    /// findings; see [`crate::check`] for the invariants covered. Takes
+    /// the writer lock so the view is quiescent (do not call while holding
+    /// a [`Txn`] on the same thread — it would deadlock, like
+    /// [`Database::checkpoint`]). `deep` adds the full index ↔ heap
+    /// bijection check.
+    pub fn verify(&self, deep: bool) -> Result<crate::check::FsckReport> {
+        let _w = self.writer.lock();
+        crate::check::verify_database(self, deep)
     }
 
     // -- recovery ---------------------------------------------------------
@@ -827,6 +866,20 @@ impl<'db> Txn<'db> {
                         )));
                     }
                 }
+            }
+        }
+        // Pre-flight the only real page-level failure (PageFull on grow)
+        // *before* the WAL record exists. Otherwise a failed update leaves
+        // a phantom Update record; if the transaction later commits, redo
+        // hits PageFull during recovery and the database cannot be opened.
+        if new_bytes.len() > old_bytes.len() {
+            let fits = self.db.pool.with_page(rowid.page, |buf| {
+                let p = PageRef::new(&buf[..]);
+                let cur_len = p.get(rowid.slot).map_or(0, <[u8]>::len);
+                new_bytes.len() <= cur_len || new_bytes.len() <= p.total_free() + cur_len
+            })?;
+            if !fits {
+                return Err(StoreError::PageFull);
             }
         }
         self.db.wal.append(
@@ -1325,6 +1378,64 @@ mod tests {
         txn.insert(t, row(2, "same", None)).unwrap();
         txn.commit().unwrap();
         assert!(db.create_index("uniq_name", t, &["name"], true).is_err());
+    }
+
+    #[test]
+    fn failed_unique_index_build_rolls_back_catalog() {
+        let db = Database::in_memory();
+        let t = db.create_table("people", people_schema()).unwrap();
+        let mut txn = db.begin();
+        txn.insert(t, row(1, "same", None)).unwrap();
+        txn.insert(t, row(2, "same", None)).unwrap();
+        txn.commit().unwrap();
+        assert!(db.create_index("uniq_name", t, &["name"], true).is_err());
+        // Regression: the failed DDL used to leave a tree-less IndexMeta
+        // behind, so every later write on the table hit NoSuchIndex.
+        let mut txn = db.begin();
+        txn.insert(t, row(3, "after", None)).unwrap();
+        txn.commit().unwrap();
+        assert!(db.index_id("uniq_name").is_err());
+        assert_eq!(db.row_count(t).unwrap(), 3);
+        let report = db.verify(true).unwrap();
+        assert_eq!(report.error_count(), 0, "{}", report.render_table());
+    }
+
+    #[test]
+    fn failed_update_grow_does_not_poison_recovery() {
+        let dir = std::env::temp_dir().join(format!("ptdb-phantom-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first;
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = setup(&db);
+            let mut txn = db.begin();
+            first = txn.insert(t, row(0, &"x".repeat(1000), None)).unwrap();
+            for i in 1..40 {
+                txn.insert(t, row(i, &"x".repeat(1000), None)).unwrap();
+            }
+            // The first page is packed; growing row 0 to ~7 KiB cannot fit.
+            // Regression: this used to append a WAL Update record before
+            // discovering PageFull, and once the transaction committed the
+            // phantom record made redo fail — the database was unopenable.
+            let err = txn
+                .update(t, first, row(0, &"y".repeat(7000), None))
+                .unwrap_err();
+            assert!(matches!(err, StoreError::PageFull), "{err}");
+            txn.insert(t, row(999, "tail", None)).unwrap();
+            txn.commit().unwrap();
+            std::mem::forget(db); // crash without checkpoint → recovery replays
+        }
+        let db = Database::open(&dir).unwrap();
+        let t = db.table_id("people").unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 41);
+        assert_eq!(
+            db.get(t, first).unwrap()[1],
+            Value::Text("x".repeat(1000)),
+            "failed update left the original row intact"
+        );
+        let report = db.verify(true).unwrap();
+        assert_eq!(report.error_count(), 0, "{}", report.render_table());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`metrics`] — observability: counters, latency histograms,
 //!   per-operator query profiles, and the JSON codec that serializes them
 //!   (schema documented in `docs/METRICS.md`).
+//! * [`check`] — structural verification ("fsck"): page, B+tree, WAL,
+//!   catalog, and closure-table invariants as typed findings (invariants
+//!   and report schema documented in `docs/FSCK.md`).
 //!
 //! ## Quick example
 //!
@@ -58,6 +61,7 @@
 pub mod btree;
 pub mod buffer;
 pub mod catalog;
+pub mod check;
 pub mod db;
 pub mod disk;
 pub mod error;
@@ -70,6 +74,7 @@ pub mod wal;
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use crate::catalog::{Column, IndexId, TableId};
+    pub use crate::check::{Finding, FsckReport, Severity};
     pub use crate::db::{Database, DbOptions, Txn};
     pub use crate::error::{Result as StoreResult, StoreError};
     pub use crate::metrics::{Json, MetricsSnapshot, OperatorProfile, QueryProfile};

@@ -151,7 +151,7 @@ impl<'a> PageRef<'a> {
         (v != u32::MAX).then_some(PageId(v))
     }
 
-    fn slot(&self, i: u16) -> (u16, u16) {
+    pub(crate) fn slot(&self, i: u16) -> (u16, u16) {
         let base = HEADER_SIZE + usize::from(i) * SLOT_SIZE;
         (get_u16(self.buf, base), get_u16(self.buf, base + 2))
     }
@@ -296,6 +296,10 @@ impl<'a> PageMut<'a> {
         self.buf[new_end..new_end + record.len()].copy_from_slice(record);
         put_u16(self.buf, OFF_FREE_END, new_end as u16);
         self.set_slot(slot, new_end as u16, record.len() as u16);
+        debug_assert!(
+            crate::check::page_is_sound(self.buf),
+            "page invariants broken after insert_at"
+        );
         Ok(slot)
     }
 
@@ -306,10 +310,15 @@ impl<'a> PageMut<'a> {
             return Err(StoreError::RowNotFound);
         }
         self.set_slot(slot, 0, 0);
+        debug_assert!(
+            crate::check::page_is_sound(self.buf),
+            "page invariants broken after delete"
+        );
         Ok(())
     }
 
     /// Replace the record at `slot` with `record`, keeping the slot id.
+    /// Atomic: on `Err(PageFull)` the original record is left intact.
     pub fn update(&mut self, slot: u16, record: &[u8]) -> Result<()> {
         let view = self.as_ref();
         if slot >= view.slot_count() {
@@ -324,14 +333,22 @@ impl<'a> PageMut<'a> {
             let off = usize::from(off);
             self.buf[off..off + record.len()].copy_from_slice(record);
             self.set_slot(slot, off as u16, record.len() as u16);
+            debug_assert!(
+                crate::check::page_is_sound(self.buf),
+                "page invariants broken after in-place update"
+            );
             return Ok(());
         }
-        // Grow: tombstone then re-place at the same slot id.
-        self.set_slot(slot, 0, 0);
-        match self.insert_at(slot, record) {
-            Ok(_) => Ok(()),
-            Err(e) => Err(e),
+        // Grow: check capacity *before* tombstoning, so a full page leaves
+        // the original record intact. After the tombstone frees `len`
+        // bytes, insert_at needs record.len() and zero new slots, so
+        // total_free + len >= record.len() guarantees success (compaction
+        // makes the freed space contiguous if needed).
+        if record.len() > view.total_free() + usize::from(len) {
+            return Err(StoreError::PageFull);
         }
+        self.set_slot(slot, 0, 0);
+        self.insert_at(slot, record).map(|_| ())
     }
 
     /// Rewrite live records contiguously at the end of the page, erasing
@@ -349,6 +366,10 @@ impl<'a> PageMut<'a> {
             self.set_slot(*slot, end as u16, rec.len() as u16);
         }
         put_u16(self.buf, OFF_FREE_END, end as u16);
+        debug_assert!(
+            crate::check::page_is_sound(self.buf),
+            "page invariants broken after compact"
+        );
     }
 }
 
@@ -496,6 +517,33 @@ mod tests {
     fn unformatted_page_detected() {
         let buf = vec![0u8; PAGE_SIZE];
         assert!(!PageRef::new(&buf).is_formatted());
+    }
+
+    #[test]
+    fn update_grow_on_full_page_leaves_record_intact() {
+        // Regression: the grow path used to tombstone the slot *before*
+        // checking capacity, so a PageFull update destroyed the record.
+        let mut buf = fresh();
+        let mut p = PageMut::new(&mut buf);
+        let rec = [3u8; 1000];
+        let mut n = 0u16;
+        while p.insert(&rec).is_ok() {
+            n += 1;
+        }
+        assert!(n >= 8);
+        let grown = [4u8; 4000];
+        assert!(matches!(p.update(0, &grown), Err(StoreError::PageFull)));
+        assert_eq!(
+            p.as_ref().get(0).unwrap(),
+            &rec[..],
+            "failed update must not destroy the original record"
+        );
+        assert_eq!(p.as_ref().live_count(), usize::from(n));
+        // A grow that fits exactly in reclaimable space still succeeds.
+        p.delete(1).unwrap();
+        let fits = [5u8; 1500];
+        p.update(0, &fits).unwrap();
+        assert_eq!(p.as_ref().get(0).unwrap(), &fits[..]);
     }
 
     #[test]

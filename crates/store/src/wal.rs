@@ -272,6 +272,25 @@ struct WalStats {
     sync_latency: LatencyHistogram,
 }
 
+/// Result of scanning the durable log: the intact record prefix plus the
+/// byte accounting needed to detect a torn tail.
+#[derive(Debug)]
+pub struct WalScanReport {
+    /// Every record in the intact prefix, in log order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of the log the intact prefix covers.
+    pub consumed_bytes: u64,
+    /// Total bytes in the durable log file.
+    pub total_bytes: u64,
+}
+
+impl WalScanReport {
+    /// Bytes past the last intact record (0 = clean end of log).
+    pub fn torn_bytes(&self) -> u64 {
+        self.total_bytes - self.consumed_bytes
+    }
+}
+
 /// Append-only write-ahead log.
 pub struct Wal {
     inner: Mutex<WalInner>,
@@ -322,6 +341,13 @@ impl Wal {
         encode_payload(lsn, txn, payload, &mut body);
         self.stats.appends.inc();
         self.stats.append_bytes.add(body.len() as u64);
+        debug_assert!(
+            matches!(
+                decode_payload(&body),
+                Ok(r) if r.lsn == lsn && r.txn == txn && &r.payload == payload
+            ),
+            "WAL encode/decode roundtrip broken for lsn {lsn}"
+        );
         let mut inner = self.inner.lock();
         inner
             .pending
@@ -371,6 +397,14 @@ impl Wal {
     /// Read every intact record from the start of the log. Scanning stops
     /// silently at the first torn or corrupt record (crash tail).
     pub fn read_all(&self) -> Result<Vec<WalRecord>> {
+        Ok(self.scan_report()?.records)
+    }
+
+    /// Scan the durable log like [`Wal::read_all`], additionally reporting
+    /// how many bytes the intact prefix covers so callers (the `fsck`
+    /// verifier) can distinguish a clean end-of-log from a torn tail.
+    /// Buffered-but-unsynced records are not visible, matching recovery.
+    pub fn scan_report(&self) -> Result<WalScanReport> {
         let mut inner = self.inner.lock();
         let raw = match &mut inner.backend {
             LogBackend::Mem(v) => v.clone(),
@@ -400,7 +434,11 @@ impl Wal {
             }
             pos += 8 + len;
         }
-        Ok(records)
+        Ok(WalScanReport {
+            records,
+            consumed_bytes: pos as u64,
+            total_bytes: raw.len() as u64,
+        })
     }
 
     /// Discard the entire log (used after a checkpoint has made its
@@ -516,6 +554,36 @@ mod tests {
         let recs = wal.read_all().unwrap();
         assert_eq!(recs.len(), 1, "only the intact record survives");
         assert_eq!(recs[0].txn, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scan_report_accounts_for_torn_bytes() {
+        let dir = std::env::temp_dir().join(format!("ptstore-walscan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(1, &WalPayload::Commit).unwrap();
+            wal.sync().unwrap();
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        {
+            let wal = Wal::open(&path).unwrap();
+            let rep = wal.scan_report().unwrap();
+            assert_eq!(rep.records.len(), 1);
+            assert_eq!(rep.consumed_bytes, clean_len);
+            assert_eq!(rep.torn_bytes(), 0);
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        std::fs::write(&path, &bytes).unwrap();
+        let wal = Wal::open(&path).unwrap();
+        let rep = wal.scan_report().unwrap();
+        assert_eq!(rep.records.len(), 1);
+        assert_eq!(rep.consumed_bytes, clean_len);
+        assert_eq!(rep.torn_bytes(), 3);
         std::fs::remove_file(&path).unwrap();
     }
 

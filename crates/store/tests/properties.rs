@@ -215,3 +215,87 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Structural verification (`check`) under random operation sequences
+// ---------------------------------------------------------------------------
+
+use perftrack_store::check::{check_page, verify_tree, Severity};
+
+/// No error-severity findings; warnings (e.g. underfull leaves after
+/// deletes) are legal states.
+fn no_errors(findings: &[perftrack_store::check::Finding]) -> bool {
+    findings.iter().all(|f| f.severity != Severity::Error)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every batch of random inserts/removes leaves the B+tree in a state
+    /// the structural verifier accepts: sorted entries, uniform leaf
+    /// depth, bounded fanout, separator bounds respected.
+    #[test]
+    fn btree_verifies_after_every_batch(
+        batches in prop::collection::vec(
+            prop::collection::vec((prop::bool::ANY, 0u64..60, "[a-f]{1,4}"), 1..80),
+            1..6
+        )
+    ) {
+        let mut tree = BTreeIndex::new();
+        let mut model = std::collections::BTreeSet::<(Vec<u8>, u64)>::new();
+        for batch in batches {
+            for (is_insert, rid, key) in batch {
+                let kb = key.into_bytes();
+                if is_insert {
+                    if model.insert((kb.clone(), rid)) {
+                        tree.insert(&kb, rid);
+                    }
+                } else {
+                    let a = tree.remove(&kb, rid);
+                    prop_assert_eq!(a, model.remove(&(kb, rid)));
+                }
+            }
+            let findings = verify_tree(&tree, "prop");
+            prop_assert!(no_errors(&findings), "verifier errors: {findings:?}");
+            prop_assert_eq!(tree.len(), model.len());
+        }
+    }
+
+    /// Every random insert/delete/update sequence leaves the slotted page
+    /// in a state `check_page` accepts: consistent slot directory,
+    /// in-bounds free-space pointers, no overlapping live records.
+    #[test]
+    fn page_verifies_after_every_op(
+        ops in prop::collection::vec(
+            (0u8..3, prop::collection::vec(any::<u8>(), 0..600)), 1..100
+        )
+    ) {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        PageMut::new(&mut buf).format(PageType::Heap);
+        let mut live: Vec<u16> = Vec::new();
+        for (kind, payload) in ops {
+            match kind {
+                0 => {
+                    if let Ok(slot) = PageMut::new(&mut buf).insert(&payload) {
+                        live.push(slot);
+                        live.sort_unstable();
+                        live.dedup();
+                    }
+                }
+                1 => {
+                    if let Some(&slot) = live.first() {
+                        PageMut::new(&mut buf).delete(slot).unwrap();
+                        live.remove(0);
+                    }
+                }
+                _ => {
+                    if let Some(&slot) = live.last() {
+                        let _ = PageMut::new(&mut buf).update(slot, &payload);
+                    }
+                }
+            }
+            let findings = check_page(&buf, 0);
+            prop_assert!(no_errors(&findings), "verifier errors: {findings:?}");
+        }
+    }
+}

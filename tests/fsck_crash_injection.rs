@@ -1,0 +1,156 @@
+//! Crash injection against the WAL, gated by the integrity verifier:
+//! take a store that "crashed" with a dirty log, then truncate or
+//! bit-flip the log at and around every record boundary. Every mutation
+//! must lead to one of exactly two outcomes — recovery succeeds and a
+//! deep fsck reports zero errors, or the open fails with a clean error.
+//! Never a panic, never a silently inconsistent store.
+
+use perftrack::PTDataStore;
+use std::path::{Path, PathBuf};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pt-fsckcrash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const DOC: &str = "\
+Application A
+Execution e1 A
+Resource /m grid
+Resource /m/n0 grid/machine
+Resource /r application
+PerfResult e1 /r(primary) T m 1.5 u
+PerfResult e1 /m/n0(primary) T m2 2.5 u
+";
+
+/// Build a store directory whose WAL still holds live records, as after
+/// a crash: load, checkpoint, load again, then forget without dropping.
+fn crashed_fixture(dir: &Path) {
+    let store = PTDataStore::open(dir).unwrap();
+    store.load_ptdf_str(DOC).unwrap();
+    store.checkpoint().unwrap();
+    store
+        .load_ptdf_str("Execution e2 A\nPerfResult e2 /r(primary) T m 9.5 u\n")
+        .unwrap();
+    std::mem::forget(store);
+}
+
+/// Parse the WAL framing (`len u32 | crc u32 | body`) into the byte
+/// offsets where each record starts, plus the end offset.
+fn record_boundaries(wal: &[u8]) -> Vec<usize> {
+    let mut offsets = vec![0usize];
+    let mut pos = 0usize;
+    while pos + 8 <= wal.len() {
+        let len = u32::from_be_bytes([wal[pos], wal[pos + 1], wal[pos + 2], wal[pos + 3]]) as usize;
+        if pos + 8 + len > wal.len() {
+            break;
+        }
+        pos += 8 + len;
+        offsets.push(pos);
+    }
+    offsets
+}
+
+/// Restore a pristine copy of the fixture into `trial`, with `wal` as
+/// the (possibly mutated) log contents.
+fn restore(pristine: &Path, trial: &Path, wal: &[u8]) {
+    let _ = std::fs::remove_dir_all(trial);
+    std::fs::create_dir_all(trial).unwrap();
+    for entry in std::fs::read_dir(pristine).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), trial.join(entry.file_name())).unwrap();
+    }
+    std::fs::write(trial.join("wal.log"), wal).unwrap();
+}
+
+/// Open the mutated store. Success must come with a clean deep fsck;
+/// failure must be a clean error. Returns a label for the outcome.
+fn open_and_verify(trial: &Path, what: &str) -> &'static str {
+    match PTDataStore::open(trial) {
+        Ok(store) => {
+            let report = store.fsck(true).unwrap();
+            assert_eq!(
+                report.error_count(),
+                0,
+                "{what}: recovered store fails fsck: {}",
+                report.summary()
+            );
+            "recovered"
+        }
+        Err(e) => {
+            assert!(!e.to_string().is_empty(), "{what}: empty error");
+            "rejected"
+        }
+    }
+}
+
+#[test]
+fn wal_truncation_at_every_boundary_recovers_or_rejects_cleanly() {
+    let pristine = tmpdir("trunc-pristine");
+    crashed_fixture(&pristine);
+    let wal = std::fs::read(pristine.join("wal.log")).unwrap();
+    assert!(!wal.is_empty(), "fixture must carry a dirty WAL");
+    let bounds = record_boundaries(&wal);
+    assert!(bounds.len() > 2, "fixture must carry several records");
+
+    let trial = tmpdir("trunc-trial");
+    let mut recovered = 0usize;
+    // Cut exactly at each record boundary, and ragged cuts just past it
+    // (mid-header and mid-body) — a torn tail in three flavours.
+    let mut cuts: Vec<usize> = Vec::new();
+    for &b in &bounds {
+        cuts.push(b);
+        cuts.push((b + 3).min(wal.len()));
+        cuts.push((b + 11).min(wal.len()));
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    // Keep the run bounded: sample evenly up to 30 cuts.
+    let step = (cuts.len() / 30).max(1);
+    for cut in cuts.iter().step_by(step) {
+        restore(&pristine, &trial, &wal[..*cut]);
+        if open_and_verify(&trial, &format!("truncate at {cut}")) == "recovered" {
+            recovered += 1;
+        }
+    }
+    assert!(recovered > 0, "no truncation point recovered at all");
+    std::fs::remove_dir_all(&pristine).ok();
+    std::fs::remove_dir_all(&trial).ok();
+}
+
+#[test]
+fn wal_bitflips_at_record_boundaries_recover_or_reject_cleanly() {
+    let pristine = tmpdir("flip-pristine");
+    crashed_fixture(&pristine);
+    let wal = std::fs::read(pristine.join("wal.log")).unwrap();
+    let bounds = record_boundaries(&wal);
+    assert!(bounds.len() > 2);
+
+    let trial = tmpdir("flip-trial");
+    // Flip a bit in the length word, the checksum, and the body of each
+    // record (sampled to keep the run bounded).
+    let mut targets: Vec<usize> = Vec::new();
+    for &b in &bounds {
+        for delta in [0usize, 5, 9] {
+            if b + delta < wal.len() {
+                targets.push(b + delta);
+            }
+        }
+    }
+    targets.sort_unstable();
+    targets.dedup();
+    let step = (targets.len() / 30).max(1);
+    for byte in targets.iter().step_by(step) {
+        let mut mutated = wal.clone();
+        mutated[*byte] ^= 0x40;
+        restore(&pristine, &trial, &mutated);
+        open_and_verify(&trial, &format!("bit-flip at byte {byte}"));
+    }
+
+    // Control: the unmutated fixture recovers and passes a deep fsck.
+    restore(&pristine, &trial, &wal);
+    assert_eq!(open_and_verify(&trial, "control"), "recovered");
+    std::fs::remove_dir_all(&pristine).ok();
+    std::fs::remove_dir_all(&trial).ok();
+}
