@@ -1,7 +1,9 @@
 //! Implementations of the `pt` subcommands.
 
 use crate::args::{parse, Args, CliError};
-use perftrack::{Compare, PTDataStore, Predictor, QueryEngine, Reports, SelectionDialog};
+use perftrack::{
+    BulkLoadOptions, Compare, PTDataStore, Predictor, QueryEngine, Reports, SelectionDialog,
+};
 use perftrack_adapters as adapters;
 use perftrack_collect::MachineModel;
 use perftrack_model::{Relatives, ResourceFilter, TypePath};
@@ -9,6 +11,53 @@ use perftrack_workloads as wl;
 use std::path::{Path, PathBuf};
 
 type Result<T> = std::result::Result<T, CliError>;
+
+/// `pt load` exit codes (documented in the README's CLI table):
+/// 0 = success, 2 = completed after transient I/O retries, 3 = store is
+/// in read-only degraded mode, 4 = corruption detected. 1 stays the
+/// generic failure code.
+pub mod exit {
+    pub const OK: u8 = 0;
+    pub const RETRIED: u8 = 2;
+    pub const DEGRADED: u8 = 3;
+    pub const CORRUPT: u8 = 4;
+}
+
+/// An error that carries an explicit process exit code (used when a
+/// failure classifies as degraded/corrupt rather than generic).
+#[derive(Debug)]
+pub struct ExitCodeError {
+    pub code: u8,
+    msg: String,
+}
+
+impl std::fmt::Display for ExitCodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ExitCodeError {}
+
+/// Map an error to the exit-code contract by walking its source chain
+/// for typed storage errors.
+pub fn exit_code_for(e: &CliError) -> u8 {
+    let mut cur: Option<&(dyn std::error::Error + 'static)> = Some(e.as_ref());
+    while let Some(err) = cur {
+        if let Some(x) = err.downcast_ref::<ExitCodeError>() {
+            return x.code;
+        }
+        if let Some(s) = err.downcast_ref::<perftrack_store::StoreError>() {
+            match s {
+                perftrack_store::StoreError::ReadOnly => return exit::DEGRADED,
+                perftrack_store::StoreError::Corrupt(_) => return exit::CORRUPT,
+                _ => {}
+            }
+        }
+        cur = err.source();
+    }
+    1
+}
 
 fn open_store(dir: &str) -> Result<PTDataStore> {
     Ok(PTDataStore::open(Path::new(dir))?)
@@ -138,25 +187,44 @@ pub fn convert(argv: &[String]) -> Result<()> {
     Ok(())
 }
 
-/// `pt load <store-dir> <ptdf-file>...` — load PTdf files.
-pub fn load(argv: &[String]) -> Result<()> {
-    let a = parse(argv, &["threads"])?;
+/// `pt load <store-dir> <ptdf-file>... [--resume] [--batch N]
+/// [--max-retries N]` — load PTdf files through the crash-safe,
+/// idempotent bulk loader. Returns the exit code per the contract in
+/// [`exit`].
+pub fn load(argv: &[String]) -> Result<u8> {
+    let a = parse(argv, &["threads", "batch", "max-retries"])?;
     let dir = a.positional(0, "store directory")?;
     if a.positional.len() < 2 {
         return Err("at least one PTdf file required".into());
     }
     let threads: usize = a.get_num("threads", 1)?;
-    let store = open_store(dir)?;
+    let max_retries: u32 = a.get_num("max-retries", 3)?;
+    let store = PTDataStore::open_with(
+        Path::new(dir),
+        perftrack_store::DbOptions {
+            max_io_retries: max_retries,
+            ..Default::default()
+        },
+    )?;
     let paths: Vec<PathBuf> = a.positional[1..].iter().map(PathBuf::from).collect();
     let start = std::time::Instant::now();
-    let stats = if threads > 1 {
-        store.load_ptdf_files_parallel(&paths, threads)?
+    let retries_before = store.db().metrics().io.retries;
+    let (stats, manifest_line) = if threads > 1 {
+        (store.load_ptdf_files_parallel(&paths, threads)?, None)
     } else {
-        let mut total = perftrack::LoadStats::default();
-        for p in &paths {
-            total.merge(&store.load_ptdf_file(p)?);
-        }
-        total
+        let opts = BulkLoadOptions {
+            batch_statements: a.get_num("batch", 256)?,
+            resume: a.has_flag("resume"),
+        };
+        let report = store.load_ptdf_files_resumable(&paths, &opts)?;
+        let line = format!(
+            "manifest: {} loaded, {} skipped, {} batches, {} statements resumed",
+            report.files_loaded,
+            report.files_skipped,
+            report.batches_committed,
+            report.resumed_statements
+        );
+        (report.stats, Some(line))
     };
     println!(
         "loaded {} files in {:.2?}: {} executions, {} resources, {} attributes, {} results",
@@ -167,12 +235,19 @@ pub fn load(argv: &[String]) -> Result<()> {
         stats.attributes,
         stats.results
     );
+    if let Some(line) = manifest_line {
+        println!("{line}");
+    }
     println!("store size: {} bytes", store.size_bytes()?);
     if a.has_flag("verify") {
         let report = store.fsck(false)?;
         println!("fsck: {}", report.summary());
         if report.error_count() > 0 {
-            return Err(format!("post-load verification failed: {}", report.summary()).into());
+            return Err(ExitCodeError {
+                code: exit::CORRUPT,
+                msg: format!("post-load verification failed: {}", report.summary()),
+            }
+            .into());
         }
     }
     if a.has_flag("profile") {
@@ -183,7 +258,16 @@ pub fn load(argv: &[String]) -> Result<()> {
             print!("{}", snap.render_table());
         }
     }
-    Ok(())
+    let retries = store.db().metrics().io.retries - retries_before;
+    if store.is_degraded() {
+        eprintln!("pt load: store entered read-only degraded mode");
+        Ok(exit::DEGRADED)
+    } else if retries > 0 {
+        println!("completed after {retries} transient I/O retries");
+        Ok(exit::RETRIED)
+    } else {
+        Ok(exit::OK)
+    }
 }
 
 /// `pt stats <store-dir> [--json]` — engine observability counters

@@ -18,7 +18,8 @@ USAGE:
   pt machines <store-dir> [--nodes N]
   pt gen <irs|smg-uv|smg-bgl|paradyn> <out-dir> [--execs N] [--seed S]
   pt convert <raw-dir> --index <file> --out <dir>
-  pt load <store-dir> <ptdf-file>... [--threads N] [--verify] [--profile] [--json]
+  pt load <store-dir> <ptdf-file>... [--threads N] [--resume] [--batch N]
+          [--max-retries N] [--verify] [--profile] [--json]
   pt report <store-dir> [summary|types|executions|metrics|tables]
   pt report <store-dir> execution <name> | resource <full-name>
   pt stats <store-dir> [--json]
@@ -56,29 +57,31 @@ fn main() -> ExitCode {
     }
     let cmd = argv[0].as_str();
     let rest = &argv[1..];
-    let result = match cmd {
-        "init" => commands::init(rest),
-        "machines" => commands::machines(rest),
-        "gen" => commands::gen(rest),
-        "convert" => commands::convert(rest),
+    // `pt load` has a documented multi-valued exit-code contract
+    // (0/2/3/4, see README); every other command exits 0 or 1.
+    let result: Result<u8, args::CliError> = match cmd {
+        "init" => commands::init(rest).map(|()| 0),
+        "machines" => commands::machines(rest).map(|()| 0),
+        "gen" => commands::gen(rest).map(|()| 0),
+        "convert" => commands::convert(rest).map(|()| 0),
         "load" => commands::load(rest),
-        "report" => commands::report(rest),
-        "stats" => commands::stats(rest),
-        "fsck" => commands::fsck(rest),
-        "query" => commands::query(rest),
-        "count" => commands::count(rest),
-        "chart" => commands::chart(rest),
-        "compare" => commands::compare(rest),
-        "predict" => commands::predict(rest),
-        "delete" => commands::delete(rest),
-        "export" => commands::export(rest),
+        "report" => commands::report(rest).map(|()| 0),
+        "stats" => commands::stats(rest).map(|()| 0),
+        "fsck" => commands::fsck(rest).map(|()| 0),
+        "query" => commands::query(rest).map(|()| 0),
+        "count" => commands::count(rest).map(|()| 0),
+        "chart" => commands::chart(rest).map(|()| 0),
+        "compare" => commands::compare(rest).map(|()| 0),
+        "predict" => commands::predict(rest).map(|()| 0),
+        "delete" => commands::delete(rest).map(|()| 0),
+        "export" => commands::export(rest).map(|()| 0),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("pt {cmd}: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(commands::exit_code_for(&e).max(1))
         }
     }
 }

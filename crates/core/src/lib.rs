@@ -20,7 +20,9 @@ pub mod session;
 
 pub use chart::{BarChart, Series};
 pub use compare::{Compare, ComparisonReport, ComparisonRow, LoadBalanceRow};
-pub use datastore::{LoadStats, Loader, PTDataStore, ResourceRecord};
+pub use datastore::{
+    BulkLoadOptions, LoadReport, LoadStats, Loader, ManifestEntry, PTDataStore, ResourceRecord,
+};
 pub use error::{PtError, Result};
 pub use perftrack_store::check::{Finding, FsckReport, Severity};
 pub use perftrack_store::metrics::{Json, MetricsSnapshot, OperatorProfile, QueryProfile};

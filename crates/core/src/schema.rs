@@ -19,8 +19,37 @@
 //! * `focus` — one row per resource set of a result, with its role
 //!   (`primary`, `parent`, `child`, `sender`, `receiver`).
 //! * `focus_has_resource` — the resources in each focus.
+//! * `load_manifest` — bulk-load bookkeeping: one row per PTdf file ever
+//!   loaded, carrying its content hash and batch watermark so interrupted
+//!   loads can resume idempotently (`pt load --resume`; see
+//!   `docs/FAULTS.md`). Not part of Figure 1 — operational metadata.
 
-use perftrack_store::{Column, ColumnType, Database, StoreResult, TableId};
+use perftrack_store::{Column, ColumnType, Database, StoreError, StoreResult, TableId};
+
+/// Create `name` if absent, resolve it otherwise. Schema bootstrap is a
+/// sequence of DDL statements, each its own checkpoint barrier — a crash
+/// can leave any prefix of them durable. Making every step idempotent
+/// makes bootstrap as a whole crash-restartable (see `docs/FAULTS.md`).
+fn ensure_table(db: &Database, name: &str, columns: Vec<Column>) -> StoreResult<TableId> {
+    match db.table_id(name) {
+        Ok(t) => Ok(t),
+        Err(_) => db.create_table(name, columns),
+    }
+}
+
+/// Create index `name` if absent; tolerate it already existing.
+fn ensure_index(
+    db: &Database,
+    name: &str,
+    table: TableId,
+    columns: &[&str],
+    unique: bool,
+) -> StoreResult<()> {
+    match db.create_index(name, table, columns, unique) {
+        Ok(_) | Err(StoreError::AlreadyExists(_)) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
 
 /// Resolved table ids for the PerfTrack schema.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +67,7 @@ pub struct Schema {
     pub performance_result: TableId,
     pub focus: TableId,
     pub focus_has_resource: TableId,
+    pub load_manifest: TableId,
 }
 
 /// Column ordinals, by table, for code clarity. Kept in sync with
@@ -121,22 +151,31 @@ pub mod col {
         pub const FOCUS_ID: usize = 0;
         pub const RESOURCE_ID: usize = 1;
     }
+    /// `load_manifest(path, content_hash, watermark, done)`
+    pub mod load_manifest {
+        pub const PATH: usize = 0;
+        pub const CONTENT_HASH: usize = 1;
+        pub const WATERMARK: usize = 2;
+        pub const DONE: usize = 3;
+    }
 }
 
 impl Schema {
     /// Create all tables and indexes on a fresh database.
     pub fn create(db: &Database) -> StoreResult<Schema> {
-        let application = db.create_table(
+        let application = ensure_table(
+            db,
             "application",
             vec![
                 Column::new("id", ColumnType::Int),
                 Column::new("name", ColumnType::Text),
             ],
         )?;
-        db.create_index("application_id", application, &["id"], true)?;
-        db.create_index("application_name", application, &["name"], true)?;
+        ensure_index(db, "application_id", application, &["id"], true)?;
+        ensure_index(db, "application_name", application, &["name"], true)?;
 
-        let focus_framework = db.create_table(
+        let focus_framework = ensure_table(
+            db,
             "focus_framework",
             vec![
                 Column::new("id", ColumnType::Int),
@@ -144,15 +183,17 @@ impl Schema {
                 Column::nullable("parent_id", ColumnType::Int),
             ],
         )?;
-        db.create_index("focus_framework_id", focus_framework, &["id"], true)?;
-        db.create_index(
+        ensure_index(db, "focus_framework_id", focus_framework, &["id"], true)?;
+        ensure_index(
+            db,
             "focus_framework_path",
             focus_framework,
             &["type_path"],
             true,
         )?;
 
-        let execution = db.create_table(
+        let execution = ensure_table(
+            db,
             "execution",
             vec![
                 Column::new("id", ColumnType::Int),
@@ -160,11 +201,12 @@ impl Schema {
                 Column::new("application_id", ColumnType::Int),
             ],
         )?;
-        db.create_index("execution_id", execution, &["id"], true)?;
-        db.create_index("execution_name", execution, &["name"], true)?;
-        db.create_index("execution_app", execution, &["application_id"], false)?;
+        ensure_index(db, "execution_id", execution, &["id"], true)?;
+        ensure_index(db, "execution_name", execution, &["name"], true)?;
+        ensure_index(db, "execution_app", execution, &["application_id"], false)?;
 
-        let resource_item = db.create_table(
+        let resource_item = ensure_table(
+            db,
             "resource_item",
             vec![
                 Column::new("id", ColumnType::Int),
@@ -174,17 +216,25 @@ impl Schema {
                 Column::nullable("parent_id", ColumnType::Int),
             ],
         )?;
-        db.create_index("resource_item_id", resource_item, &["id"], true)?;
-        db.create_index("resource_item_name", resource_item, &["name"], true)?;
-        db.create_index("resource_item_base", resource_item, &["base_name"], false)?;
-        db.create_index(
+        ensure_index(db, "resource_item_id", resource_item, &["id"], true)?;
+        ensure_index(db, "resource_item_name", resource_item, &["name"], true)?;
+        ensure_index(
+            db,
+            "resource_item_base",
+            resource_item,
+            &["base_name"],
+            false,
+        )?;
+        ensure_index(
+            db,
             "resource_item_type",
             resource_item,
             &["focus_framework_id"],
             false,
         )?;
 
-        let resource_attribute = db.create_table(
+        let resource_attribute = ensure_table(
+            db,
             "resource_attribute",
             vec![
                 Column::new("resource_id", ColumnType::Int),
@@ -193,20 +243,23 @@ impl Schema {
                 Column::new("attr_type", ColumnType::Text),
             ],
         )?;
-        db.create_index(
+        ensure_index(
+            db,
             "resource_attribute_rid",
             resource_attribute,
             &["resource_id"],
             false,
         )?;
-        db.create_index(
+        ensure_index(
+            db,
             "resource_attribute_name",
             resource_attribute,
             &["name"],
             false,
         )?;
 
-        let resource_constraint = db.create_table(
+        let resource_constraint = ensure_table(
+            db,
             "resource_constraint",
             vec![
                 Column::new("resource1_id", ColumnType::Int),
@@ -214,74 +267,90 @@ impl Schema {
                 Column::new("name", ColumnType::Text),
             ],
         )?;
-        db.create_index(
+        ensure_index(
+            db,
             "resource_constraint_r1",
             resource_constraint,
             &["resource1_id"],
             false,
         )?;
-        db.create_index(
+        ensure_index(
+            db,
             "resource_constraint_r2",
             resource_constraint,
             &["resource2_id"],
             false,
         )?;
 
-        let resource_has_ancestor = db.create_table(
+        let resource_has_ancestor = ensure_table(
+            db,
             "resource_has_ancestor",
             vec![
                 Column::new("resource_id", ColumnType::Int),
                 Column::new("ancestor_id", ColumnType::Int),
             ],
         )?;
-        db.create_index(
+        ensure_index(
+            db,
             "rha_resource",
             resource_has_ancestor,
             &["resource_id"],
             false,
         )?;
-        db.create_index(
+        ensure_index(
+            db,
             "rha_ancestor",
             resource_has_ancestor,
             &["ancestor_id"],
             false,
         )?;
 
-        let resource_has_descendant = db.create_table(
+        let resource_has_descendant = ensure_table(
+            db,
             "resource_has_descendant",
             vec![
                 Column::new("resource_id", ColumnType::Int),
                 Column::new("descendant_id", ColumnType::Int),
             ],
         )?;
-        db.create_index(
+        ensure_index(
+            db,
             "rhd_resource",
             resource_has_descendant,
             &["resource_id"],
             false,
         )?;
 
-        let metric = db.create_table(
+        let metric = ensure_table(
+            db,
             "metric",
             vec![
                 Column::new("id", ColumnType::Int),
                 Column::new("name", ColumnType::Text),
             ],
         )?;
-        db.create_index("metric_id", metric, &["id"], true)?;
-        db.create_index("metric_name", metric, &["name"], true)?;
+        ensure_index(db, "metric_id", metric, &["id"], true)?;
+        ensure_index(db, "metric_name", metric, &["name"], true)?;
 
-        let performance_tool = db.create_table(
+        let performance_tool = ensure_table(
+            db,
             "performance_tool",
             vec![
                 Column::new("id", ColumnType::Int),
                 Column::new("name", ColumnType::Text),
             ],
         )?;
-        db.create_index("performance_tool_id", performance_tool, &["id"], true)?;
-        db.create_index("performance_tool_name", performance_tool, &["name"], true)?;
+        ensure_index(db, "performance_tool_id", performance_tool, &["id"], true)?;
+        ensure_index(
+            db,
+            "performance_tool_name",
+            performance_tool,
+            &["name"],
+            true,
+        )?;
 
-        let performance_result = db.create_table(
+        let performance_result = ensure_table(
+            db,
             "performance_result",
             vec![
                 Column::new("id", ColumnType::Int),
@@ -292,21 +361,30 @@ impl Schema {
                 Column::new("units", ColumnType::Text),
             ],
         )?;
-        db.create_index("performance_result_id", performance_result, &["id"], true)?;
-        db.create_index(
+        ensure_index(
+            db,
+            "performance_result_id",
+            performance_result,
+            &["id"],
+            true,
+        )?;
+        ensure_index(
+            db,
             "performance_result_exec",
             performance_result,
             &["execution_id"],
             false,
         )?;
-        db.create_index(
+        ensure_index(
+            db,
             "performance_result_metric",
             performance_result,
             &["metric_id"],
             false,
         )?;
 
-        let focus = db.create_table(
+        let focus = ensure_table(
+            db,
             "focus",
             vec![
                 Column::new("id", ColumnType::Int),
@@ -314,18 +392,27 @@ impl Schema {
                 Column::new("focus_type", ColumnType::Text),
             ],
         )?;
-        db.create_index("focus_id", focus, &["id"], true)?;
-        db.create_index("focus_result", focus, &["result_id"], false)?;
+        ensure_index(db, "focus_id", focus, &["id"], true)?;
+        ensure_index(db, "focus_result", focus, &["result_id"], false)?;
 
-        let focus_has_resource = db.create_table(
+        let focus_has_resource = ensure_table(
+            db,
             "focus_has_resource",
             vec![
                 Column::new("focus_id", ColumnType::Int),
                 Column::new("resource_id", ColumnType::Int),
             ],
         )?;
-        db.create_index("fhr_focus", focus_has_resource, &["focus_id"], false)?;
-        db.create_index("fhr_resource", focus_has_resource, &["resource_id"], false)?;
+        ensure_index(db, "fhr_focus", focus_has_resource, &["focus_id"], false)?;
+        ensure_index(
+            db,
+            "fhr_resource",
+            focus_has_resource,
+            &["resource_id"],
+            false,
+        )?;
+
+        let load_manifest = Self::create_manifest_table(db)?;
 
         Ok(Schema {
             application,
@@ -341,40 +428,46 @@ impl Schema {
             performance_result,
             focus,
             focus_has_resource,
+            load_manifest,
         })
+    }
+
+    /// Create the `load_manifest` bookkeeping table (split out so
+    /// [`Schema::resolve`] can add it to stores created before it
+    /// existed).
+    fn create_manifest_table(db: &Database) -> StoreResult<TableId> {
+        let load_manifest = ensure_table(
+            db,
+            "load_manifest",
+            vec![
+                Column::new("path", ColumnType::Text),
+                Column::new("content_hash", ColumnType::Int),
+                Column::new("watermark", ColumnType::Int),
+                Column::new("done", ColumnType::Int),
+            ],
+        )?;
+        ensure_index(db, "load_manifest_path", load_manifest, &["path"], true)?;
+        Ok(load_manifest)
     }
 
     /// Resolve table ids on a database where the schema already exists.
+    /// Any table still missing is created: that covers both stores from
+    /// before a table existed (`load_manifest` is an additive migration)
+    /// and stores whose bootstrap was killed between DDL statements — a
+    /// crashed `create` and a `resolve` are the same idempotent walk.
     pub fn resolve(db: &Database) -> StoreResult<Schema> {
-        Ok(Schema {
-            application: db.table_id("application")?,
-            focus_framework: db.table_id("focus_framework")?,
-            execution: db.table_id("execution")?,
-            resource_item: db.table_id("resource_item")?,
-            resource_attribute: db.table_id("resource_attribute")?,
-            resource_constraint: db.table_id("resource_constraint")?,
-            resource_has_ancestor: db.table_id("resource_has_ancestor")?,
-            resource_has_descendant: db.table_id("resource_has_descendant")?,
-            metric: db.table_id("metric")?,
-            performance_tool: db.table_id("performance_tool")?,
-            performance_result: db.table_id("performance_result")?,
-            focus: db.table_id("focus")?,
-            focus_has_resource: db.table_id("focus_has_resource")?,
-        })
+        Self::create(db)
     }
 
-    /// Create the schema if absent, otherwise resolve it.
+    /// Create the schema if absent, otherwise resolve it. (Both paths
+    /// run the same idempotent ensure-walk; the names document intent.)
     pub fn create_or_resolve(db: &Database) -> StoreResult<Schema> {
-        if db.table_id("application").is_ok() {
-            Schema::resolve(db)
-        } else {
-            Schema::create(db)
-        }
+        Schema::create(db)
     }
 
     /// Every table in the schema, with its name (test support and the
     /// CLI's `report tables`).
-    pub fn all_tables(&self) -> [(&'static str, TableId); 13] {
+    pub fn all_tables(&self) -> [(&'static str, TableId); 14] {
         [
             ("application", self.application),
             ("focus_framework", self.focus_framework),
@@ -389,6 +482,7 @@ impl Schema {
             ("performance_result", self.performance_result),
             ("focus", self.focus),
             ("focus_has_resource", self.focus_has_resource),
+            ("load_manifest", self.load_manifest),
         ]
     }
 }

@@ -18,16 +18,20 @@ use crate::buffer::{BufferPool, PoolStatsSnapshot};
 use crate::catalog::{Catalog, Column, IndexId, IndexMeta, TableId};
 use crate::disk::DiskManager;
 use crate::error::{Result, StoreError};
-use crate::metrics::{BTreeStatsSnapshot, Counter, MetricsSnapshot, TxnStatsSnapshot};
+use crate::metrics::{
+    BTreeStatsSnapshot, Counter, IoStatsSnapshot, MetricsSnapshot, TxnStatsSnapshot,
+};
 use crate::page::{PageId, PageMut, PageRef, PageType, RowId, MAX_RECORD, PAGE_SIZE};
 use crate::value::{decode_row, encode_key_vec, encode_row_vec, Row, Value};
+use crate::vfs::{StdVfs, Vfs};
 use crate::wal::{Wal, WalOp, WalPayload};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Tuning knobs for a database instance.
 #[derive(Debug, Clone)]
@@ -36,6 +40,16 @@ pub struct DbOptions {
     pub pool_frames: usize,
     /// Checkpoint automatically when the WAL exceeds this many bytes.
     pub checkpoint_wal_bytes: u64,
+    /// Retries of the WAL flush path on *transient* I/O failures
+    /// (see [`StoreError::is_transient`]) before the error is final.
+    pub max_io_retries: u32,
+    /// Backoff before the first retry; doubles per attempt (bounded
+    /// exponential backoff).
+    pub retry_backoff: Duration,
+    /// Clock injection point: how a retry waits out its backoff. A plain
+    /// fn pointer so options stay `Clone + Debug`; tests install a no-op
+    /// to stay deterministic and instantaneous.
+    pub sleep: fn(Duration),
 }
 
 impl Default for DbOptions {
@@ -43,8 +57,19 @@ impl Default for DbOptions {
         DbOptions {
             pool_frames: 4096, // 32 MiB of cache
             checkpoint_wal_bytes: 64 << 20,
+            max_io_retries: 3,
+            retry_backoff: Duration::from_millis(10),
+            sleep: std::thread::sleep,
         }
     }
+}
+
+/// I/O resilience counters shared between the database and its
+/// buffer-pool writeback hook.
+#[derive(Debug, Default)]
+struct IoStats {
+    retries: Counter,
+    readonly_rejections: Counter,
 }
 
 enum UndoOp {
@@ -78,6 +103,39 @@ pub struct Database {
     opts: DbOptions,
     commits: Counter,
     rollbacks: Counter,
+    /// Set when the WAL write path fails irrecoverably; reads continue,
+    /// writes are rejected with [`StoreError::ReadOnly`].
+    degraded: Arc<AtomicBool>,
+    io: Arc<IoStats>,
+}
+
+/// Flush the WAL with the retry policy: transient failures back off and
+/// retry; a fatal failure (or exhausted retries) flips the database into
+/// read-only degraded mode. Free-standing so the buffer pool's writeback
+/// hook can share the exact policy with the commit path.
+fn wal_sync_guarded(
+    wal: &Wal,
+    opts: &DbOptions,
+    io: &IoStats,
+    degraded: &AtomicBool,
+) -> Result<()> {
+    let mut attempt = 0u32;
+    let mut delay = opts.retry_backoff;
+    loop {
+        match wal.sync() {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_transient() && attempt < opts.max_io_retries => {
+                attempt += 1;
+                io.retries.inc();
+                (opts.sleep)(delay);
+                delay = delay.saturating_mul(2);
+            }
+            Err(e) => {
+                degraded.store(true, Ordering::Release);
+                return Err(e);
+            }
+        }
+    }
 }
 
 const CATALOG_FILE: &str = "catalog.meta";
@@ -106,6 +164,8 @@ impl Database {
             opts,
             commits: Counter::new(),
             rollbacks: Counter::new(),
+            degraded: Arc::new(AtomicBool::new(false)),
+            io: Arc::new(IoStats::default()),
         };
         db.install_wal_hook();
         db
@@ -119,10 +179,19 @@ impl Database {
 
     /// Open with explicit options; see [`Database::open`].
     pub fn open_with(dir: &Path, opts: DbOptions) -> Result<Self> {
+        Self::open_with_vfs(dir, opts, &StdVfs)
+    }
+
+    /// Open with explicit options and an explicit [`Vfs`] for the page
+    /// file and WAL (the catalog snapshot is a small atomically-renamed
+    /// file and stays on the host filesystem). This is the entry point
+    /// fault-injection tests use to run a whole database against
+    /// [`crate::vfs::FaultVfs`].
+    pub fn open_with_vfs(dir: &Path, opts: DbOptions, vfs: &dyn Vfs) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let disk = Arc::new(DiskManager::open(&dir.join(PAGES_FILE))?);
+        let disk = Arc::new(DiskManager::open_with_vfs(vfs, &dir.join(PAGES_FILE))?);
         let pool = Arc::new(BufferPool::new(disk, opts.pool_frames));
-        let wal = Arc::new(Wal::open(&dir.join(WAL_FILE))?);
+        let wal = Arc::new(Wal::open_with_vfs(vfs, &dir.join(WAL_FILE))?);
         let catalog_path = dir.join(CATALOG_FILE);
         let catalog = if catalog_path.exists() {
             Catalog::load(&catalog_path)?
@@ -140,6 +209,8 @@ impl Database {
             opts,
             commits: Counter::new(),
             rollbacks: Counter::new(),
+            degraded: Arc::new(AtomicBool::new(false)),
+            io: Arc::new(IoStats::default()),
         };
         db.recover()?;
         db.rebuild_indexes()?;
@@ -161,7 +232,42 @@ impl Database {
 
     fn install_wal_hook(&self) {
         let wal = Arc::clone(&self.wal);
-        self.pool.set_writeback_hook(Box::new(move || wal.sync()));
+        let opts = self.opts.clone();
+        let io = Arc::clone(&self.io);
+        let degraded = Arc::clone(&self.degraded);
+        self.pool.set_writeback_hook(Box::new(move || {
+            wal_sync_guarded(&wal, &opts, &io, &degraded)
+        }));
+    }
+
+    /// Flush the WAL under the configured retry/degradation policy.
+    fn wal_sync(&self) -> Result<()> {
+        wal_sync_guarded(&self.wal, &self.opts, &self.io, &self.degraded)
+    }
+
+    /// Append one WAL record, degrading to read-only mode if the append
+    /// path itself fails (only possible under fault injection).
+    fn wal_append(&self, txn: u64, payload: &WalPayload) -> Result<u64> {
+        self.wal.append(txn, payload).inspect_err(|_| {
+            self.degraded.store(true, Ordering::Release);
+        })
+    }
+
+    /// True once the database has entered read-only degraded mode (the
+    /// WAL write path failed irrecoverably). Reads keep working; writes
+    /// return [`StoreError::ReadOnly`]. The flag clears only by
+    /// reopening the database, which re-runs recovery.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Reject writes while degraded, counting each rejection.
+    fn check_writable(&self) -> Result<()> {
+        if self.is_degraded() {
+            self.io.readonly_rejections.inc();
+            return Err(StoreError::ReadOnly);
+        }
+        Ok(())
     }
 
     // -- DDL ----------------------------------------------------------------
@@ -170,6 +276,7 @@ impl Database {
     /// persisted immediately on durable databases.
     pub fn create_table(&self, name: &str, columns: Vec<Column>) -> Result<TableId> {
         let _w = self.writer.lock();
+        self.check_writable()?;
         let id = self.catalog.write().create_table(name, columns)?;
         self.checkpoint_locked()?;
         Ok(id)
@@ -185,6 +292,7 @@ impl Database {
         unique: bool,
     ) -> Result<IndexId> {
         let _w = self.writer.lock();
+        self.check_writable()?;
         let ordinals: Vec<usize> = {
             let cat = self.catalog.read();
             let meta = cat.table(table)?;
@@ -439,7 +547,9 @@ impl Database {
     }
 
     fn checkpoint_locked(&self) -> Result<()> {
-        self.wal.sync()?;
+        #[cfg(feature = "failpoints")]
+        crate::failpoints::check("db.checkpoint")?;
+        self.wal_sync()?;
         self.pool.flush_all()?;
         if let Some(dir) = &self.dir {
             self.catalog.read().save(&dir.join(CATALOG_FILE))?;
@@ -498,6 +608,11 @@ impl Database {
             txn: TxnStatsSnapshot {
                 commits: self.commits.get(),
                 rollbacks: self.rollbacks.get(),
+            },
+            io: IoStatsSnapshot {
+                retries: self.io.retries.get(),
+                degraded: self.is_degraded(),
+                readonly_rejections: self.io.readonly_rejections.get(),
             },
         }
     }
@@ -759,6 +874,7 @@ impl<'db> Txn<'db> {
 
     /// Insert `row` into `table`; returns its stable [`RowId`].
     pub fn insert(&mut self, table: TableId, row: Row) -> Result<RowId> {
+        self.db.check_writable()?;
         let index_metas = self.table_indexes(table)?;
         {
             let cat = self.db.catalog.read();
@@ -786,14 +902,23 @@ impl<'db> Txn<'db> {
             }
         }
         let rowid = self.place(table, &bytes)?;
-        self.db.wal.append(
+        // `place` already put the record on a page; if the log append
+        // fails the row would be physically present but unlogged (and not
+        // yet in `undo`, so rollback could never remove it). Compensate
+        // inline: take the slot back out before surfacing the error.
+        if let Err(e) = self.db.wal_append(
             self.id,
             &WalPayload::Op(WalOp::Insert {
                 table: table.0,
                 rowid,
                 row: bytes,
             }),
-        )?;
+        ) {
+            let _ = self.db.pool.with_page_mut(rowid.page, |buf| {
+                PageMut::new(&mut buf[..]).delete(rowid.slot)
+            });
+            return Err(e);
+        }
         for meta in &index_metas {
             let key = encode_key_vec(&meta.key_values(&row));
             self.db
@@ -807,10 +932,11 @@ impl<'db> Txn<'db> {
 
     /// Delete the row at `rowid`.
     pub fn delete(&mut self, table: TableId, rowid: RowId) -> Result<()> {
+        self.db.check_writable()?;
         let index_metas = self.table_indexes(table)?;
         let old = self.db.get(table, rowid)?;
         let old_bytes = encode_row_vec(&old);
-        self.db.wal.append(
+        self.db.wal_append(
             self.id,
             &WalPayload::Op(WalOp::Delete {
                 table: table.0,
@@ -838,6 +964,7 @@ impl<'db> Txn<'db> {
 
     /// Replace the row at `rowid` with `new`. The `RowId` is preserved.
     pub fn update(&mut self, table: TableId, rowid: RowId, new: Row) -> Result<()> {
+        self.db.check_writable()?;
         let index_metas = self.table_indexes(table)?;
         {
             let cat = self.db.catalog.read();
@@ -882,7 +1009,7 @@ impl<'db> Txn<'db> {
                 return Err(StoreError::PageFull);
             }
         }
-        self.db.wal.append(
+        self.db.wal_append(
             self.id,
             &WalPayload::Op(WalOp::Update {
                 table: table.0,
@@ -913,10 +1040,14 @@ impl<'db> Txn<'db> {
         Ok(())
     }
 
-    /// Make this transaction's changes durable.
+    /// Make this transaction's changes durable. The WAL flush runs under
+    /// the retry policy; a final failure leaves the database degraded
+    /// (read-only) and this transaction uncommitted — recovery on the
+    /// next open rolls its operations back.
     pub fn commit(mut self) -> Result<()> {
-        self.db.wal.append(self.id, &WalPayload::Commit)?;
-        self.db.wal.sync()?;
+        self.db.check_writable()?;
+        self.db.wal_append(self.id, &WalPayload::Commit)?;
+        self.db.wal_sync()?;
         self.finished = true;
         self.db.commits.inc();
         // Opportunistic checkpoint to bound WAL growth.
@@ -1018,7 +1149,7 @@ impl<'db> Txn<'db> {
         }
         // Allocate and format a new heap page (non-transactional).
         let page = self.db.pool.allocate_page()?;
-        self.db.wal.append(
+        self.db.wal_append(
             0,
             &WalPayload::Op(WalOp::AllocPage {
                 table: table.0,
@@ -1563,5 +1694,101 @@ mod tests {
             r.join().unwrap();
         }
         assert_eq!(db.row_count(t).unwrap(), 2000);
+    }
+
+    #[test]
+    fn fatal_wal_failure_degrades_to_read_only() {
+        use crate::vfs::{FaultKind, FaultRule, FaultTrigger, FaultVfs, MemVfs};
+        let dir = std::env::temp_dir().join(format!("ptdb-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fault = FaultVfs::new(Arc::new(MemVfs::new()));
+        let db = Database::open_with_vfs(&dir, DbOptions::default(), &fault).unwrap();
+        let t = setup(&db);
+        let mut txn = db.begin();
+        let rid = txn.insert(t, row(1, "survivor", None)).unwrap();
+        txn.commit().unwrap();
+        assert!(!db.is_degraded());
+
+        // Every sync from here on fails with ENOSPC — not transient, so
+        // no amount of retrying helps.
+        let syncs_so_far = fault.op_stats().syncs;
+        fault.arm(FaultRule {
+            trigger: FaultTrigger::NthSync(syncs_so_far),
+            kind: FaultKind::Error(std::io::ErrorKind::StorageFull),
+            once: false,
+        });
+        // Arm it for every later sync too.
+        for n in 1..50 {
+            fault.arm(FaultRule {
+                trigger: FaultTrigger::NthSync(syncs_so_far + n),
+                kind: FaultKind::Error(std::io::ErrorKind::StorageFull),
+                once: false,
+            });
+        }
+
+        let mut txn = db.begin();
+        txn.insert(t, row(2, "doomed", None)).unwrap();
+        let err = txn.commit().unwrap_err();
+        assert!(!err.is_transient());
+        assert!(db.is_degraded(), "fatal WAL flush flips the degraded flag");
+
+        // Reads still work against committed state.
+        assert_eq!(db.get(t, rid).unwrap()[1], Value::Text("survivor".into()));
+        assert!(db.row_count(t).unwrap() >= 1);
+
+        // Writes are rejected with the typed ReadOnly error.
+        let mut txn = db.begin();
+        let err = txn.insert(t, row(3, "rejected", None)).unwrap_err();
+        assert!(matches!(err, StoreError::ReadOnly));
+        drop(txn);
+        let err = db
+            .create_table("nope", vec![Column::new("x", ColumnType::Int)])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ReadOnly));
+
+        // The condition is observable in metrics.
+        let m = db.metrics();
+        assert!(m.io.degraded);
+        assert!(m.io.readonly_rejections >= 2);
+        let json = m.to_json();
+        assert_eq!(
+            json.get("io").and_then(|io| io.get("degraded")),
+            Some(&crate::metrics::Json::Bool(true))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_wal_failures_are_retried() {
+        use crate::vfs::{FaultKind, FaultRule, FaultTrigger, FaultVfs, MemVfs};
+        let dir = std::env::temp_dir().join(format!("ptdb-retry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fault = FaultVfs::new(Arc::new(MemVfs::new()));
+        let opts = DbOptions {
+            retry_backoff: Duration::from_millis(0),
+            sleep: |_| {},
+            ..DbOptions::default()
+        };
+        let db = Database::open_with_vfs(&dir, opts, &fault).unwrap();
+        let t = setup(&db);
+
+        // The next sync is interrupted once; the retry must succeed and
+        // the commit must be durable.
+        let syncs_so_far = fault.op_stats().syncs;
+        fault.arm(FaultRule {
+            trigger: FaultTrigger::NthSync(syncs_so_far),
+            kind: FaultKind::Error(std::io::ErrorKind::Interrupted),
+            once: true,
+        });
+        let mut txn = db.begin();
+        txn.insert(t, row(1, "retried", None)).unwrap();
+        txn.commit().unwrap();
+
+        assert!(!db.is_degraded());
+        let m = db.metrics();
+        assert!(m.io.retries >= 1, "the transient failure was retried");
+        assert_eq!(m.io.readonly_rejections, 0);
+        assert_eq!(db.row_count(t).unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,56 +1,54 @@
 //! Page file manager.
 //!
-//! Presents a flat array of [`PAGE_SIZE`] pages addressed by [`PageId`],
-//! backed either by an on-disk file or by memory (for tests and purely
-//! in-memory databases — the paper's prototype similarly supported more
-//! than one backing store).
+//! Presents a flat array of [`PAGE_SIZE`] pages addressed by [`PageId`].
+//! All file access goes through the [`Vfs`](crate::vfs::Vfs) seam — this
+//! module performs no `std::fs` I/O of its own — so the same manager runs
+//! on a real disk, in memory, or under the fault injector (the paper's
+//! prototype similarly supported more than one backing store).
 
 use crate::error::Result;
 use crate::page::{PageId, PAGE_SIZE};
+use crate::vfs::{MemVfs, StdVfs, Vfs, VfsFile};
 use parking_lot::Mutex;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, Ordering};
-
-enum Backend {
-    Mem(Mutex<Vec<Box<[u8; PAGE_SIZE]>>>),
-    File(Mutex<File>),
-}
+use std::sync::Arc;
 
 /// Allocates, reads, writes, and syncs fixed-size pages.
 pub struct DiskManager {
-    backend: Backend,
+    file: Arc<dyn VfsFile>,
     page_count: AtomicU32,
+    /// Serializes allocations (extend + counter update must be atomic
+    /// with respect to other allocators).
+    alloc: Mutex<()>,
 }
 
 impl DiskManager {
     /// A manager backed by heap memory. Contents are lost on drop.
     pub fn in_memory() -> Self {
-        DiskManager {
-            backend: Backend::Mem(Mutex::new(Vec::new())),
-            page_count: AtomicU32::new(0),
-        }
+        Self::open_with_vfs(&MemVfs::new(), Path::new("pages.mem"))
+            .expect("in-memory page file cannot fail to open")
     }
 
-    /// Open (or create) a page file at `path`. An existing file's length
-    /// must be a whole number of pages.
+    /// Open (or create) a page file at `path` on the real filesystem.
     pub fn open(path: &Path) -> Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let len = file.metadata()?.len();
+        Self::open_with_vfs(&StdVfs, path)
+    }
+
+    /// Open (or create) a page file at `path` through an explicit VFS.
+    /// An existing file's length must be a whole number of pages.
+    pub fn open_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<Self> {
+        let file = vfs.open(path)?;
+        let len = file.len()?;
         if len % PAGE_SIZE as u64 != 0 {
             return Err(crate::error::StoreError::Corrupt(format!(
                 "page file length {len} is not a multiple of {PAGE_SIZE}"
             )));
         }
         Ok(DiskManager {
-            backend: Backend::File(Mutex::new(file)),
+            file,
             page_count: AtomicU32::new((len / PAGE_SIZE as u64) as u32),
+            alloc: Mutex::new(()),
         })
     }
 
@@ -59,75 +57,41 @@ impl DiskManager {
         self.page_count.load(Ordering::Acquire)
     }
 
-    /// Extend the file by one zeroed page and return its id.
+    /// Extend the file by one zeroed page and return its id. The extend
+    /// is a single `truncate` (zero-extension) — no page-sized zero
+    /// buffer is written, so allocation cost is O(1) in VFS write calls.
     pub fn allocate(&self) -> Result<PageId> {
-        match &self.backend {
-            Backend::Mem(pages) => {
-                let mut pages = pages.lock();
-                pages.push(Box::new([0u8; PAGE_SIZE]));
-                let id = PageId((pages.len() - 1) as u32);
-                self.page_count.store(pages.len() as u32, Ordering::Release);
-                Ok(id)
-            }
-            Backend::File(file) => {
-                let mut file = file.lock();
-                let id = self.page_count.load(Ordering::Acquire);
-                file.seek(SeekFrom::Start(u64::from(id) * PAGE_SIZE as u64))?;
-                file.write_all(&[0u8; PAGE_SIZE])?;
-                self.page_count.store(id + 1, Ordering::Release);
-                Ok(PageId(id))
-            }
-        }
+        let _a = self.alloc.lock();
+        let id = self.page_count.load(Ordering::Acquire);
+        self.file.truncate((u64::from(id) + 1) * PAGE_SIZE as u64)?;
+        self.page_count.store(id + 1, Ordering::Release);
+        Ok(PageId(id))
     }
 
     /// Read page `id` into `buf`.
     pub fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
         debug_assert!(id.0 < self.page_count(), "read of unallocated page {id:?}");
-        match &self.backend {
-            Backend::Mem(pages) => {
-                let pages = pages.lock();
-                buf.copy_from_slice(&pages[id.0 as usize][..]);
-                Ok(())
-            }
-            Backend::File(file) => {
-                let mut file = file.lock();
-                file.seek(SeekFrom::Start(u64::from(id.0) * PAGE_SIZE as u64))?;
-                file.read_exact(buf)?;
-                Ok(())
-            }
-        }
+        self.file
+            .read_at(u64::from(id.0) * PAGE_SIZE as u64, &mut buf[..])
     }
 
     /// Write `buf` to page `id`.
     pub fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
         debug_assert!(id.0 < self.page_count(), "write of unallocated page {id:?}");
-        match &self.backend {
-            Backend::Mem(pages) => {
-                let mut pages = pages.lock();
-                pages[id.0 as usize].copy_from_slice(buf);
-                Ok(())
-            }
-            Backend::File(file) => {
-                let mut file = file.lock();
-                file.seek(SeekFrom::Start(u64::from(id.0) * PAGE_SIZE as u64))?;
-                file.write_all(buf)?;
-                Ok(())
-            }
-        }
+        self.file
+            .write_at(u64::from(id.0) * PAGE_SIZE as u64, &buf[..])
     }
 
-    /// Flush written pages to stable storage (no-op for memory).
+    /// Flush written pages to stable storage.
     pub fn sync(&self) -> Result<()> {
-        if let Backend::File(file) = &self.backend {
-            file.lock().sync_data()?;
-        }
-        Ok(())
+        self.file.sync()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::FaultVfs;
 
     fn exercise(dm: &DiskManager) {
         assert_eq!(dm.page_count(), 0);
@@ -183,5 +147,41 @@ mod tests {
         std::fs::write(&path, [0u8; 100]).unwrap();
         assert!(DiskManager::open(&path).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn allocate_issues_o1_write_calls() {
+        // Regression: allocation used to write a PAGE_SIZE zero buffer
+        // per page. Through the counting FaultVfs, 1k allocations must
+        // issue zero write calls (the zero-extension is a truncate).
+        let fv = FaultVfs::new(Arc::new(MemVfs::new()));
+        let dm = DiskManager::open_with_vfs(&fv, Path::new("alloc.db")).unwrap();
+        for _ in 0..1000 {
+            dm.allocate().unwrap();
+        }
+        let s = fv.op_stats();
+        assert_eq!(s.writes, 0, "allocation must not write zero pages");
+        assert_eq!(s.bytes_written, 0);
+        assert_eq!(dm.page_count(), 1000);
+        // The extended region really reads back as zeroes.
+        let mut r = [0u8; PAGE_SIZE];
+        dm.read_page(PageId(999), &mut r).unwrap();
+        assert!(r.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn faulted_write_surfaces_typed_error() {
+        let fv = FaultVfs::new(Arc::new(MemVfs::new()));
+        fv.arm(crate::vfs::FaultRule {
+            trigger: crate::vfs::FaultTrigger::NthWrite(0),
+            kind: crate::vfs::FaultKind::Error(std::io::ErrorKind::StorageFull),
+            once: true,
+        });
+        let dm = DiskManager::open_with_vfs(&fv, Path::new("f.db")).unwrap();
+        let p = dm.allocate().unwrap();
+        let buf = [7u8; PAGE_SIZE];
+        let err = dm.write_page(p, &buf).unwrap_err();
+        assert!(!err.is_transient(), "ENOSPC is fatal");
+        dm.write_page(p, &buf).unwrap();
     }
 }

@@ -39,6 +39,9 @@ pub enum StoreError {
     /// Query construction or evaluation error (bad column index, type error
     /// in an expression, ...).
     QueryError(String),
+    /// The database is in read-only degraded mode (the WAL write path
+    /// failed irrecoverably); reads keep working, writes are rejected.
+    ReadOnly,
 }
 
 impl fmt::Display for StoreError {
@@ -56,6 +59,9 @@ impl fmt::Display for StoreError {
             StoreError::UniqueViolation(m) => write!(f, "unique constraint violation: {m}"),
             StoreError::TxnError(m) => write!(f, "transaction error: {m}"),
             StoreError::QueryError(m) => write!(f, "query error: {m}"),
+            StoreError::ReadOnly => {
+                write!(f, "database is in read-only degraded mode; writes rejected")
+            }
         }
     }
 }
@@ -72,6 +78,61 @@ impl std::error::Error for StoreError {
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+/// An I/O error annotated with the path it occurred on. Keeping this as
+/// the *payload* of a rebuilt `std::io::Error` preserves the original
+/// `ErrorKind` (which the retry policy classifies on) while the Display
+/// chain carries the path context.
+#[derive(Debug)]
+struct IoPathError {
+    path: std::path::PathBuf,
+    source: std::io::Error,
+}
+
+impl fmt::Display for IoPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for IoPathError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl StoreError {
+    /// Wrap an I/O error with the file path it occurred on. The
+    /// resulting `StoreError::Io` reports the *same* `ErrorKind` as `e`
+    /// — conversions must never collapse kinds to `Other`, or the
+    /// transient/fatal classification below breaks.
+    pub fn io_at(path: &std::path::Path, e: std::io::Error) -> StoreError {
+        let kind = e.kind();
+        StoreError::Io(std::io::Error::new(
+            kind,
+            IoPathError {
+                path: path.to_path_buf(),
+                source: e,
+            },
+        ))
+    }
+
+    /// True if the failure is plausibly temporary and worth retrying
+    /// with backoff (see `docs/FAULTS.md`): an interrupted syscall, a
+    /// timeout, or a would-block condition. Everything else — including
+    /// `ENOSPC`, corruption, and logical misuse — is fatal: retrying
+    /// cannot help and may mask real damage.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        matches!(
+            self,
+            StoreError::Io(e) if matches!(
+                e.kind(),
+                ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock
+            )
+        )
     }
 }
 
@@ -100,5 +161,53 @@ mod tests {
         assert!(matches!(e, StoreError::Io(_)));
         use std::error::Error;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn io_at_preserves_kind_and_adds_path() {
+        use std::io::ErrorKind;
+        let orig = std::io::Error::new(ErrorKind::TimedOut, "slow disk");
+        let e = StoreError::io_at(std::path::Path::new("/data/pages.db"), orig);
+        let StoreError::Io(inner) = &e else {
+            panic!("expected Io");
+        };
+        assert_eq!(inner.kind(), ErrorKind::TimedOut, "kind survives wrapping");
+        let msg = inner.to_string();
+        assert!(msg.contains("pages.db"), "{msg}");
+        assert!(msg.contains("slow disk"), "{msg}");
+        // The original error stays reachable through the source chain
+        // (`io::Error::source` forwards to the payload's own source).
+        use std::error::Error;
+        let src = inner.source().expect("source chain intact");
+        assert_eq!(src.to_string(), "slow disk");
+    }
+
+    #[test]
+    fn transient_classification() {
+        use std::io::ErrorKind;
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+        ] {
+            let e = StoreError::Io(std::io::Error::new(kind, "x"));
+            assert!(e.is_transient(), "{kind:?} must be transient");
+        }
+        for kind in [
+            ErrorKind::StorageFull,
+            ErrorKind::UnexpectedEof,
+            ErrorKind::PermissionDenied,
+            ErrorKind::Other,
+        ] {
+            let e = StoreError::Io(std::io::Error::new(kind, "x"));
+            assert!(!e.is_transient(), "{kind:?} must be fatal");
+        }
+        assert!(!StoreError::Corrupt("bits".into()).is_transient());
+        assert!(!StoreError::ReadOnly.is_transient());
+    }
+
+    #[test]
+    fn read_only_displays() {
+        assert!(StoreError::ReadOnly.to_string().contains("read-only"));
     }
 }

@@ -1,0 +1,119 @@
+//! Named failpoints for crash/fault testing (compiled only with the
+//! `failpoints` cargo feature).
+//!
+//! The [`FaultVfs`](crate::vfs::FaultVfs) injects faults at the file
+//! boundary; failpoints complement it by failing *logical* operations
+//! that perform no I/O of their own — e.g. `wal.append` buffers purely
+//! in memory, yet the fault matrix needs an "append fails" row. Call
+//! sites are `check("name")?` guards inside the engine; tests arm them
+//! with [`fail`].
+//!
+//! Arming is **thread-local**: a failpoint armed on one thread never
+//! fires on another, so parallel tests cannot interfere. Deterministic
+//! by construction — a failpoint fires on exact hit counts, never on
+//! time or randomness.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+struct Point {
+    /// Successful hits to allow before failing.
+    skip: u64,
+    /// Failures to inject once triggered (`u64::MAX` = forever).
+    times: u64,
+    kind: std::io::ErrorKind,
+}
+
+thread_local! {
+    static POINTS: RefCell<HashMap<String, Point>> = RefCell::new(HashMap::new());
+}
+
+/// Arm `name` on the current thread: let `after` hits succeed, then
+/// fail the next `times` hits with an I/O error of `kind`
+/// (`u64::MAX` keeps failing forever).
+pub fn fail(name: &str, after: u64, times: u64, kind: std::io::ErrorKind) {
+    POINTS.with(|p| {
+        p.borrow_mut().insert(
+            name.to_string(),
+            Point {
+                skip: after,
+                times,
+                kind,
+            },
+        );
+    });
+}
+
+/// Disarm `name` on the current thread.
+pub fn clear(name: &str) {
+    POINTS.with(|p| {
+        p.borrow_mut().remove(name);
+    });
+}
+
+/// Disarm every failpoint on the current thread.
+pub fn clear_all() {
+    POINTS.with(|p| p.borrow_mut().clear());
+}
+
+/// Engine-side guard: returns the armed error when `name` fires, `Ok`
+/// otherwise. Exhausted failpoints disarm themselves.
+pub fn check(name: &str) -> crate::error::Result<()> {
+    POINTS.with(|p| {
+        let mut points = p.borrow_mut();
+        let Some(point) = points.get_mut(name) else {
+            return Ok(());
+        };
+        if point.skip > 0 {
+            point.skip -= 1;
+            return Ok(());
+        }
+        if point.times == 0 {
+            points.remove(name);
+            return Ok(());
+        }
+        if point.times != u64::MAX {
+            point.times -= 1;
+        }
+        let kind = point.kind;
+        Err(crate::error::StoreError::Io(std::io::Error::new(
+            kind,
+            format!("failpoint {name} fired"),
+        )))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_skip_then_exhausts() {
+        fail("t.point", 2, 1, std::io::ErrorKind::Other);
+        assert!(check("t.point").is_ok());
+        assert!(check("t.point").is_ok());
+        assert!(check("t.point").is_err());
+        assert!(check("t.point").is_ok(), "exhausted after one failure");
+        clear_all();
+    }
+
+    #[test]
+    fn forever_keeps_firing_until_cleared() {
+        fail("t.forever", 0, u64::MAX, std::io::ErrorKind::StorageFull);
+        for _ in 0..5 {
+            let err = check("t.forever").unwrap_err();
+            assert!(!err.is_transient());
+        }
+        clear("t.forever");
+        assert!(check("t.forever").is_ok());
+    }
+
+    #[test]
+    fn thread_local_isolation() {
+        fail("t.iso", 0, u64::MAX, std::io::ErrorKind::Other);
+        let other = std::thread::spawn(|| check("t.iso").is_ok());
+        assert!(other.join().unwrap(), "other thread unaffected");
+        assert!(check("t.iso").is_err());
+        clear_all();
+    }
+}

@@ -12,7 +12,10 @@
 //! Layers, bottom-up:
 //!
 //! * [`page`] — 8 KiB slotted pages with stable record slots.
-//! * [`disk`] — the page file (memory- or file-backed).
+//! * [`vfs`] — the file-system seam: real disk, memory, or the
+//!   deterministic fault injector (fault kinds, fsync-gate semantics,
+//!   and the degraded-mode contract are documented in `docs/FAULTS.md`).
+//! * [`disk`] — the page file (any [`vfs::Vfs`] backend).
 //! * [`buffer`] — frame cache with clock eviction and a write-ahead hook.
 //! * [`wal`] — CRC-framed logical write-ahead log.
 //! * [`btree`] — order-preserving-key B+tree index.
@@ -65,10 +68,13 @@ pub mod check;
 pub mod db;
 pub mod disk;
 pub mod error;
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
 pub mod metrics;
 pub mod page;
 pub mod query;
 pub mod value;
+pub mod vfs;
 pub mod wal;
 
 /// The most commonly used items, in one import.
@@ -83,6 +89,9 @@ pub mod prelude {
         group_by, hash_join, order_by, AccessPath, AggFn, CmpOp, Expr, TableQuery,
     };
     pub use crate::value::{ColumnType, Row, Value};
+    pub use crate::vfs::{
+        FaultKind, FaultRule, FaultTrigger, FaultVfs, MemVfs, StdVfs, Vfs, VfsFile,
+    };
 }
 
 pub use prelude::*;

@@ -701,6 +701,21 @@ pub struct TxnStatsSnapshot {
     pub rollbacks: u64,
 }
 
+/// I/O fault-handling counters: retry activity and the degraded-mode
+/// flag (see `docs/FAULTS.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// Transient I/O errors that were retried (each backoff attempt
+    /// counts once).
+    pub retries: u64,
+    /// Whether the database is in read-only degraded mode after an
+    /// irrecoverable WAL flush failure.
+    pub degraded: bool,
+    /// Write attempts rejected with `StoreError::ReadOnly` while
+    /// degraded.
+    pub readonly_rejections: u64,
+}
+
 /// A point-in-time view of every engine-level metric, assembled by
 /// [`crate::db::Database::metrics`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -713,6 +728,8 @@ pub struct MetricsSnapshot {
     pub btree: BTreeStatsSnapshot,
     /// Transaction counters.
     pub txn: TxnStatsSnapshot,
+    /// I/O fault-handling counters and degraded-mode flag.
+    pub io: IoStatsSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -755,6 +772,17 @@ impl MetricsSnapshot {
                     ("rollbacks".into(), Json::UInt(self.txn.rollbacks)),
                 ]),
             ),
+            (
+                "io".into(),
+                Json::Obj(vec![
+                    ("retries".into(), Json::UInt(self.io.retries)),
+                    ("degraded".into(), Json::Bool(self.io.degraded)),
+                    (
+                        "readonly_rejections".into(),
+                        Json::UInt(self.io.readonly_rejections),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -787,6 +815,12 @@ impl MetricsSnapshot {
         line("btree.max_depth", self.btree.max_depth.to_string());
         line("txn.commits", self.txn.commits.to_string());
         line("txn.rollbacks", self.txn.rollbacks.to_string());
+        line("io.retries", self.io.retries.to_string());
+        line("io.degraded", self.io.degraded.to_string());
+        line(
+            "io.readonly_rejections",
+            self.io.readonly_rejections.to_string(),
+        );
         out
     }
 }

@@ -156,7 +156,11 @@ impl<'a> PageRef<'a> {
         (get_u16(self.buf, base), get_u16(self.buf, base + 2))
     }
 
-    /// Record bytes at `slot`, or `None` for out-of-range / tombstoned slots.
+    /// Record bytes at `slot`, or `None` for out-of-range / tombstoned
+    /// slots — and for slots whose offset/length land outside the page,
+    /// which only corrupted bytes can produce. Corruption must surface
+    /// as absent data (callers then report it as a typed error or fsck
+    /// finding), never as a slice-bounds panic.
     pub fn get(&self, slot: u16) -> Option<&'a [u8]> {
         if slot >= self.slot_count() {
             return None;
@@ -165,7 +169,8 @@ impl<'a> PageRef<'a> {
         if off == 0 {
             return None; // tombstone
         }
-        Some(&self.buf[usize::from(off)..usize::from(off) + usize::from(len)])
+        self.buf
+            .get(usize::from(off)..usize::from(off) + usize::from(len))
     }
 
     /// Iterate `(slot, record)` over live records.

@@ -20,11 +20,11 @@
 use crate::error::{Result, StoreError};
 use crate::metrics::{Counter, LatencyHistogram, WalStatsSnapshot};
 use crate::page::RowId;
+use crate::vfs::{MemVfs, StdVfs, Vfs, VfsFile};
 use parking_lot::Mutex;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE 802.3 polynomial, table-driven)
@@ -252,15 +252,14 @@ fn decode_payload(buf: &[u8]) -> Result<WalRecord> {
 // Log file
 // ---------------------------------------------------------------------------
 
-enum LogBackend {
-    Mem(Vec<u8>),
-    File(File),
-}
-
 struct WalInner {
-    backend: LogBackend,
-    /// Write buffer: records accumulate here and reach the backend on sync.
+    file: Arc<dyn VfsFile>,
+    /// Write buffer: records accumulate here and reach the file on sync.
     pending: Vec<u8>,
+    /// Length of the durably synced log prefix. Flushes always write at
+    /// this offset, so a failed (possibly partial) flush is simply
+    /// overwritten by the retry — sync is idempotent.
+    durable_len: u64,
 }
 
 /// Observability counters for one [`Wal`].
@@ -301,29 +300,26 @@ pub struct Wal {
 impl Wal {
     /// Log kept in memory (no durability; tests and ephemeral stores).
     pub fn in_memory() -> Self {
-        Wal {
-            inner: Mutex::new(WalInner {
-                backend: LogBackend::Mem(Vec::new()),
-                pending: Vec::new(),
-            }),
-            next_lsn: AtomicU64::new(1),
-            stats: WalStats::default(),
-        }
+        Self::open_with_vfs(&MemVfs::new(), Path::new("wal.mem"))
+            .expect("in-memory log cannot fail to open")
     }
 
-    /// Open (or create) a log file. Existing contents are preserved for
-    /// recovery; the next LSN continues after the last intact record.
+    /// Open (or create) a log file on the real filesystem.
     pub fn open(path: &Path) -> Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        Self::open_with_vfs(&StdVfs, path)
+    }
+
+    /// Open (or create) a log file through an explicit VFS. Existing
+    /// contents are preserved for recovery; the next LSN continues after
+    /// the last intact record.
+    pub fn open_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<Self> {
+        let file = vfs.open(path)?;
+        let durable_len = file.len()?;
         let wal = Wal {
             inner: Mutex::new(WalInner {
-                backend: LogBackend::File(file),
+                file,
                 pending: Vec::new(),
+                durable_len,
             }),
             next_lsn: AtomicU64::new(1),
             stats: WalStats::default(),
@@ -336,6 +332,8 @@ impl Wal {
     /// Append a record; returns its LSN. The record is buffered until
     /// [`Wal::sync`].
     pub fn append(&self, txn: u64, payload: &WalPayload) -> Result<u64> {
+        #[cfg(feature = "failpoints")]
+        crate::failpoints::check("wal.append")?;
         let lsn = self.next_lsn.fetch_add(1, Ordering::AcqRel);
         let mut body = Vec::with_capacity(64);
         encode_payload(lsn, txn, payload, &mut body);
@@ -357,25 +355,37 @@ impl Wal {
         Ok(lsn)
     }
 
-    /// Flush buffered records to the backend and fsync (files only).
+    /// Flush buffered records to the log file and fsync.
+    ///
+    /// Retry-safe: records are written at the durable-prefix offset, so
+    /// a flush that failed part-way (short write, failed fsync) is fully
+    /// rewritten by the next attempt instead of leaving a gap of garbage
+    /// mid-log. Pending records are only discarded once the fsync
+    /// succeeds.
     pub fn sync(&self) -> Result<()> {
+        #[cfg(feature = "failpoints")]
+        crate::failpoints::check("wal.sync")?;
         let start = std::time::Instant::now();
         let mut inner = self.inner.lock();
         if inner.pending.is_empty() {
-            if let LogBackend::File(f) = &mut inner.backend {
-                f.sync_data()?;
-            }
+            inner.file.sync()?;
             self.stats.syncs.inc();
             self.stats.sync_latency.record_duration(start.elapsed());
             return Ok(());
         }
+        let off = inner.durable_len;
         let pending = std::mem::take(&mut inner.pending);
-        match &mut inner.backend {
-            LogBackend::Mem(v) => v.extend_from_slice(&pending),
-            LogBackend::File(f) => {
-                f.seek(SeekFrom::End(0))?;
-                f.write_all(&pending)?;
-                f.sync_data()?;
+        let flushed = inner
+            .file
+            .write_at(off, &pending)
+            .and_then(|()| inner.file.sync());
+        match flushed {
+            Ok(()) => inner.durable_len = off + pending.len() as u64,
+            Err(e) => {
+                // Put the records back; a later sync rewrites them at
+                // the same offset.
+                inner.pending = pending;
+                return Err(e);
             }
         }
         drop(inner);
@@ -405,16 +415,12 @@ impl Wal {
     /// verifier) can distinguish a clean end-of-log from a torn tail.
     /// Buffered-but-unsynced records are not visible, matching recovery.
     pub fn scan_report(&self) -> Result<WalScanReport> {
-        let mut inner = self.inner.lock();
-        let raw = match &mut inner.backend {
-            LogBackend::Mem(v) => v.clone(),
-            LogBackend::File(f) => {
-                let mut buf = Vec::new();
-                f.seek(SeekFrom::Start(0))?;
-                f.read_to_end(&mut buf)?;
-                buf
-            }
-        };
+        let inner = self.inner.lock();
+        let len = inner.file.len()?;
+        let mut raw = vec![0u8; len as usize];
+        if len > 0 {
+            inner.file.read_at(0, &mut raw)?;
+        }
         drop(inner);
         let mut records = Vec::new();
         let mut pos = 0usize;
@@ -446,23 +452,15 @@ impl Wal {
     pub fn truncate(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         inner.pending.clear();
-        match &mut inner.backend {
-            LogBackend::Mem(v) => v.clear(),
-            LogBackend::File(f) => {
-                f.set_len(0)?;
-                f.sync_data()?;
-            }
-        }
+        inner.file.truncate(0)?;
+        inner.file.sync()?;
+        inner.durable_len = 0;
         Ok(())
     }
 
     /// Byte length of the durable portion of the log.
     pub fn len(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        Ok(match &mut inner.backend {
-            LogBackend::Mem(v) => v.len() as u64,
-            LogBackend::File(f) => f.metadata()?.len(),
-        })
+        self.inner.lock().file.len()
     }
 
     /// True if the durable log is empty.
@@ -645,6 +643,29 @@ mod tests {
         assert!(s.append_bytes > 0);
         assert_eq!(s.syncs, 1);
         assert_eq!(s.sync_latency.count, 1);
+    }
+
+    #[test]
+    fn failed_sync_is_retryable_without_corruption() {
+        use crate::vfs::{FaultKind, FaultRule, FaultTrigger, FaultVfs};
+        let fv = FaultVfs::new(Arc::new(MemVfs::new()));
+        // First flush attempt tears mid-write AND the fsync fails.
+        fv.arm(FaultRule {
+            trigger: FaultTrigger::NthWrite(0),
+            kind: FaultKind::ShortWrite { keep: 5 },
+            once: true,
+        });
+        let wal = Wal::open_with_vfs(&fv, Path::new("retry.wal")).unwrap();
+        wal.append(1, &WalPayload::Commit).unwrap();
+        wal.append(2, &WalPayload::Commit).unwrap();
+        let err = wal.sync().unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+        // Retry rewrites the whole batch at the same offset: both
+        // records intact, zero torn bytes.
+        wal.sync().unwrap();
+        let rep = wal.scan_report().unwrap();
+        assert_eq!(rep.records.len(), 2);
+        assert_eq!(rep.torn_bytes(), 0);
     }
 
     #[test]
