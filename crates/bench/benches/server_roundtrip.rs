@@ -1,0 +1,90 @@
+//! Network service layer microbenchmarks.
+//!
+//! `server_codec` isolates the wire cost (encode + frame + decode, no
+//! sockets) at several payload sizes, so protocol regressions show up
+//! independently of scheduling noise. `server_roundtrip` measures full
+//! request→response latency against a live loopback server — the
+//! per-request overhead the network layer adds on top of the embedded
+//! engine's query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perftrack::PTDataStore;
+use perftrack_server::{
+    Client, FrameDecoder, NameFilter, QuerySpec, Request, Response, Server, ServerConfig,
+};
+use std::sync::Arc;
+
+/// A PTdf document with `results` performance results.
+fn ptdf(results: usize) -> String {
+    let mut s = String::from("Application A\nExecution e1 A\nResource /c execution e1\n");
+    for r in 0..results {
+        s.push_str(&format!("Resource /c/p{r} execution/process\n"));
+        s.push_str(&format!(
+            "PerfResult e1 /c/p{r}(primary) T \"CPU time\" {r}.5 seconds\n"
+        ));
+    }
+    s
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_codec");
+    for results in [10usize, 100, 1000] {
+        let req = Request::LoadPtdf {
+            text: ptdf(results),
+        };
+        let encoded = req.encode();
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", results),
+            &req,
+            |b, req| b.iter(|| std::hint::black_box(req).encode()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("frame_and_decode", results),
+            &encoded,
+            |b, encoded| {
+                b.iter(|| {
+                    let mut dec = FrameDecoder::new();
+                    dec.extend(std::hint::black_box(encoded));
+                    let frame = dec.next_frame().unwrap().unwrap();
+                    Request::decode(&frame).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let store = Arc::new(PTDataStore::in_memory().unwrap());
+    store.load_ptdf_str(&ptdf(100)).unwrap();
+    let handle = Server::start(Arc::clone(&store), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr().to_string());
+
+    let mut group = c.benchmark_group("server_roundtrip");
+    group.bench_function("ping", |b| {
+        b.iter(|| match client.call(&Request::Ping).unwrap() {
+            Response::Pong { .. } => {}
+            other => panic!("unexpected response {other:?}"),
+        })
+    });
+    let spec = QuerySpec {
+        names: vec![NameFilter {
+            pattern: "/c".into(),
+            relatives: 'D',
+        }],
+        ..QuerySpec::default()
+    };
+    group.bench_function("query_100_rows", |b| {
+        b.iter(|| match client.call(&Request::Query(spec.clone())).unwrap() {
+            Response::Table { rows, .. } => assert_eq!(rows.len(), 100),
+            other => panic!("unexpected response {other:?}"),
+        })
+    });
+    group.finish();
+    handle.shutdown();
+    handle.join();
+}
+
+criterion_group!(benches, bench_codec, bench_roundtrip);
+criterion_main!(benches);

@@ -12,15 +12,17 @@ use std::path::{Path, PathBuf};
 
 type Result<T> = std::result::Result<T, CliError>;
 
-/// `pt load` exit codes (documented in the README's CLI table):
+/// `pt` exit codes (documented in the README's CLI table):
 /// 0 = success, 2 = completed after transient I/O retries, 3 = store is
-/// in read-only degraded mode, 4 = corruption detected. 1 stays the
-/// generic failure code.
+/// in read-only degraded mode, 4 = corruption detected, 5 = the store
+/// directory is locked by another process. 1 stays the generic failure
+/// code.
 pub mod exit {
     pub const OK: u8 = 0;
     pub const RETRIED: u8 = 2;
     pub const DEGRADED: u8 = 3;
     pub const CORRUPT: u8 = 4;
+    pub const LOCKED: u8 = 5;
 }
 
 /// An error that carries an explicit process exit code (used when a
@@ -28,7 +30,7 @@ pub mod exit {
 #[derive(Debug)]
 pub struct ExitCodeError {
     pub code: u8,
-    msg: String,
+    pub msg: String,
 }
 
 impl std::fmt::Display for ExitCodeError {
@@ -51,6 +53,7 @@ pub fn exit_code_for(e: &CliError) -> u8 {
             match s {
                 perftrack_store::StoreError::ReadOnly => return exit::DEGRADED,
                 perftrack_store::StoreError::Corrupt(_) => return exit::CORRUPT,
+                perftrack_store::StoreError::Locked(_) => return exit::LOCKED,
                 _ => {}
             }
         }

@@ -7,6 +7,7 @@
 
 mod args;
 mod commands;
+mod remote;
 
 use std::process::ExitCode;
 
@@ -31,7 +32,10 @@ USAGE:
   pt chart <store-dir> --name PAT --category COL --series COL [--title T] [--svg F]
   pt predict <store-dir> --metric M --train E1,E2,.. [--check EXEC] [--at NP]
   pt compare <store-dir> <exec-a> <exec-b> [--threshold R]
-  pt export <store-dir> <out-file>";
+  pt export <store-dir> <out-file>
+  pt serve <store-dir> [--bind ADDR | --port N] [--workers N] [--queue N]
+          [--deadline-ms N] [--idle-ms N]
+  pt --connect host:port <ping|load|query|stats|fsck|export|shutdown> [args...]";
 
 fn main() -> ExitCode {
     // `pt ... | head` closes stdout early; Rust's println! panics on the
@@ -55,10 +59,26 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
+    // `pt --connect host:port <cmd> ...` routes a subcommand through the
+    // network client instead of opening a local store.
+    if argv[0] == "--connect" {
+        if argv.len() < 3 {
+            eprintln!("pt --connect: usage: pt --connect host:port <command> [args...]");
+            return ExitCode::FAILURE;
+        }
+        let (addr, cmd, rest) = (&argv[1], argv[2].as_str(), &argv[3..]);
+        return match remote::dispatch(addr, cmd, rest) {
+            Ok(code) => ExitCode::from(code),
+            Err(e) => {
+                eprintln!("pt --connect {cmd}: {e}");
+                ExitCode::from(commands::exit_code_for(&e).max(1))
+            }
+        };
+    }
     let cmd = argv[0].as_str();
     let rest = &argv[1..];
     // `pt load` has a documented multi-valued exit-code contract
-    // (0/2/3/4, see README); every other command exits 0 or 1.
+    // (0/2/3/4/5, see README); every other command exits 0, 1, or 5.
     let result: Result<u8, args::CliError> = match cmd {
         "init" => commands::init(rest).map(|()| 0),
         "machines" => commands::machines(rest).map(|()| 0),
@@ -75,6 +95,7 @@ fn main() -> ExitCode {
         "predict" => commands::predict(rest).map(|()| 0),
         "delete" => commands::delete(rest).map(|()| 0),
         "export" => commands::export(rest).map(|()| 0),
+        "serve" => remote::serve(rest).map(|()| 0),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
     };
     match result {

@@ -1,0 +1,62 @@
+//! Exit-code 5 (`locked`): a second process touching a store directory
+//! another process holds open must fail fast with the typed lock error,
+//! not hang or scribble behind the first process's buffer pool. The
+//! in-process half of the contract (same-process reopen, typed
+//! `StoreError::Locked`) lives in `crates/store/src/lock.rs`; this test
+//! drives the real binary across the process boundary.
+
+use perftrack::PTDataStore;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pt"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pt-lock-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn second_process_on_held_store_exits_locked() {
+    let dir = tmpdir("held");
+    let store_dir = dir.join("store");
+    let out = pt()
+        .args(["init", store_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Hold the store open in this process (the test binary owns the
+    // directory lock for the scope of `held`)...
+    let held = PTDataStore::open(&store_dir).unwrap();
+
+    // ...so the `pt` child process must be turned away with exit 5.
+    for cmd in ["report", "stats", "fsck"] {
+        let out = pt()
+            .args([cmd, store_dir.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(5),
+            "pt {cmd} against a held store: {out:?}"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("locked"),
+            "pt {cmd} stderr names the lock: {stderr}"
+        );
+    }
+
+    // Releasing the lock makes the same command succeed.
+    drop(held);
+    let out = pt()
+        .args(["report", store_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}

@@ -1,0 +1,148 @@
+//! `pt serve` / `pt --connect` end to end, across real process
+//! boundaries: a server child process announces its address on stdout,
+//! `pt --connect` subcommands drive loads and reads through it, and a
+//! SIGTERM drains it gracefully (exit 0, the announced drain line, and a
+//! store that passes a local deep fsck afterwards).
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn pt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pt"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pt-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const PTDF: &str = "\
+Application A
+Execution e1 A
+Resource /r application
+PerfResult e1 /r(primary) A m 1.5 u
+";
+
+#[test]
+fn serve_load_query_sigterm_drain() {
+    let dir = tmpdir("drain");
+    let store_dir = dir.join("store");
+    let ptdf = dir.join("in.ptdf");
+    std::fs::write(&ptdf, PTDF).unwrap();
+    assert_eq!(
+        pt().args(["init", store_dir.to_str().unwrap()])
+            .output()
+            .unwrap()
+            .status
+            .code(),
+        Some(0)
+    );
+
+    // Start the server on an ephemeral port and learn the address from
+    // the one parseable stdout line it prints before serving.
+    let mut server = pt()
+        .args(["serve", store_dir.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(server.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .trim()
+        .to_string();
+
+    // While the server holds the store, a direct local command is locked
+    // out (exit 5) — the network path is the only way in.
+    let out = pt()
+        .args(["report", store_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+
+    let connect = |args: &[&str]| {
+        let mut full = vec!["--connect", addr.as_str()];
+        full.extend_from_slice(args);
+        pt().args(&full).output().unwrap()
+    };
+
+    let out = connect(&["ping"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("degraded: false"));
+
+    let out = connect(&["load", ptdf.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 results"));
+
+    let out = connect(&["query", "--name", "/r", "--relatives", "N"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(1 rows)"));
+
+    let out = connect(&["stats"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stats = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stats.contains("server.requests"), "{stats}");
+
+    let out = connect(&["fsck", "--deep"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // SIGTERM → graceful drain: exit 0 and the drain announcement.
+    // (Child::kill would send SIGKILL, which is exactly not the point.)
+    let term = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(term.success());
+    let status = server.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "graceful drain must exit 0");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(
+        rest.contains("server drained; store closed cleanly"),
+        "missing drain line in: {rest:?}"
+    );
+
+    // The lock is released and the store is intact.
+    let out = pt()
+        .args(["fsck", store_dir.to_str().unwrap(), "--deep"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn remote_shutdown_request_drains_server() {
+    let dir = tmpdir("wire-shutdown");
+    let store_dir = dir.join("store");
+    assert_eq!(
+        pt().args(["init", store_dir.to_str().unwrap()])
+            .output()
+            .unwrap()
+            .status
+            .code(),
+        Some(0)
+    );
+    let mut server = pt()
+        .args(["serve", store_dir.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(server.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line.strip_prefix("listening on ").unwrap().trim().to_string();
+
+    let out = pt()
+        .args(["--connect", &addr, "shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("draining"));
+    let status = server.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "wire shutdown must drain to exit 0");
+}

@@ -127,6 +127,16 @@ impl IdGen {
 }
 
 /// The PerfTrack data store.
+///
+/// # Threading
+///
+/// Every public method takes `&self` — including the write paths (loads,
+/// deletes, checkpoint), which serialize internally on the storage
+/// engine's writer lock. The type is `Send + Sync` (pinned by a
+/// compile-time test in `tests/send_sync.rs`), so one store can be
+/// shared across threads behind an `Arc`: readers run concurrently,
+/// writers queue. The network service layer (`perftrack-server`) builds
+/// directly on this contract — see `docs/SERVER.md`.
 pub struct PTDataStore {
     db: Database,
     schema: Schema,

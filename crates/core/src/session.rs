@@ -24,6 +24,16 @@ pub struct SelectedParameter {
 }
 
 /// The selection dialog (Figure 3).
+///
+/// # Threading
+///
+/// The builder methods (`add_name`, `add_type`, …) take `&mut self`
+/// deliberately: a dialog is one user's in-progress parameter list, not
+/// shared state, so accumulation is exclusive by construction. The
+/// query it ultimately runs — [`SelectionDialog::retrieve`] — takes
+/// `&self` and only reads the store, so finished dialogs (and the
+/// [`ResultTable`]s they produce) can be shipped to and used from other
+/// threads: both types are `Send + Sync` (`tests/send_sync.rs`).
 pub struct SelectionDialog<'s> {
     store: &'s PTDataStore,
     selected: Vec<SelectedParameter>,

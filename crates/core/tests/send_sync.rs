@@ -1,0 +1,51 @@
+//! Compile-time pin of the query path's threading contract: the store
+//! and everything the read-only query path hands out must be
+//! `Send + Sync`, so the network service layer can share one store
+//! across worker threads and run reader requests concurrently. If a
+//! future change smuggles a `!Sync` member (an `Rc`, a `RefCell`, a raw
+//! pointer) into any of these types, this file stops compiling —
+//! the failure is the diagnostic.
+
+use perftrack::{FreeResourceColumn, PTDataStore, QueryEngine, ResultTable, SelectionDialog};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn query_path_types_are_send_and_sync() {
+    assert_send_sync::<PTDataStore>();
+    assert_send_sync::<QueryEngine<'static>>();
+    assert_send_sync::<SelectionDialog<'static>>();
+    assert_send_sync::<ResultTable<'static>>();
+    assert_send_sync::<FreeResourceColumn>();
+}
+
+/// The runtime half of the same contract: a store behind an `Arc` serves
+/// overlapping readers from plain `std::thread`s with no external
+/// locking.
+#[test]
+fn shared_store_serves_concurrent_readers() {
+    use perftrack_model::prelude::*;
+    use std::sync::Arc;
+
+    let store = Arc::new(PTDataStore::in_memory().unwrap());
+    store
+        .load_ptdf_str(
+            "Application A\nExecution e1 A\nResource /r application\n\
+             PerfResult e1 /r(primary) T m 1.5 u\n",
+        )
+        .unwrap();
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                let mut dialog = SelectionDialog::new(&store);
+                dialog.add_name("/r", Relatives::from_code('N').unwrap());
+                let table = dialog.retrieve().unwrap();
+                assert_eq!(table.render().unwrap().len(), 1);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+}

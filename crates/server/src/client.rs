@@ -1,0 +1,382 @@
+//! Blocking client with bounded-backoff retry.
+//!
+//! The client owns one lazily (re)established TCP connection. Retry
+//! policy, mirroring the engine's `StoreError::is_transient()` contract:
+//!
+//! * A *server-reported* `Transient` or `Busy` error is always safe to
+//!   retry — the server answered, so the request's transaction rolled
+//!   back cleanly before the error frame was sent.
+//! * A *transport* failure (connect refused, connection reset, short
+//!   read) is retried only for idempotent requests
+//!   ([`crate::proto::Request::is_idempotent`]): if the socket died
+//!   mid-`LoadPtdf` the client cannot know whether the load committed,
+//!   and loads append results, so replaying could double-load.
+//!
+//! Each retry reconnects from scratch with exponential backoff
+//! (`backoff * 2^attempt`). [`Client::retries_performed`] exposes the
+//! cumulative retry count so the CLI can report "succeeded after
+//! retries" (exit code 2), matching the local degraded-mode contract in
+//! `docs/FAULTS.md`.
+
+use crate::proto::{ErrorCategory, Request, Response};
+use crate::wire::{FrameDecoder, WireError};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, or write).
+    Io(std::io::Error),
+    /// The server's bytes did not decode as a protocol frame.
+    Wire(WireError),
+    /// The server answered with an error response.
+    Remote {
+        /// Server-side failure classification.
+        category: ErrorCategory,
+        /// Server-provided description.
+        message: String,
+    },
+    /// Every retry attempt failed; carries the final error.
+    RetriesExhausted {
+        /// Total attempts made (initial try + retries).
+        attempts: u32,
+        /// The error from the last attempt.
+        last: Box<ClientError>,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ClientError::Remote { category, message } => {
+                write!(f, "server error ({category}): {message}")
+            }
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            ClientError::RetriesExhausted { last, .. } => Some(last),
+            ClientError::Remote { .. } => None,
+        }
+    }
+}
+
+impl ClientError {
+    /// The server-reported error category, if the failure was remote
+    /// (walks through [`ClientError::RetriesExhausted`]).
+    pub fn remote_category(&self) -> Option<ErrorCategory> {
+        match self {
+            ClientError::Remote { category, .. } => Some(*category),
+            ClientError::RetriesExhausted { last, .. } => last.remote_category(),
+            _ => None,
+        }
+    }
+}
+
+/// Retry and timeout knobs for [`Client::with_config`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Retries after the initial attempt (so `max_retries = 3` means up
+    /// to 4 attempts).
+    pub max_retries: u32,
+    /// Base backoff; attempt `n` sleeps `backoff * 2^n`.
+    pub backoff: Duration,
+    /// Socket read timeout while waiting for a response.
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_retries: 3,
+            backoff: Duration::from_millis(20),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A blocking, lazily reconnecting client for one server address.
+pub struct Client {
+    addr: String,
+    cfg: ClientConfig,
+    conn: Option<TcpStream>,
+    retries: u64,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `"127.0.0.1:7071"`) with default
+    /// retry/timeout settings. Does not connect yet; the first call does.
+    pub fn connect(addr: impl Into<String>) -> Client {
+        Client::with_config(addr, ClientConfig::default())
+    }
+
+    /// A client with explicit retry/timeout settings.
+    pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> Client {
+        Client {
+            addr: addr.into(),
+            cfg,
+            conn: None,
+            retries: 0,
+        }
+    }
+
+    /// Cumulative retries performed over the life of this client (drives
+    /// the CLI's "succeeded after retries" exit code).
+    pub fn retries_performed(&self) -> u64 {
+        self.retries
+    }
+
+    /// Close the cached connection now (the next call reconnects).
+    ///
+    /// Closing from the client side first matters when the *server* is
+    /// about to restart on the same address: the side that initiates the
+    /// TCP close holds the TIME_WAIT state, so a client-first close
+    /// leaves the server's port free to rebind immediately.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// Issue one request, retrying per the policy in the module docs.
+    /// A `Response::Err` frame from the server is returned as
+    /// [`ClientError::Remote`] (after retries, if its category is
+    /// retryable).
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self.call_once(req);
+            let err = match result {
+                Ok(Response::Err { category, message }) => {
+                    ClientError::Remote { category, message }
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            let retryable = match &err {
+                // The server answered: the transaction rolled back
+                // cleanly, so any request may be replayed.
+                ClientError::Remote { category, .. } => category.is_retryable(),
+                // The transport died: only idempotent requests replay.
+                ClientError::Io(_) | ClientError::Wire(_) => req.is_idempotent(),
+                ClientError::RetriesExhausted { .. } => false,
+            };
+            if !retryable || attempt >= self.cfg.max_retries {
+                if attempt > 0 {
+                    return Err(ClientError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        last: Box::new(err),
+                    });
+                }
+                return Err(err);
+            }
+            std::thread::sleep(self.cfg.backoff * 2u32.saturating_pow(attempt));
+            attempt += 1;
+            self.retries += 1;
+        }
+    }
+
+    /// One attempt: (re)connect if needed, write the frame, read one
+    /// response frame. Any failure drops the cached connection so the
+    /// next attempt starts from a fresh socket.
+    fn call_once(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let result = self.call_on_current_conn(req);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn call_on_current_conn(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if self.conn.is_none() {
+            let mut addrs = self
+                .addr
+                .to_socket_addrs()
+                .map_err(ClientError::Io)?;
+            let addr = addrs.next().ok_or_else(|| {
+                ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to nothing",
+                ))
+            })?;
+            let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+            stream
+                .set_read_timeout(Some(self.cfg.read_timeout))
+                .map_err(ClientError::Io)?;
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(stream);
+        }
+        let stream = self.conn.as_mut().expect("connection just established");
+        stream.write_all(&req.encode()).map_err(ClientError::Io)?;
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            if let Some(frame) = dec.next_frame().map_err(ClientError::Wire)? {
+                return Response::decode(&frame).map_err(ClientError::Wire);
+            }
+            let n = stream.read(&mut buf).map_err(ClientError::Io)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                )));
+            }
+            dec.extend(&buf[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{NameFilter, QuerySpec, WIRE_VERSION};
+    use crate::server::{Server, ServerConfig, ServerHandle};
+    use perftrack::PTDataStore;
+    use std::sync::Arc;
+
+    const GOOD_PTDF: &str = "Application A\n\
+                             Execution e1 A\n\
+                             Resource /r application\n\
+                             PerfResult e1 /r(primary) T m 1.5 u\n";
+
+    fn start() -> (ServerHandle, Arc<PTDataStore>) {
+        let store = Arc::new(PTDataStore::in_memory().unwrap());
+        let handle = Server::start(Arc::clone(&store), ServerConfig::default()).unwrap();
+        (handle, store)
+    }
+
+    #[test]
+    fn client_load_query_export_roundtrip() {
+        let (handle, _store) = start();
+        let mut client = Client::connect(handle.local_addr().to_string());
+        match client
+            .call(&Request::LoadPtdf {
+                text: GOOD_PTDF.into(),
+            })
+            .unwrap()
+        {
+            Response::Loaded(s) => assert_eq!(s.results, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let spec = QuerySpec {
+            names: vec![NameFilter {
+                pattern: "/r".into(),
+                relatives: 'N',
+            }],
+            ..QuerySpec::default()
+        };
+        match client.call(&Request::Query(spec)).unwrap() {
+            Response::Table { rows, .. } => assert_eq!(rows.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.call(&Request::Export).unwrap() {
+            Response::Ptdf { text } => assert!(text.contains("Application A")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(client.retries_performed(), 0);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn client_reconnects_after_server_restart() {
+        let (handle, store) = start();
+        let addr = handle.local_addr();
+        let mut client = Client::with_config(
+            addr.to_string(),
+            ClientConfig {
+                max_retries: 5,
+                backoff: Duration::from_millis(5),
+                ..ClientConfig::default()
+            },
+        );
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong { .. }
+        ));
+        // Kill the server; the cached connection is now dead.
+        handle.shutdown();
+        handle.join();
+        // Restart on the same port (retry loop also covers the window
+        // where the port is not yet listening again).
+        let cfg = ServerConfig {
+            addr: addr.to_string(),
+            ..ServerConfig::default()
+        };
+        let handle2 = Server::start(store, cfg).unwrap();
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong {
+                version: WIRE_VERSION,
+                ..
+            }
+        ));
+        assert!(
+            client.retries_performed() >= 1,
+            "reconnect should count as a retry"
+        );
+        handle2.shutdown();
+        handle2.join();
+    }
+
+    #[test]
+    fn transport_failure_is_not_retried_for_loads() {
+        // Nothing listens on this port (bind, learn the port, drop).
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut client = Client::with_config(
+            addr,
+            ClientConfig {
+                max_retries: 3,
+                backoff: Duration::from_millis(1),
+                ..ClientConfig::default()
+            },
+        );
+        let err = client
+            .call(&Request::LoadPtdf {
+                text: GOOD_PTDF.into(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
+        assert_eq!(
+            client.retries_performed(),
+            0,
+            "loads must not replay on transport failure"
+        );
+        // Idempotent requests DO retry against the dead address.
+        let err = client.call(&Request::Ping).unwrap_err();
+        assert!(matches!(err, ClientError::RetriesExhausted { attempts: 4, .. }));
+        assert_eq!(client.retries_performed(), 3);
+    }
+
+    #[test]
+    fn remote_invalid_error_is_not_retried() {
+        let (handle, _store) = start();
+        let mut client = Client::connect(handle.local_addr().to_string());
+        let spec = QuerySpec {
+            names: vec![NameFilter {
+                pattern: "x".into(),
+                relatives: 'Z',
+            }],
+            ..QuerySpec::default()
+        };
+        let err = client.call(&Request::Query(spec)).unwrap_err();
+        assert_eq!(err.remote_category(), Some(ErrorCategory::Invalid));
+        assert_eq!(client.retries_performed(), 0);
+        handle.shutdown();
+        handle.join();
+    }
+}

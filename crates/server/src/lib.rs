@@ -1,0 +1,40 @@
+//! Network service layer for the PerfTrack store.
+//!
+//! The paper's PerfTrack deployment put one shared DBMS behind many
+//! clients (GUI sessions, batch loaders); this crate gives the embedded
+//! Rust engine the same shape: a TCP server exposing a
+//! [`perftrack::PTDataStore`] over a length-prefixed binary protocol,
+//! plus a blocking client library the `pt` CLI uses for
+//! `pt serve` / `pt --connect`.
+//!
+//! * [`wire`] — framing (`[len:u32][ver:u8][op:u8][payload]`) and the
+//!   panic-free incremental decoder.
+//! * [`proto`] — typed [`proto::Request`]/[`proto::Response`] messages
+//!   and the [`proto::ErrorCategory`] taxonomy.
+//! * [`server`] — thread-per-connection server with a bounded accept
+//!   queue, single-writer/multi-reader scheduling, per-request
+//!   deadlines, idle reaping, and graceful drain.
+//! * [`client`] — blocking client with bounded-backoff retry keyed off
+//!   the server-reported error category and request idempotency.
+//! * [`metrics`] — `server.*` counters/gauges/histograms merged into
+//!   `pt stats` output.
+//!
+//! The wire contract (opcode table, field layouts, error mapping, and
+//! versioning rules) is documented in `docs/SERVER.md`.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientConfig, ClientError};
+pub use metrics::ServerMetrics;
+pub use proto::{
+    ErrorCategory, NameFilter, QuerySpec, Request, Response, WireFreeColumn, WireLoadStats,
+    WIRE_VERSION,
+};
+pub use server::{categorize, Server, ServerConfig, ServerHandle};
+pub use wire::{Frame, FrameDecoder, WireError, MAX_FRAME};

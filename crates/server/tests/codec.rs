@@ -1,0 +1,237 @@
+//! Fuzz-shaped codec robustness tests with a deterministic PRNG: random
+//! bytes, truncated streams, and bit-flipped valid frames must produce
+//! typed protocol errors (or clean "need more bytes"), never a panic.
+//! These run everywhere; the property-based round-trip suite lives in
+//! `codec_proptest.rs` and runs in the CI `server` job.
+
+use perftrack_server::proto::{
+    ErrorCategory, NameFilter, QuerySpec, Request, Response, WireFreeColumn, WireLoadStats,
+};
+use perftrack_server::wire::{FrameDecoder, PayloadReader, WireError};
+
+/// xorshift64* — deterministic, dependency-free random bytes.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn byte(&mut self) -> u8 {
+        (self.next() >> 32) as u8
+    }
+
+    fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.byte()).collect()
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn sample_requests() -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::LoadPtdf {
+            text: "Application A\nResource /r application\n".into(),
+        },
+        Request::Query(QuerySpec {
+            names: vec![
+                NameFilter {
+                    pattern: "rmatmult3".into(),
+                    relatives: 'D',
+                },
+                NameFilter {
+                    pattern: "/irs/zrad".into(),
+                    relatives: 'N',
+                },
+            ],
+            types: vec!["/grid/machine".into()],
+            add_columns: vec!["execution".into(), "/grid/machine".into()],
+        }),
+        Request::FreeResources(QuerySpec::default()),
+        Request::Export,
+        Request::Stats,
+        Request::Fsck { deep: true },
+        Request::Shutdown,
+    ]
+}
+
+fn sample_responses() -> Vec<Response> {
+    vec![
+        Response::Pong {
+            version: 1,
+            degraded: true,
+        },
+        Response::Loaded(WireLoadStats {
+            statements: u64::MAX,
+            results: 1,
+            ..Default::default()
+        }),
+        Response::Table {
+            columns: vec!["execution".into(), "metric".into()],
+            rows: vec![vec!["e1".into(), "wall, \"quoted\"".into()]],
+        },
+        Response::FreeResources(vec![WireFreeColumn {
+            type_path: "/grid/machine/node".into(),
+            distinct_values: 4,
+            attributes: vec!["memory size".into(), "clock".into()],
+        }]),
+        Response::Ptdf {
+            text: "naïve λ “unicode”\n".into(),
+        },
+        Response::Stats {
+            json: "{\"io\":{}}".into(),
+            table: "io.retries  0\n".into(),
+        },
+        Response::FsckDone {
+            errors: 3,
+            warnings: 9,
+            json: "{}".into(),
+            table: "bad\n".into(),
+        },
+        Response::ShuttingDown,
+        Response::Err {
+            category: ErrorCategory::Deadline,
+            message: "too slow".into(),
+        },
+    ]
+}
+
+/// Drain a decoder until it parks or errors; decode every frame both
+/// ways. Nothing here may panic.
+fn drain(dec: &mut FrameDecoder) {
+    loop {
+        match dec.next_frame() {
+            Ok(Some(frame)) => {
+                let _ = Request::decode(&frame);
+                let _ = Response::decode(&frame);
+            }
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+#[test]
+fn random_byte_streams_never_panic() {
+    let mut rng = Rng(0x5EED_2005);
+    for round in 0..500 {
+        let mut dec = FrameDecoder::new();
+        let len = rng.below(512);
+        dec.extend(&rng.bytes(len));
+        drain(&mut dec);
+        // Keep feeding after an error/park; the decoder must stay inert
+        // or keep erroring, still without panicking.
+        let more = rng.below(64);
+        dec.extend(&rng.bytes(more));
+        drain(&mut dec);
+        let _ = round;
+    }
+}
+
+#[test]
+fn random_payloads_through_the_reader_never_panic() {
+    let mut rng = Rng(0xDEAD_BEEF);
+    for _ in 0..500 {
+        let len = rng.below(128);
+        let payload = rng.bytes(len);
+        let mut r = PayloadReader::new(&payload);
+        // Exercise every accessor in a data-dependent order.
+        let _ = r.u8("a");
+        let _ = r.u32("b");
+        let _ = r.str("c");
+        let _ = r.str_list("d");
+        let _ = r.u64("e");
+        let _ = r.finish();
+    }
+}
+
+#[test]
+fn truncated_valid_frames_park_then_complete() {
+    for req in sample_requests() {
+        let bytes = req.encode();
+        for cut in 0..bytes.len() {
+            let mut dec = FrameDecoder::new();
+            dec.extend(&bytes[..cut]);
+            assert!(
+                matches!(dec.next_frame(), Ok(None)),
+                "prefix of a valid frame must park, cut={cut}"
+            );
+            dec.extend(&bytes[cut..]);
+            let frame = dec.next_frame().unwrap().unwrap();
+            assert_eq!(Request::decode(&frame).unwrap(), req);
+        }
+    }
+}
+
+#[test]
+fn bit_flipped_frames_error_or_decode_but_never_panic() {
+    let mut rng = Rng(0xF11B_F11B);
+    for resp in sample_responses() {
+        let clean = resp.encode();
+        for _ in 0..100 {
+            let mut bytes = clean.clone();
+            let i = rng.below(bytes.len());
+            bytes[i] ^= 1 << rng.below(8);
+            let mut dec = FrameDecoder::new();
+            dec.extend(&bytes);
+            drain(&mut dec);
+        }
+    }
+}
+
+#[test]
+fn every_sample_message_roundtrips() {
+    for req in sample_requests() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&req.encode());
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(Request::decode(&frame).unwrap(), req);
+    }
+    for resp in sample_responses() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&resp.encode());
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(Response::decode(&frame).unwrap(), resp);
+    }
+}
+
+#[test]
+fn concatenated_message_stream_splits_cleanly() {
+    let reqs = sample_requests();
+    let mut stream = Vec::new();
+    for req in &reqs {
+        stream.extend_from_slice(&req.encode());
+    }
+    // Feed in awkward chunk sizes.
+    let mut dec = FrameDecoder::new();
+    let mut decoded = Vec::new();
+    for chunk in stream.chunks(7) {
+        dec.extend(chunk);
+        while let Ok(Some(frame)) = dec.next_frame() {
+            decoded.push(Request::decode(&frame).unwrap());
+        }
+    }
+    assert_eq!(decoded, reqs);
+    assert_eq!(dec.buffered(), 0);
+}
+
+#[test]
+fn truncated_payload_inside_valid_frame_is_malformed_not_panic() {
+    // A structurally valid frame whose payload is cut short for its
+    // opcode: Fsck (0x07) with an empty payload.
+    let frame_bytes = perftrack_server::wire::encode_frame(1, 0x07, &[]);
+    let mut dec = FrameDecoder::new();
+    dec.extend(&frame_bytes);
+    let frame = dec.next_frame().unwrap().unwrap();
+    assert!(matches!(
+        Request::decode(&frame),
+        Err(WireError::Malformed(_))
+    ));
+}

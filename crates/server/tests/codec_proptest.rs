@@ -1,0 +1,173 @@
+//! Property-based wire-codec tests: arbitrary messages round-trip, and
+//! arbitrary byte soup decodes to a typed error or parks — never panics.
+//! Runs in the CI `server` job (proptest is a dev-dependency there); the
+//! deterministic fuzz-shaped suite in `codec.rs` covers environments
+//! without proptest.
+
+use proptest::prelude::*;
+
+use perftrack_server::proto::{
+    ErrorCategory, NameFilter, QuerySpec, Request, Response, WireFreeColumn, WireLoadStats,
+};
+use perftrack_server::wire::FrameDecoder;
+
+fn arb_relatives() -> impl Strategy<Value = char> {
+    prop_oneof![Just('D'), Just('A'), Just('B'), Just('N')]
+}
+
+fn arb_name_filter() -> impl Strategy<Value = NameFilter> {
+    (".{0,40}", arb_relatives()).prop_map(|(pattern, relatives)| NameFilter {
+        pattern,
+        relatives,
+    })
+}
+
+fn arb_query_spec() -> impl Strategy<Value = QuerySpec> {
+    (
+        prop::collection::vec(arb_name_filter(), 0..4),
+        prop::collection::vec(".{0,30}", 0..4),
+        prop::collection::vec(".{0,30}", 0..4),
+    )
+        .prop_map(|(names, types, add_columns)| QuerySpec {
+            names,
+            types,
+            add_columns,
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        ".{0,200}".prop_map(|text| Request::LoadPtdf { text }),
+        arb_query_spec().prop_map(Request::Query),
+        arb_query_spec().prop_map(Request::FreeResources),
+        Just(Request::Export),
+        Just(Request::Stats),
+        any::<bool>().prop_map(|deep| Request::Fsck { deep }),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_category() -> impl Strategy<Value = ErrorCategory> {
+    (0u8..8).prop_map(|v| ErrorCategory::from_u8(v).unwrap())
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (any::<u8>(), any::<bool>()).prop_map(|(version, degraded)| Response::Pong {
+            version,
+            degraded
+        }),
+        prop::array::uniform8(any::<u64>()).prop_map(|v| Response::Loaded(WireLoadStats {
+            statements: v[0],
+            applications: v[1],
+            resource_types: v[2],
+            executions: v[3],
+            resources: v[4],
+            attributes: v[5],
+            constraints: v[6],
+            results: v[7],
+        })),
+        (
+            prop::collection::vec(".{0,20}", 0..4),
+            prop::collection::vec(prop::collection::vec(".{0,20}", 0..4), 0..4)
+        )
+            .prop_map(|(columns, rows)| Response::Table { columns, rows }),
+        prop::collection::vec(
+            (".{0,30}", any::<u64>(), prop::collection::vec(".{0,20}", 0..3)).prop_map(
+                |(type_path, distinct_values, attributes)| WireFreeColumn {
+                    type_path,
+                    distinct_values,
+                    attributes,
+                }
+            ),
+            0..4
+        )
+        .prop_map(Response::FreeResources),
+        ".{0,200}".prop_map(|text| Response::Ptdf { text }),
+        (".{0,100}", ".{0,100}").prop_map(|(json, table)| Response::Stats { json, table }),
+        (any::<u64>(), any::<u64>(), ".{0,50}", ".{0,50}").prop_map(
+            |(errors, warnings, json, table)| Response::FsckDone {
+                errors,
+                warnings,
+                json,
+                table
+            }
+        ),
+        Just(Response::ShuttingDown),
+        (arb_category(), ".{0,100}")
+            .prop_map(|(category, message)| Response::Err { category, message }),
+    ]
+}
+
+fn decode_one_request(bytes: &[u8]) -> Request {
+    let mut dec = FrameDecoder::new();
+    dec.extend(bytes);
+    let frame = dec.next_frame().unwrap().unwrap();
+    Request::decode(&frame).unwrap()
+}
+
+fn decode_one_response(bytes: &[u8]) -> Response {
+    let mut dec = FrameDecoder::new();
+    dec.extend(bytes);
+    let frame = dec.next_frame().unwrap().unwrap();
+    Response::decode(&frame).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn requests_roundtrip(req in arb_request()) {
+        prop_assert_eq!(decode_one_request(&req.encode()), req);
+    }
+
+    #[test]
+    fn responses_roundtrip(resp in arb_response()) {
+        prop_assert_eq!(decode_one_response(&resp.encode()), resp);
+    }
+
+    #[test]
+    fn request_streams_split_at_any_chunking(
+        reqs in prop::collection::vec(arb_request(), 1..5),
+        chunk in 1usize..32,
+    ) {
+        let mut stream = Vec::new();
+        for r in &reqs {
+            stream.extend_from_slice(&r.encode());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.extend(piece);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                out.push(Request::decode(&frame).unwrap());
+            }
+        }
+        prop_assert_eq!(out, reqs);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => {
+                    let _ = Request::decode(&frame);
+                    let _ = Response::decode(&frame);
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn truncating_a_valid_frame_parks(req in arb_request(), frac in 0.0f64..1.0) {
+        let bytes = req.encode();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < bytes.len());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes[..cut]);
+        prop_assert!(matches!(dec.next_frame(), Ok(None)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Kill-and-reconnect ladder: one persistent store served, killed, and
+//! revived on the same address across several rungs. The single client
+//! rides through every restart — its retrying, lazily reconnecting call
+//! path must absorb each kill — and every rung's data must survive into
+//! the next server generation and the final local reopen.
+//!
+//! TCP detail the ladder depends on: the side that initiates a close
+//! holds the TIME_WAIT state, so the client disconnects *first* each
+//! rung ([`Client::disconnect`]); the server's port is then free to
+//! rebind immediately instead of lingering for 2·MSL.
+
+use perftrack::PTDataStore;
+use perftrack_server::{
+    Client, ClientConfig, NameFilter, QuerySpec, Request, Response, Server, ServerConfig,
+    ServerHandle,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const RUNGS: usize = 3;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pt-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One application/execution/result per rung, all names distinct so each
+/// generation's load is visible independently.
+fn rung_ptdf(rung: usize) -> String {
+    format!(
+        "Application A{rung}\n\
+         Execution e{rung} A{rung}\n\
+         Resource /r{rung} application\n\
+         PerfResult e{rung} /r{rung}(primary) T m {rung}.5 u\n"
+    )
+}
+
+/// Reopen the store and rebind the server on `addr`, retrying both steps:
+/// the previous generation's directory lock and port release race with
+/// this call by design.
+fn start_on(dir: &Path, addr: &str) -> (ServerHandle, Arc<PTDataStore>) {
+    for _ in 0..400 {
+        let store = match PTDataStore::open(dir) {
+            Ok(s) => Arc::new(s),
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+        };
+        let cfg = ServerConfig {
+            addr: addr.to_string(),
+            ..ServerConfig::default()
+        };
+        match Server::start(Arc::clone(&store), cfg) {
+            Ok(handle) => return (handle, store),
+            Err(_) => {
+                drop(store);
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+    panic!("could not rebind server on {addr}");
+}
+
+/// Query for one rung's resource and return the row count.
+fn rows_for(client: &mut Client, rung: usize) -> usize {
+    let spec = QuerySpec {
+        names: vec![NameFilter {
+            pattern: format!("/r{rung}"),
+            relatives: 'N',
+        }],
+        ..QuerySpec::default()
+    };
+    match client.call(&Request::Query(spec)).unwrap() {
+        Response::Table { rows, .. } => rows.len(),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+#[test]
+fn kill_and_reconnect_ladder() {
+    let dir = tmpdir("ladder");
+    let store = Arc::new(PTDataStore::open(&dir).unwrap());
+    let handle = Server::start(Arc::clone(&store), ServerConfig::default()).unwrap();
+    let addr = handle.local_addr().to_string();
+    let mut handle = Some(handle);
+    let mut store = Some(store);
+    let mut client = Client::with_config(
+        addr.clone(),
+        ClientConfig {
+            max_retries: 10,
+            backoff: Duration::from_millis(25),
+            ..ClientConfig::default()
+        },
+    );
+
+    for rung in 0..RUNGS {
+        // This generation accepts the rung's load...
+        match client
+            .call(&Request::LoadPtdf {
+                text: rung_ptdf(rung),
+            })
+            .unwrap()
+        {
+            Response::Loaded(s) => assert_eq!(s.results, 1, "rung {rung} load"),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // ...and still serves every earlier generation's data.
+        for prior in 0..=rung {
+            assert_eq!(
+                rows_for(&mut client, prior),
+                1,
+                "rung {rung}: data loaded in rung {prior} must survive the restarts"
+            );
+        }
+
+        // Kill this generation: client closes first (see module docs),
+        // then the server drains and the store drops, releasing the
+        // directory lock for the next generation.
+        client.disconnect();
+        let h = handle.take().unwrap();
+        h.shutdown();
+        h.join();
+        drop(store.take());
+
+        if rung + 1 < RUNGS {
+            // Revive on the same address in the background while the
+            // client is already retrying: the first attempts see
+            // connection-refused, then the backoff path reconnects.
+            let (dir2, addr2) = (dir.clone(), addr.clone());
+            let reviver = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(80));
+                start_on(&dir2, &addr2)
+            });
+            let retries_before = client.retries_performed();
+            match client.call(&Request::Ping).unwrap() {
+                Response::Pong { degraded, .. } => assert!(!degraded),
+                other => panic!("unexpected response {other:?}"),
+            }
+            assert!(
+                client.retries_performed() > retries_before,
+                "rung {rung}: reconnecting through the restart must count retries"
+            );
+            let (h, s) = reviver.join().unwrap();
+            handle = Some(h);
+            store = Some(s);
+        }
+    }
+
+    // Everything the ladder loaded survives a plain local reopen.
+    let store = PTDataStore::open(&dir).unwrap();
+    assert_eq!(store.result_count().unwrap(), RUNGS);
+    let report = store.fsck(true).unwrap();
+    assert_eq!(report.error_count(), 0, "{}", report.summary());
+    assert_eq!(report.warning_count(), 0, "{}", report.summary());
+}

@@ -225,16 +225,26 @@ impl BufferPool {
             state.page_table.remove(&old);
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        // Load before publishing the mapping. If the read fails (e.g. a
+        // transient I/O error), the pool must look exactly as if this
+        // acquire never happened: the frame stays unmapped and a later
+        // retry reloads from disk. Publishing first would hand concurrent
+        // readers a frame still holding the evicted victim's stale bytes.
+        // The data lock cannot block here — the frame is unpinned and
+        // unmapped, and every other pin/flush path takes frame locks only
+        // under the pool mutex we already hold.
+        let mut guard = self.frames[idx].data.write();
+        if let Err(e) = self.disk.read_page(id, &mut guard) {
+            state.info[idx].page = None;
+            state.info[idx].dirty = false;
+            return Err(e);
+        }
         state.page_table.insert(id, idx);
         state.info[idx].page = Some(id);
         state.info[idx].dirty = write_intent;
         self.frames[idx].pin.fetch_add(1, Ordering::Acquire);
         self.frames[idx].referenced.store(1, Ordering::Relaxed);
-        // Take the data lock before publishing (i.e. before unlocking the
-        // pool mutex) so readers of the new mapping wait for the load.
-        let mut guard = self.frames[idx].data.write();
         drop(state);
-        self.disk.read_page(id, &mut guard)?;
         Ok((idx, Some(guard)))
     }
 
@@ -415,6 +425,41 @@ mod tests {
                 .unwrap();
             assert_eq!(round, 49);
             assert_eq!(tag, i as u8);
+        }
+    }
+
+    #[test]
+    fn failed_read_leaves_pool_unpoisoned() {
+        use crate::vfs::{FaultKind, FaultRule, FaultTrigger, FaultVfs, MemVfs, Vfs};
+        use std::io::ErrorKind;
+        use std::path::Path;
+
+        let fault = FaultVfs::new(Arc::new(MemVfs::new()) as Arc<dyn Vfs>);
+        let disk = Arc::new(DiskManager::open_with_vfs(&fault, Path::new("p.db")).unwrap());
+        let p = BufferPool::new(disk, 2);
+        // Three distinct pages so reloading the first is a guaranteed miss.
+        let ids: Vec<_> = (0..3).map(|_| p.allocate_page().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.with_page_mut(id, |buf| buf[0] = i as u8 + 1).unwrap();
+        }
+        p.flush_all().unwrap();
+
+        // The next read faults; the acquire must fail cleanly...
+        let s = fault.op_stats();
+        fault.arm(FaultRule {
+            trigger: FaultTrigger::OpIndex(s.reads + s.writes + s.syncs + s.truncates),
+            kind: FaultKind::Error(ErrorKind::Interrupted),
+            once: true,
+        });
+        let err = p.with_page(ids[0], |buf| buf[0]).unwrap_err();
+        assert!(err.is_transient(), "got {err}");
+
+        // ...without publishing a mapping to a frame holding the evicted
+        // victim's stale bytes: the retry reloads from disk and sees the
+        // page's real contents, and the failed acquire leaked no pin (a
+        // 2-frame pool with dangling pins could not cycle 3 pages again).
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.with_page(id, |buf| buf[0]).unwrap(), i as u8 + 1);
         }
     }
 }

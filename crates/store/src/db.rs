@@ -18,6 +18,7 @@ use crate::buffer::{BufferPool, PoolStatsSnapshot};
 use crate::catalog::{Catalog, Column, IndexId, IndexMeta, TableId};
 use crate::disk::DiskManager;
 use crate::error::{Result, StoreError};
+use crate::lock::DirLock;
 use crate::metrics::{
     BTreeStatsSnapshot, Counter, IoStatsSnapshot, MetricsSnapshot, TxnStatsSnapshot,
 };
@@ -107,6 +108,11 @@ pub struct Database {
     /// writes are rejected with [`StoreError::ReadOnly`].
     degraded: Arc<AtomicBool>,
     io: Arc<IoStats>,
+    /// Exclusive store-directory lock (persistent opens only). Held for
+    /// the database's whole lifetime so a second *process* opening the
+    /// same directory fails fast with [`StoreError::Locked`] instead of
+    /// corrupting pages behind this instance's buffer pool.
+    _dir_lock: Option<DirLock>,
 }
 
 /// Flush the WAL with the retry policy: transient failures back off and
@@ -166,6 +172,7 @@ impl Database {
             rollbacks: Counter::new(),
             degraded: Arc::new(AtomicBool::new(false)),
             io: Arc::new(IoStats::default()),
+            _dir_lock: None,
         };
         db.install_wal_hook();
         db
@@ -189,6 +196,10 @@ impl Database {
     /// [`crate::vfs::FaultVfs`].
     pub fn open_with_vfs(dir: &Path, opts: DbOptions, vfs: &dyn Vfs) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
+        // Take the directory lock before reading a single page: two
+        // processes racing through recovery would each replay the WAL
+        // into their own buffer pool and clobber each other's pages.
+        let dir_lock = DirLock::acquire(dir)?;
         let disk = Arc::new(DiskManager::open_with_vfs(vfs, &dir.join(PAGES_FILE))?);
         let pool = Arc::new(BufferPool::new(disk, opts.pool_frames));
         let wal = Arc::new(Wal::open_with_vfs(vfs, &dir.join(WAL_FILE))?);
@@ -211,6 +222,7 @@ impl Database {
             rollbacks: Counter::new(),
             degraded: Arc::new(AtomicBool::new(false)),
             io: Arc::new(IoStats::default()),
+            _dir_lock: Some(dir_lock),
         };
         db.recover()?;
         db.rebuild_indexes()?;

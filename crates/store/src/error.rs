@@ -42,6 +42,12 @@ pub enum StoreError {
     /// The database is in read-only degraded mode (the WAL write path
     /// failed irrecoverably); reads keep working, writes are rejected.
     ReadOnly,
+    /// The store directory is exclusively locked by another process
+    /// (see [`crate::lock::DirLock`]). Opening must fail fast here:
+    /// proceeding would put a second buffer pool behind the owner's back
+    /// and corrupt pages. Carries a human-readable description of the
+    /// conflict.
+    Locked(String),
 }
 
 impl fmt::Display for StoreError {
@@ -62,6 +68,7 @@ impl fmt::Display for StoreError {
             StoreError::ReadOnly => {
                 write!(f, "database is in read-only degraded mode; writes rejected")
             }
+            StoreError::Locked(m) => write!(f, "store directory is locked: {m}"),
         }
     }
 }
@@ -204,6 +211,18 @@ mod tests {
         }
         assert!(!StoreError::Corrupt("bits".into()).is_transient());
         assert!(!StoreError::ReadOnly.is_transient());
+        // A lock conflict is *not* transient: the holder may run for
+        // hours, and the fix (connect to the server instead) is a
+        // different code path, not a retry.
+        assert!(!StoreError::Locked("held".into()).is_transient());
+    }
+
+    #[test]
+    fn locked_displays() {
+        let e = StoreError::Locked("/data/store.lock is held by pid 7".into());
+        let msg = e.to_string();
+        assert!(msg.contains("locked"), "{msg}");
+        assert!(msg.contains("store.lock"), "{msg}");
     }
 
     #[test]

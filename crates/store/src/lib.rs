@@ -20,6 +20,8 @@
 //! * [`wal`] — CRC-framed logical write-ahead log.
 //! * [`btree`] — order-preserving-key B+tree index.
 //! * [`catalog`] — table schemas, index definitions, heap page lists.
+//! * [`lock`] — the exclusive store-directory lock (one process per
+//!   store; a second opener gets a typed [`StoreError::Locked`]).
 //! * [`db`] — [`db::Database`]: transactions, recovery, scans, lookups.
 //! * [`query`] — expressions, filter/project/join/group-by/order-by
 //!   operators, and a single-table access planner.
@@ -70,6 +72,7 @@ pub mod disk;
 pub mod error;
 #[cfg(feature = "failpoints")]
 pub mod failpoints;
+pub mod lock;
 pub mod metrics;
 pub mod page;
 pub mod query;
