@@ -1,0 +1,95 @@
+//! Concurrent read-path benchmark: 1/2/4/8 reader threads doing mixed
+//! point gets, index probes, and streaming scans against one shared
+//! `Database` whose heap is larger than the buffer pool. This is the
+//! workload the sharded pool exists for — before sharding, every
+//! iteration serialized on a single page-table mutex regardless of
+//! thread count. Quick-mode numbers live in `BENCH_query.json`
+//! (`pt bench`); this group gives the calibrated criterion view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perftrack_store::{Column, ColumnType, Database, DbOptions, RowId, Value};
+
+/// Operations per thread per iteration — small enough to keep criterion
+/// iterations snappy, large enough to amortize thread spawn cost.
+const OPS: usize = 512;
+
+fn fixture() -> (Database, perftrack_store::TableId, Vec<RowId>) {
+    let db = Database::in_memory_with(DbOptions {
+        pool_frames: 64,
+        ..DbOptions::default()
+    });
+    let t = db
+        .create_table(
+            "result",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("payload", ColumnType::Text),
+            ],
+        )
+        .unwrap();
+    db.create_index("result_id", t, &["id"], true).unwrap();
+    let mut rids = Vec::new();
+    let mut txn = db.begin();
+    for i in 0..20_000i64 {
+        rids.push(
+            txn.insert(
+                t,
+                vec![Value::Int(i), Value::Text(format!("payload-{i:06}"))],
+            )
+            .unwrap(),
+        );
+    }
+    txn.commit().unwrap();
+    (db, t, rids)
+}
+
+fn bench_concurrent_read(c: &mut Criterion) {
+    let (db, table, rids) = fixture();
+    let idx = db.index_id("result_id").unwrap();
+    let mut group = c.benchmark_group("concurrent_read");
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * OPS) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for w in 0..threads {
+                            let (db, rids) = (&db, &rids);
+                            s.spawn(move || {
+                                let mut x = 0x9E37_79B9u64.wrapping_mul(w as u64 + 1) | 1;
+                                for i in 0..OPS {
+                                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                    let pick = (x >> 33) as usize;
+                                    if i % 128 == 0 {
+                                        for item in db.scan_iter(table).unwrap() {
+                                            std::hint::black_box(item.unwrap());
+                                        }
+                                    } else if i % 4 == 1 {
+                                        let key = Value::Int((pick % rids.len()) as i64);
+                                        std::hint::black_box(db.index_lookup(idx, &[key]).unwrap());
+                                    } else {
+                                        std::hint::black_box(
+                                            db.get(table, rids[pick % rids.len()]).unwrap(),
+                                        );
+                                    }
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_concurrent_read
+);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! queries/reports/charts/comparisons from the shell.
 
 mod args;
+mod bench;
 mod commands;
 mod remote;
 
@@ -33,6 +34,7 @@ USAGE:
   pt predict <store-dir> --metric M --train E1,E2,.. [--check EXEC] [--at NP]
   pt compare <store-dir> <exec-a> <exec-b> [--threshold R]
   pt export <store-dir> <out-file>
+  pt bench [--quick] [--json] [--out DIR] [--seed S] | pt bench --check [--out DIR]
   pt serve <store-dir> [--bind ADDR | --port N] [--workers N] [--queue N]
           [--deadline-ms N] [--idle-ms N]
   pt --connect host:port <ping|load|query|stats|fsck|export|shutdown> [args...]";
@@ -95,6 +97,7 @@ fn main() -> ExitCode {
         "predict" => commands::predict(rest).map(|()| 0),
         "delete" => commands::delete(rest).map(|()| 0),
         "export" => commands::export(rest).map(|()| 0),
+        "bench" => bench::bench(rest).map(|()| 0),
         "serve" => remote::serve(rest).map(|()| 0),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
     };

@@ -756,12 +756,13 @@ impl PTDataStore {
                     set_type: role.clone(),
                 });
         }
-        let mut result_rows: Vec<Row> = Vec::new();
-        self.db
-            .for_each_row(self.schema.performance_result, |_, r| {
-                result_rows.push(r.clone());
-                true
-            })?;
+        // Stream the result rows out of the pool, taking ownership of each
+        // decoded row instead of cloning it out of a materialized scan.
+        let mut result_rows: Vec<Row> = self
+            .db
+            .scan_iter(self.schema.performance_result)?
+            .map(|item| item.map(|(_, row)| row))
+            .collect::<perftrack_store::StoreResult<_>>()?;
         result_rows.sort_by_key(|r| r[col::performance_result::ID].as_int().unwrap_or(0));
         for r in result_rows {
             let id = r[col::performance_result::ID].as_int()?;

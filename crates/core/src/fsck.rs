@@ -23,7 +23,7 @@ use crate::schema::col;
 pub use perftrack_store::check::{Finding, FsckReport, Severity};
 
 use perftrack_store::check::verify_closure;
-use perftrack_store::{Row, RowId, TableId, Value};
+use perftrack_store::{RowId, ScanIter, TableId, Value};
 use std::collections::HashSet;
 
 /// Verify a whole store: the storage engine's structural fsck plus the
@@ -74,7 +74,8 @@ fn check_closure(store: &PTDataStore, report: &mut FsckReport) -> Result<()> {
     let s = store.schema();
 
     let mut nodes: Vec<(i64, Option<i64>)> = Vec::new();
-    for (rid, row) in db.scan(s.resource_item)? {
+    for item in db.scan_iter(s.resource_item)? {
+        let (rid, row) = item?;
         let Ok(Some(id)) = key_of(
             report,
             "resource_item.id",
@@ -99,7 +100,8 @@ fn check_closure(store: &PTDataStore, report: &mut FsckReport) -> Result<()> {
     let pairs =
         |table: TableId, object: &str, report: &mut FsckReport| -> Result<Vec<(i64, i64)>> {
             let mut out = Vec::new();
-            for (rid, row) in db.scan(table)? {
+            for item in db.scan_iter(table)? {
+                let (rid, row) = item?;
                 let a = key_of(report, object, rid, &row[0], false);
                 let b = key_of(report, object, rid, &row[1], false);
                 if let (Ok(Some(a)), Ok(Some(b))) = (a, b) {
@@ -139,8 +141,8 @@ fn check_references(store: &PTDataStore, report: &mut FsckReport) -> Result<()> 
 
     let id_set = |table: TableId, ordinal: usize| -> Result<HashSet<i64>> {
         let mut out = HashSet::new();
-        for (_rid, row) in db.scan(table)? {
-            if let Ok(id) = row[ordinal].as_int() {
+        for item in db.scan_iter(table)? {
+            if let Ok(id) = item?.1[ordinal].as_int() {
                 out.insert(id);
             }
         }
@@ -289,15 +291,22 @@ fn check_references(store: &PTDataStore, report: &mut FsckReport) -> Result<()> 
     ];
 
     for c in &checks {
-        check_fk(report, &db.scan(c.table)?, c, &parents[c.parent]);
+        check_fk(report, db.scan_iter(c.table)?, c, &parents[c.parent])?;
     }
     Ok(())
 }
 
-/// Check one foreign-key column of one table against its parent-id set.
-fn check_fk(report: &mut FsckReport, rows: &[(RowId, Row)], c: &FkCheck, parents: &HashSet<i64>) {
-    for (rid, row) in rows {
-        let Ok(Some(id)) = key_of(report, c.object, *rid, &row[c.column], c.nullable) else {
+/// Check one foreign-key column of one table against its parent-id set,
+/// streaming the table one page at a time.
+fn check_fk(
+    report: &mut FsckReport,
+    rows: ScanIter<'_>,
+    c: &FkCheck,
+    parents: &HashSet<i64>,
+) -> Result<()> {
+    for item in rows {
+        let (rid, row) = item?;
+        let Ok(Some(id)) = key_of(report, c.object, rid, &row[c.column], c.nullable) else {
             continue;
         };
         if !parents.contains(&id) {
@@ -309,6 +318,7 @@ fn check_fk(report: &mut FsckReport, rows: &[(RowId, Row)], c: &FkCheck, parents
             ));
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -141,17 +141,30 @@ impl<'s> QueryEngine<'s> {
         };
         let mut family: HashSet<i64> = seed.iter().copied().collect();
         if matches!(filter.relatives, Relatives::Ancestors | Relatives::Both) {
-            for &id in &seed {
-                self.collect_ancestors(id, &mut family)?;
+            match self.strategy {
+                ExpandStrategy::ClosureTable => self.expand_closure_batch(
+                    "rha_resource",
+                    schema.resource_has_ancestor,
+                    col::resource_has_ancestor::ANCESTOR_ID,
+                    &seed,
+                    &mut family,
+                )?,
+                ExpandStrategy::ParentWalk => {
+                    for &id in &seed {
+                        self.collect_ancestors_walk(id, &mut family)?;
+                    }
+                }
             }
         }
         if matches!(filter.relatives, Relatives::Descendants | Relatives::Both) {
             match self.strategy {
-                ExpandStrategy::ClosureTable => {
-                    for &id in &seed {
-                        self.collect_descendants_closure(id, &mut family)?;
-                    }
-                }
+                ExpandStrategy::ClosureTable => self.expand_closure_batch(
+                    "rhd_resource",
+                    schema.resource_has_descendant,
+                    col::resource_has_descendant::DESCENDANT_ID,
+                    &seed,
+                    &mut family,
+                )?,
                 ExpandStrategy::ParentWalk => {
                     self.collect_descendants_walk(&seed.iter().copied().collect(), &mut family)?;
                 }
@@ -194,35 +207,37 @@ impl<'s> QueryEngine<'s> {
         Ok(out)
     }
 
-    fn collect_ancestors(&self, id: i64, into: &mut HashSet<i64>) -> Result<()> {
-        match self.strategy {
-            ExpandStrategy::ClosureTable => {
-                let db = self.store.db();
-                let schema = self.store.schema();
-                let idx = db.index_id("rha_resource")?;
-                for rid in db.index_lookup(idx, &[Value::Int(id)])? {
-                    let row = db.get(schema.resource_has_ancestor, rid)?;
-                    into.insert(row[col::resource_has_ancestor::ANCESTOR_ID].as_int()?);
-                }
-            }
-            ExpandStrategy::ParentWalk => {
-                let mut cur = self.store.resource_by_id(id)?.and_then(|r| r.parent_id);
-                while let Some(pid) = cur {
-                    into.insert(pid);
-                    cur = self.store.resource_by_id(pid)?.and_then(|r| r.parent_id);
-                }
+    /// Closure-table expansion for a whole seed set at once: one batched
+    /// B+tree probe against `index_name` covers every seed, then the
+    /// matching closure rows are decoded and `relative_col` collected.
+    fn expand_closure_batch(
+        &self,
+        index_name: &str,
+        table: perftrack_store::TableId,
+        relative_col: usize,
+        seeds: &[i64],
+        into: &mut HashSet<i64>,
+    ) -> Result<()> {
+        if seeds.is_empty() {
+            return Ok(());
+        }
+        let db = self.store.db();
+        let idx = db.index_id(index_name)?;
+        let keys: Vec<Vec<Value>> = seeds.iter().map(|&id| vec![Value::Int(id)]).collect();
+        for rids in db.index_lookup_many(idx, &keys)? {
+            for rid in rids {
+                let row = db.get(table, rid)?;
+                into.insert(row[relative_col].as_int()?);
             }
         }
         Ok(())
     }
 
-    fn collect_descendants_closure(&self, id: i64, into: &mut HashSet<i64>) -> Result<()> {
-        let db = self.store.db();
-        let schema = self.store.schema();
-        let idx = db.index_id("rhd_resource")?;
-        for rid in db.index_lookup(idx, &[Value::Int(id)])? {
-            let row = db.get(schema.resource_has_descendant, rid)?;
-            into.insert(row[col::resource_has_descendant::DESCENDANT_ID].as_int()?);
+    fn collect_ancestors_walk(&self, id: i64, into: &mut HashSet<i64>) -> Result<()> {
+        let mut cur = self.store.resource_by_id(id)?.and_then(|r| r.parent_id);
+        while let Some(pid) = cur {
+            into.insert(pid);
+            cur = self.store.resource_by_id(pid)?.and_then(|r| r.parent_id);
         }
         Ok(())
     }
@@ -436,8 +451,10 @@ impl<'s> QueryEngine<'s> {
         })?;
         let idx = db.index_id("performance_result_id")?;
         let mut out = Vec::with_capacity(ids.len());
-        for &id in ids {
-            let rids = db.index_lookup(idx, &[Value::Int(id)])?;
+        // One batched probe resolves every result id in a single tree walk.
+        let keys: Vec<Vec<Value>> = ids.iter().map(|&id| vec![Value::Int(id)]).collect();
+        let rid_batches = db.index_lookup_many(idx, &keys)?;
+        for (&id, rids) in ids.iter().zip(&rid_batches) {
             let Some(&rid) = rids.first() else {
                 continue;
             };
@@ -765,6 +782,34 @@ mod tests {
         let json = profile.to_json().emit();
         let parsed = perftrack_store::metrics::Json::parse(&json).unwrap();
         assert_eq!(parsed, profile.to_json());
+    }
+
+    #[test]
+    fn pr_filter_probes_each_index_once_per_batch() {
+        let store = setup();
+        let q = QueryEngine::new(&store);
+        let before = store.db().metrics().btree;
+        let rows = q
+            .run(&[ResourceFilter::by_name("Frost").relatives(Relatives::Both)])
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+        let after = store.db().metrics().btree;
+        // Family expansion walks rha_resource and rhd_resource once each,
+        // and fetch resolves every matched result id in one walk of
+        // performance_result_id: three batched probes total, regardless of
+        // how many seeds or ids are in flight.
+        assert_eq!(
+            after.batch_probes - before.batch_probes,
+            3,
+            "one batch per index touched"
+        );
+        // The only point probe is the shorthand seed resolution against
+        // the base-name index.
+        assert_eq!(
+            after.point_probes - before.point_probes,
+            1,
+            "per-seed point probes are gone"
+        );
     }
 
     #[test]

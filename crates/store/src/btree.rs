@@ -158,6 +158,57 @@ impl Node {
         }
     }
 
+    /// Visit the entries matching each of `keys` (pairs of caller slot and
+    /// key, sorted by key) in one root-to-leaves walk, appending matching
+    /// rowids to `out[slot]`. Shared path prefixes are traversed once —
+    /// the batched analogue of calling [`BTreeIndex::get_eq`] per key.
+    ///
+    /// Because separators are composite `(key, rowid)` pairs, entries equal
+    /// to a key may straddle the separator carrying that same key, so a key
+    /// is routed to *every* child whose span can contain it (the two-sided
+    /// partition below may hand a boundary key to both neighbours).
+    fn visit_many(&self, keys: &[(usize, &[u8])], out: &mut [Vec<u64>], reads: &mut u64) {
+        if keys.is_empty() {
+            return;
+        }
+        *reads += 1;
+        match self {
+            Node::Leaf(entries) => {
+                for &(slot, key) in keys {
+                    let start = entries.partition_point(|e| e.0.as_ref() < key);
+                    for e in &entries[start..] {
+                        if e.0.as_ref() != key {
+                            break;
+                        }
+                        out[slot].push(e.1);
+                    }
+                }
+            }
+            Node::Internal { seps, children } => {
+                for idx in 0..children.len() {
+                    // Child idx spans [seps[idx-1], seps[idx]] in key terms
+                    // (inclusive on both sides because separators carry
+                    // composite keys).
+                    let start = if idx == 0 {
+                        0
+                    } else {
+                        let lo = seps[idx - 1].0.as_ref();
+                        keys.partition_point(|&(_, k)| k < lo)
+                    };
+                    let end = if idx + 1 == children.len() {
+                        keys.len()
+                    } else {
+                        let hi = seps[idx].0.as_ref();
+                        keys.partition_point(|&(_, k)| k <= hi)
+                    };
+                    if start < end {
+                        children[idx].visit_many(&keys[start..end], out, reads);
+                    }
+                }
+            }
+        }
+    }
+
     fn depth(&self) -> usize {
         match self {
             Node::Leaf(_) => 1,
@@ -172,6 +223,8 @@ pub struct BTreeIndex {
     len: usize,
     splits: u64,
     node_reads: AtomicU64,
+    point_probes: AtomicU64,
+    batch_probes: AtomicU64,
     /// Mutation counter driving the sampled structural self-check; only
     /// maintained (and only present) in debug builds.
     #[cfg(debug_assertions)]
@@ -192,6 +245,8 @@ impl BTreeIndex {
             len: 0,
             splits: 0,
             node_reads: AtomicU64::new(0),
+            point_probes: AtomicU64::new(0),
+            batch_probes: AtomicU64::new(0),
             #[cfg(debug_assertions)]
             mutations: 0,
         }
@@ -225,6 +280,8 @@ impl BTreeIndex {
             splits: self.splits,
             node_reads: self.node_reads.load(Ordering::Relaxed),
             max_depth: self.depth() as u64,
+            point_probes: self.point_probes.load(Ordering::Relaxed),
+            batch_probes: self.batch_probes.load(Ordering::Relaxed),
         }
     }
 
@@ -272,6 +329,7 @@ impl BTreeIndex {
 
     /// All rowids whose key equals `key`, in rowid order.
     pub fn get_eq(&self, key: &[u8]) -> Vec<u64> {
+        self.point_probes.fetch_add(1, Ordering::Relaxed);
         let mut out = Vec::new();
         let mut reads = 0u64;
         self.root.visit_range(
@@ -287,8 +345,31 @@ impl BTreeIndex {
         out
     }
 
+    /// Rowids for every key in `keys`, walking the tree once.
+    ///
+    /// `out[i]` holds the rowids whose key equals `keys[i]` (rowid order),
+    /// exactly as if [`Self::get_eq`] had been called per key — but keys
+    /// are sorted and routed down the tree together, so shared nodes are
+    /// read once and the whole batch counts as a single probe
+    /// (`batch_probes`). This is the backbone of the pr-filter closure
+    /// expansion, which looks up hundreds of resource ids per filter.
+    pub fn get_eq_batch(&self, keys: &[&[u8]]) -> Vec<Vec<u64>> {
+        let mut out = vec![Vec::new(); keys.len()];
+        if keys.is_empty() {
+            return out;
+        }
+        self.batch_probes.fetch_add(1, Ordering::Relaxed);
+        let mut sorted: Vec<(usize, &[u8])> = keys.iter().copied().enumerate().collect();
+        sorted.sort_by(|a, b| a.1.cmp(b.1));
+        let mut reads = 0u64;
+        self.root.visit_many(&sorted, &mut out, &mut reads);
+        self.node_reads.fetch_add(reads, Ordering::Relaxed);
+        out
+    }
+
     /// True if at least one entry has exactly this key.
     pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.point_probes.fetch_add(1, Ordering::Relaxed);
         let mut found = false;
         let mut reads = 0u64;
         self.root.visit_range(
@@ -510,6 +591,48 @@ mod tests {
             s2.node_reads >= s.max_depth,
             "point lookup walks a root-to-leaf path"
         );
+    }
+
+    #[test]
+    fn batch_lookup_matches_point_lookups() {
+        let mut t = BTreeIndex::new();
+        // Enough entries for a multi-level tree, with duplicates so key
+        // groups straddle leaf boundaries.
+        for i in 0..3000u64 {
+            t.insert(format!("k{:04}", i % 700).as_bytes(), i);
+        }
+        // Probe present, absent, and duplicated keys, unsorted, with
+        // repeats in the batch itself.
+        let raw: Vec<Vec<u8>> = [630, 1, 699, 699, 5000, 42, 0]
+            .iter()
+            .map(|i| format!("k{i:04}").into_bytes())
+            .collect();
+        let keys: Vec<&[u8]> = raw.iter().map(Vec::as_slice).collect();
+        let expected: Vec<Vec<u64>> = keys.iter().map(|k| t.get_eq(k)).collect();
+        let before = t.stats();
+        let got = t.get_eq_batch(&keys);
+        let after = t.stats();
+        assert_eq!(got, expected);
+        assert_eq!(after.batch_probes, before.batch_probes + 1);
+        assert_eq!(after.point_probes, before.point_probes);
+        // One shared walk must read fewer nodes than seven separate
+        // root-to-leaf descents.
+        let point_reads = before.node_reads; // 7 get_eq calls above
+        let batch_reads = after.node_reads - before.node_reads;
+        assert!(
+            batch_reads < point_reads,
+            "batch read {batch_reads} nodes vs {point_reads} for point probes"
+        );
+    }
+
+    #[test]
+    fn batch_lookup_empty_and_singleton() {
+        let mut t = BTreeIndex::new();
+        t.insert(b"a", 7);
+        assert_eq!(t.get_eq_batch(&[]), Vec::<Vec<u64>>::new());
+        assert_eq!(t.stats().batch_probes, 0, "empty batch is free");
+        assert_eq!(t.get_eq_batch(&[b"a".as_slice()]), vec![vec![7]]);
+        assert_eq!(t.get_eq_batch(&[b"z".as_slice()]), vec![Vec::<u64>::new()]);
     }
 
     #[test]

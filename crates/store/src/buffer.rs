@@ -8,14 +8,34 @@
 //! concurrent readers of the same hot page proceed in parallel — the
 //! property the parallel scan operators in [`crate::query`] rely on.
 //!
-//! Consistency protocol (all mapping changes happen under the pool mutex):
-//! * On miss, a victim frame with pin-count 0 is chosen by the clock hand.
-//! * The victim's dirty page is written back *while still holding the pool
-//!   mutex*, so no other thread can re-fetch the old page from disk and
-//!   observe stale bytes.
+//! # Sharding
+//!
+//! The page table and eviction state are partitioned into N independent
+//! shards, each guarding its own slice of the frame array with its own
+//! mutex and clock hand. A page's shard is a pure function of its id
+//! (`page_id % N`), so all mapping changes for a given page serialize on
+//! one shard while accesses to other pages proceed through other shards —
+//! concurrent readers no longer funnel through a single pool-wide mutex.
+//! Sequential page ids stripe round-robin across shards, which keeps
+//! table scans balanced. Each shard additionally counts how often its
+//! mutex was contended (a `try_lock` failed and the caller had to block),
+//! surfaced as `pool.shard.*` metrics in `pt stats`.
+//!
+//! Consistency protocol (all mapping changes for a page happen under its
+//! shard's mutex):
+//! * On miss, a victim frame with pin-count 0 is chosen by the shard's
+//!   clock hand from the shard's own frames.
+//! * The victim's dirty page is written back *while still holding the
+//!   shard mutex*; the victim necessarily belongs to the same shard, so no
+//!   other thread can re-fetch the old page from disk and observe stale
+//!   bytes.
 //! * The new mapping is published and the frame's data lock is acquired
-//!   before the pool mutex is released; late-arriving readers of the new
+//!   before the shard mutex is released; late-arriving readers of the new
 //!   page block on the data lock until the load completes.
+//! * When every frame of a shard is momentarily pinned, the sweep yields
+//!   and retries a bounded number of times before reporting
+//!   [`StoreError::PoolExhausted`] — scoped pins are short, so transient
+//!   all-pinned states resolve in a few scheduler quanta.
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StoreError};
@@ -25,21 +45,26 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Cache-hit statistics, readable at any time.
+/// Default upper bound on the number of shards; tiny pools get one shard
+/// per frame instead.
+pub const DEFAULT_POOL_SHARDS: usize = 8;
+
+/// How many times a miss re-sweeps a fully pinned shard (yielding between
+/// attempts) before giving up with [`StoreError::PoolExhausted`].
+const SWEEP_RETRIES: usize = 256;
+
+/// Cache-hit statistics for one shard, readable at any time.
 #[derive(Debug, Default)]
-pub struct PoolStats {
-    /// Page requests served from a cached frame.
-    pub hits: AtomicU64,
-    /// Page requests that had to read from disk.
-    pub misses: AtomicU64,
-    /// Frames whose previous page was displaced to load another.
-    pub evictions: AtomicU64,
-    /// Dirty pages written back to disk (eviction or flush).
-    pub writebacks: AtomicU64,
+struct ShardStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+    contended: AtomicU64,
 }
 
-/// A point-in-time copy of [`PoolStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A point-in-time copy of the whole pool's counters (sum over shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStatsSnapshot {
     /// Page requests served from a cached frame.
     pub hits: u64,
@@ -49,6 +74,8 @@ pub struct PoolStatsSnapshot {
     pub evictions: u64,
     /// Dirty pages written back to disk (eviction or flush).
     pub writebacks: u64,
+    /// Shard-mutex acquisitions that had to block behind another thread.
+    pub contended: u64,
 }
 
 impl PoolStatsSnapshot {
@@ -63,6 +90,25 @@ impl PoolStatsSnapshot {
     }
 }
 
+/// A point-in-time copy of one shard's counters (`pool.shard.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolShardSnapshot {
+    /// Shard index (pages map to `page_id % shard_count`).
+    pub shard: usize,
+    /// Frames owned by this shard.
+    pub frames: usize,
+    /// Page requests served from a cached frame.
+    pub hits: u64,
+    /// Page requests that had to read from disk.
+    pub misses: u64,
+    /// Frames whose previous page was displaced to load another.
+    pub evictions: u64,
+    /// Dirty pages written back to disk (eviction or flush).
+    pub writebacks: u64,
+    /// Mutex acquisitions that had to block behind another thread.
+    pub contended: u64,
+}
+
 struct Frame {
     data: RwLock<Box<[u8; PAGE_SIZE]>>,
     pin: AtomicU32,
@@ -74,10 +120,18 @@ struct FrameInfo {
     dirty: bool,
 }
 
-struct PoolState {
+struct ShardState {
+    /// page → index into the shard's `frames` slice (shard-local).
     page_table: HashMap<PageId, usize>,
     info: Vec<FrameInfo>,
     hand: usize,
+}
+
+struct Shard {
+    /// First frame (global index) owned by this shard.
+    base: usize,
+    state: Mutex<ShardState>,
+    stats: ShardStats,
 }
 
 /// Called immediately before a dirty page is written back to disk, so the
@@ -91,15 +145,29 @@ type FrameGuard<'a> = parking_lot::RwLockWriteGuard<'a, Box<[u8; PAGE_SIZE]>>;
 pub struct BufferPool {
     disk: Arc<DiskManager>,
     frames: Vec<Frame>,
-    state: Mutex<PoolState>,
-    stats: PoolStats,
+    shards: Vec<Shard>,
     writeback_hook: Mutex<Option<WritebackHook>>,
 }
 
 impl BufferPool {
-    /// Create a pool of `capacity` frames over `disk`.
+    /// Create a pool of `capacity` frames over `disk`, with the default
+    /// shard count (`min(capacity, DEFAULT_POOL_SHARDS)`).
     pub fn new(disk: Arc<DiskManager>, capacity: usize) -> Self {
+        Self::with_shards(disk, capacity, 0)
+    }
+
+    /// Create a pool of `capacity` frames split into `shards` independent
+    /// shards (0 = auto). The shard count is clamped so every shard owns
+    /// at least one frame.
+    pub fn with_shards(disk: Arc<DiskManager>, capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
+        let n = if shards == 0 {
+            DEFAULT_POOL_SHARDS
+        } else {
+            shards
+        }
+        .min(capacity)
+        .max(1);
         let frames = (0..capacity)
             .map(|_| Frame {
                 data: RwLock::new(Box::new([0u8; PAGE_SIZE])),
@@ -107,21 +175,33 @@ impl BufferPool {
                 referenced: AtomicU32::new(0),
             })
             .collect();
-        let info = (0..capacity)
-            .map(|_| FrameInfo {
-                page: None,
-                dirty: false,
-            })
-            .collect();
+        // Frames are split contiguously: shard i owns `capacity / n`
+        // frames plus one of the remainder.
+        let mut shard_vec = Vec::with_capacity(n);
+        let mut base = 0usize;
+        for i in 0..n {
+            let len = capacity / n + usize::from(i < capacity % n);
+            shard_vec.push(Shard {
+                base,
+                state: Mutex::new(ShardState {
+                    page_table: HashMap::with_capacity(len),
+                    info: (0..len)
+                        .map(|_| FrameInfo {
+                            page: None,
+                            dirty: false,
+                        })
+                        .collect(),
+                    hand: 0,
+                }),
+                stats: ShardStats::default(),
+            });
+            base += len;
+        }
+        debug_assert_eq!(base, capacity);
         BufferPool {
             disk,
             frames,
-            state: Mutex::new(PoolState {
-                page_table: HashMap::with_capacity(capacity),
-                info,
-                hand: 0,
-            }),
-            stats: PoolStats::default(),
+            shards: shard_vec,
             writeback_hook: Mutex::new(None),
         }
     }
@@ -148,6 +228,12 @@ impl BufferPool {
     /// Allocate a fresh zeroed page on disk (not yet cached).
     pub fn allocate_page(&self) -> Result<PageId> {
         self.disk.allocate()
+    }
+
+    /// The shard a page maps to.
+    #[inline]
+    fn shard_of(&self, id: PageId) -> &Shard {
+        &self.shards[id.0 as usize % self.shards.len()]
     }
 
     /// Run `f` with read access to page `id`.
@@ -184,102 +270,176 @@ impl BufferPool {
         Ok(result)
     }
 
-    /// Pin page `id` into a frame. Returns the frame index plus, on a miss,
-    /// the still-held write guard containing freshly loaded bytes.
-    fn acquire(&self, id: PageId, write_intent: bool) -> Result<(usize, Option<FrameGuard<'_>>)> {
-        let mut state = self.state.lock();
-        if let Some(&idx) = state.page_table.get(&id) {
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            self.frames[idx].pin.fetch_add(1, Ordering::Acquire);
-            self.frames[idx].referenced.store(1, Ordering::Relaxed);
-            if write_intent {
-                state.info[idx].dirty = true;
+    /// Lock a shard's state, counting contention when the lock was not
+    /// immediately available.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> parking_lot::MutexGuard<'a, ShardState> {
+        match shard.state.try_lock() {
+            Some(g) => g,
+            None => {
+                shard.stats.contended.fetch_add(1, Ordering::Relaxed);
+                shard.state.lock()
             }
-            return Ok((idx, None));
         }
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        // Clock sweep for an unpinned, unreferenced victim.
-        let cap = self.frames.len();
-        let mut victim = None;
-        for _ in 0..2 * cap {
-            let idx = state.hand;
-            state.hand = (state.hand + 1) % cap;
-            if self.frames[idx].pin.load(Ordering::Acquire) != 0 {
-                continue;
-            }
-            if self.frames[idx].referenced.swap(0, Ordering::Relaxed) == 1 {
-                continue; // second chance
-            }
-            victim = Some(idx);
-            break;
-        }
-        let idx = victim.ok_or(StoreError::PoolExhausted)?;
-        // Write back the victim's dirty page before the mapping changes.
-        if let Some(old) = state.info[idx].page {
-            if state.info[idx].dirty {
-                self.run_writeback_hook()?;
-                let guard = self.frames[idx].data.read();
-                self.disk.write_page(old, &guard)?;
-                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
-            }
-            state.page_table.remove(&old);
-            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-        // Load before publishing the mapping. If the read fails (e.g. a
-        // transient I/O error), the pool must look exactly as if this
-        // acquire never happened: the frame stays unmapped and a later
-        // retry reloads from disk. Publishing first would hand concurrent
-        // readers a frame still holding the evicted victim's stale bytes.
-        // The data lock cannot block here — the frame is unpinned and
-        // unmapped, and every other pin/flush path takes frame locks only
-        // under the pool mutex we already hold.
-        let mut guard = self.frames[idx].data.write();
-        if let Err(e) = self.disk.read_page(id, &mut guard) {
-            state.info[idx].page = None;
-            state.info[idx].dirty = false;
-            return Err(e);
-        }
-        state.page_table.insert(id, idx);
-        state.info[idx].page = Some(id);
-        state.info[idx].dirty = write_intent;
-        self.frames[idx].pin.fetch_add(1, Ordering::Acquire);
-        self.frames[idx].referenced.store(1, Ordering::Relaxed);
-        drop(state);
-        Ok((idx, Some(guard)))
     }
 
-    /// Write all dirty frames back to disk and sync.
+    /// Pin page `id` into a frame. Returns the global frame index plus, on
+    /// a miss, the still-held write guard containing freshly loaded bytes.
+    fn acquire(&self, id: PageId, write_intent: bool) -> Result<(usize, Option<FrameGuard<'_>>)> {
+        let shard = self.shard_of(id);
+        let mut missed = false;
+        let mut attempts = 0usize;
+        loop {
+            let mut state = self.lock_shard(shard);
+            if let Some(&local) = state.page_table.get(&id) {
+                let idx = shard.base + local;
+                shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.frames[idx].pin.fetch_add(1, Ordering::Acquire);
+                self.frames[idx].referenced.store(1, Ordering::Relaxed);
+                if write_intent {
+                    state.info[local].dirty = true;
+                }
+                return Ok((idx, None));
+            }
+            if !missed {
+                // Count the miss once even if the sweep below has to retry.
+                shard.stats.misses.fetch_add(1, Ordering::Relaxed);
+                missed = true;
+            }
+            // Clock sweep over the shard's frames for an unpinned,
+            // unreferenced victim.
+            let cap = state.info.len();
+            let mut victim = None;
+            for _ in 0..2 * cap {
+                let local = state.hand;
+                state.hand = (state.hand + 1) % cap;
+                let idx = shard.base + local;
+                if self.frames[idx].pin.load(Ordering::Acquire) != 0 {
+                    continue;
+                }
+                if self.frames[idx].referenced.swap(0, Ordering::Relaxed) == 1 {
+                    continue; // second chance
+                }
+                victim = Some(local);
+                break;
+            }
+            let Some(local) = victim else {
+                // Every frame of this shard is pinned or referenced right
+                // now. Pins are closure-scoped (released without taking
+                // the shard mutex), so drop the lock, yield, and retry;
+                // only a persistent all-pinned state is an error.
+                drop(state);
+                attempts += 1;
+                if attempts > SWEEP_RETRIES {
+                    return Err(StoreError::PoolExhausted);
+                }
+                std::thread::yield_now();
+                continue;
+            };
+            let idx = shard.base + local;
+            // Write back the victim's dirty page before the mapping
+            // changes. The victim belongs to this shard, so re-fetches of
+            // it block on the shard mutex we hold.
+            if let Some(old) = state.info[local].page {
+                if state.info[local].dirty {
+                    self.run_writeback_hook()?;
+                    let guard = self.frames[idx].data.read();
+                    self.disk.write_page(old, &guard)?;
+                    shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                }
+                state.page_table.remove(&old);
+                shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            // Load before publishing the mapping. If the read fails (e.g.
+            // a transient I/O error), the pool must look exactly as if
+            // this acquire never happened: the frame stays unmapped and a
+            // later retry reloads from disk. Publishing first would hand
+            // concurrent readers a frame still holding the evicted
+            // victim's stale bytes. The data lock cannot block here — the
+            // frame is unpinned and unmapped, and every other pin/flush
+            // path takes frame locks only under the shard mutex we
+            // already hold.
+            let mut guard = self.frames[idx].data.write();
+            if let Err(e) = self.disk.read_page(id, &mut guard) {
+                state.info[local].page = None;
+                state.info[local].dirty = false;
+                return Err(e);
+            }
+            state.page_table.insert(id, local);
+            state.info[local].page = Some(id);
+            state.info[local].dirty = write_intent;
+            self.frames[idx].pin.fetch_add(1, Ordering::Acquire);
+            self.frames[idx].referenced.store(1, Ordering::Relaxed);
+            drop(state);
+            return Ok((idx, Some(guard)));
+        }
+    }
+
+    /// Write all dirty frames back to disk and sync. Shards are flushed
+    /// one at a time; at most one shard mutex is held at any moment.
     pub fn flush_all(&self) -> Result<()> {
         self.run_writeback_hook()?;
-        let mut state = self.state.lock();
-        for idx in 0..self.frames.len() {
-            if let Some(page) = state.info[idx].page {
-                if state.info[idx].dirty {
-                    let guard = self.frames[idx].data.read();
-                    self.disk.write_page(page, &guard)?;
-                    drop(guard);
-                    state.info[idx].dirty = false;
-                    self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+        for shard in &self.shards {
+            let mut state = self.lock_shard(shard);
+            for local in 0..state.info.len() {
+                if let Some(page) = state.info[local].page {
+                    if state.info[local].dirty {
+                        let idx = shard.base + local;
+                        let guard = self.frames[idx].data.read();
+                        self.disk.write_page(page, &guard)?;
+                        drop(guard);
+                        state.info[local].dirty = false;
+                        shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
-        drop(state);
         self.disk.sync()
     }
 
-    /// Snapshot of hit/miss/eviction counters.
+    /// Snapshot of hit/miss/eviction counters, summed across shards.
     pub fn stats(&self) -> PoolStatsSnapshot {
-        PoolStatsSnapshot {
-            hits: self.stats.hits.load(Ordering::Relaxed),
-            misses: self.stats.misses.load(Ordering::Relaxed),
-            evictions: self.stats.evictions.load(Ordering::Relaxed),
-            writebacks: self.stats.writebacks.load(Ordering::Relaxed),
+        let mut s = PoolStatsSnapshot {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            writebacks: 0,
+            contended: 0,
+        };
+        for shard in &self.shards {
+            s.hits += shard.stats.hits.load(Ordering::Relaxed);
+            s.misses += shard.stats.misses.load(Ordering::Relaxed);
+            s.evictions += shard.stats.evictions.load(Ordering::Relaxed);
+            s.writebacks += shard.stats.writebacks.load(Ordering::Relaxed);
+            s.contended += shard.stats.contended.load(Ordering::Relaxed);
         }
+        s
+    }
+
+    /// Per-shard counters (`pool.shard.*`), in shard order.
+    pub fn shard_stats(&self) -> Vec<PoolShardSnapshot> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| PoolShardSnapshot {
+                shard: i,
+                frames: shard.state.lock().info.len(),
+                hits: shard.stats.hits.load(Ordering::Relaxed),
+                misses: shard.stats.misses.load(Ordering::Relaxed),
+                evictions: shard.stats.evictions.load(Ordering::Relaxed),
+                writebacks: shard.stats.writebacks.load(Ordering::Relaxed),
+                contended: shard.stats.contended.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Number of frames.
     pub fn capacity(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Number of shards the page table is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -347,6 +507,7 @@ mod tests {
         // Scoped access releases pins, so even a 1-frame pool serves many
         // pages sequentially.
         let p = pool(1);
+        assert_eq!(p.shard_count(), 1, "one frame cannot be split further");
         let ids: Vec<_> = (0..10).map(|_| p.allocate_page().unwrap()).collect();
         for &id in &ids {
             p.with_page_mut(id, |buf| buf[0] = id.0 as u8).unwrap();
@@ -354,6 +515,47 @@ mod tests {
         for &id in &ids {
             assert_eq!(p.with_page(id, |b| b[0]).unwrap(), id.0 as u8);
         }
+    }
+
+    #[test]
+    fn shard_counts_clamp_to_capacity() {
+        assert_eq!(pool(1).shard_count(), 1);
+        assert_eq!(pool(3).shard_count(), 3);
+        assert_eq!(pool(4096).shard_count(), DEFAULT_POOL_SHARDS);
+        let p = BufferPool::with_shards(Arc::new(DiskManager::in_memory()), 64, 16);
+        assert_eq!(p.shard_count(), 16);
+        // Every frame is owned by exactly one shard.
+        let frames: usize = p.shard_stats().iter().map(|s| s.frames).sum();
+        assert_eq!(frames, 64);
+    }
+
+    #[test]
+    fn shard_stats_attribute_traffic_to_the_right_shard() {
+        // 4 frames → 4 one-frame shards; page ids stripe round-robin, so
+        // page 0 and page 4 both land on shard 0 and fight over its frame.
+        let p = pool(4);
+        assert_eq!(p.shard_count(), 4);
+        let ids: Vec<_> = (0..8).map(|_| p.allocate_page().unwrap()).collect();
+        for &id in &ids {
+            p.with_page(id, |_| ()).unwrap();
+        }
+        let shards = p.shard_stats();
+        for s in &shards {
+            assert_eq!(s.misses, 2, "two pages per shard, both cold: {s:?}");
+            assert_eq!(s.evictions, 1, "the second displaced the first: {s:?}");
+        }
+        // Re-reading the resident page of shard 0 (page 4) is a hit there
+        // and touches no other shard.
+        p.with_page(ids[4], |_| ()).unwrap();
+        let after = p.shard_stats();
+        assert_eq!(after[0].hits, shards[0].hits + 1);
+        for i in 1..4 {
+            assert_eq!(after[i].hits, shards[i].hits);
+        }
+        // The aggregate view matches the per-shard sum.
+        let agg = p.stats();
+        assert_eq!(agg.hits, after.iter().map(|s| s.hits).sum::<u64>());
+        assert_eq!(agg.misses, after.iter().map(|s| s.misses).sum::<u64>());
     }
 
     #[test]

@@ -143,6 +143,12 @@ pub struct Catalog {
     pub indexes: HashMap<IndexId, IndexMeta>,
     by_table_name: HashMap<String, TableId>,
     by_index_name: HashMap<String, IndexId>,
+    /// Derived page → owning table map (not serialized; rebuilt on load).
+    /// Makes the per-get "does this page belong to this table" check O(1)
+    /// instead of a linear walk of the table's page list. Kept in sync by
+    /// [`Catalog::attach_page`] — the only way the engine grows a page
+    /// list.
+    page_owner: HashMap<PageId, TableId>,
     next_table: u32,
     next_index: u32,
 }
@@ -263,6 +269,23 @@ impl Catalog {
             .ok_or_else(|| StoreError::NoSuchIndex(format!("index id {}", id.0)))
     }
 
+    /// Append `page` to `table`'s heap page list (idempotent) and record
+    /// its ownership in the O(1) page → table map. All engine-side page
+    /// list growth goes through here so the map never desyncs.
+    pub fn attach_page(&mut self, table: TableId, page: PageId) -> Result<()> {
+        let meta = self.table_mut(table)?;
+        if !meta.pages.contains(&page) {
+            meta.pages.push(page);
+        }
+        self.page_owner.insert(page, table);
+        Ok(())
+    }
+
+    /// The table owning `page`, if any (O(1)).
+    pub fn page_owner(&self, page: PageId) -> Option<TableId> {
+        self.page_owner.get(&page).copied()
+    }
+
     /// Ids of all indexes defined on `table`.
     pub fn indexes_on(&self, table: TableId) -> Vec<IndexId> {
         let mut v: Vec<IndexId> = self
@@ -363,7 +386,9 @@ impl Catalog {
             let npages = d.u32()? as usize;
             let mut pages = Vec::with_capacity(npages);
             for _ in 0..npages {
-                pages.push(PageId(d.u32()?));
+                let p = PageId(d.u32()?);
+                cat.page_owner.insert(p, id);
+                pages.push(p);
             }
             cat.by_table_name.insert(name.clone(), id);
             cat.tables.insert(
@@ -560,6 +585,35 @@ mod tests {
             .create_table("next", vec![Column::new("x", ColumnType::Int)])
             .unwrap();
         assert_eq!(t2.0, t.0 + 1);
+    }
+
+    #[test]
+    fn attach_page_maintains_owner_map() {
+        let mut c = sample();
+        let t = c.table_id("resource_item").unwrap();
+        let t2 = c
+            .create_table("other", vec![Column::new("x", ColumnType::Int)])
+            .unwrap();
+        c.attach_page(t, PageId(11)).unwrap();
+        c.attach_page(t2, PageId(12)).unwrap();
+        c.attach_page(t, PageId(11)).unwrap(); // idempotent
+        assert_eq!(c.page_owner(PageId(11)), Some(t));
+        assert_eq!(c.page_owner(PageId(12)), Some(t2));
+        assert_eq!(c.page_owner(PageId(99)), None);
+        assert_eq!(
+            c.table(t)
+                .unwrap()
+                .pages
+                .iter()
+                .filter(|p| p.0 == 11)
+                .count(),
+            1
+        );
+        // The map survives a serialization round trip (rebuilt on load).
+        let c2 = Catalog::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(c2.page_owner(PageId(11)), Some(t));
+        assert_eq!(c2.page_owner(PageId(12)), Some(t2));
+        assert_eq!(c2.page_owner(PageId(3)), Some(t), "pre-existing pages too");
     }
 
     #[test]

@@ -39,6 +39,10 @@ use std::time::Duration;
 pub struct DbOptions {
     /// Buffer pool capacity in frames (frames are [`PAGE_SIZE`] bytes).
     pub pool_frames: usize,
+    /// Number of independent buffer-pool shards (page table + eviction
+    /// state partitions). `0` picks the default
+    /// (`min(pool_frames, DEFAULT_POOL_SHARDS)`); see [`BufferPool`].
+    pub pool_shards: usize,
     /// Checkpoint automatically when the WAL exceeds this many bytes.
     pub checkpoint_wal_bytes: u64,
     /// Retries of the WAL flush path on *transient* I/O failures
@@ -57,6 +61,7 @@ impl Default for DbOptions {
     fn default() -> Self {
         DbOptions {
             pool_frames: 4096, // 32 MiB of cache
+            pool_shards: 0,    // auto
             checkpoint_wal_bytes: 64 << 20,
             max_io_retries: 3,
             retry_backoff: Duration::from_millis(10),
@@ -157,7 +162,11 @@ impl Database {
     /// In-memory database with explicit options.
     pub fn in_memory_with(opts: DbOptions) -> Self {
         let disk = Arc::new(DiskManager::in_memory());
-        let pool = Arc::new(BufferPool::new(disk, opts.pool_frames));
+        let pool = Arc::new(BufferPool::with_shards(
+            disk,
+            opts.pool_frames,
+            opts.pool_shards,
+        ));
         let wal = Arc::new(Wal::in_memory());
         let db = Database {
             pool,
@@ -201,7 +210,11 @@ impl Database {
         // into their own buffer pool and clobber each other's pages.
         let dir_lock = DirLock::acquire(dir)?;
         let disk = Arc::new(DiskManager::open_with_vfs(vfs, &dir.join(PAGES_FILE))?);
-        let pool = Arc::new(BufferPool::new(disk, opts.pool_frames));
+        let pool = Arc::new(BufferPool::with_shards(
+            disk,
+            opts.pool_frames,
+            opts.pool_shards,
+        ));
         let wal = Arc::new(Wal::open_with_vfs(vfs, &dir.join(WAL_FILE))?);
         let catalog_path = dir.join(CATALOG_FILE);
         let catalog = if catalog_path.exists() {
@@ -385,10 +398,13 @@ impl Database {
 
     /// Fetch one row by id.
     pub fn get(&self, table: TableId, rowid: RowId) -> Result<Row> {
-        // Validate the page belongs to the table (cheap sanity check).
+        // Validate the page belongs to the table. O(1) via the catalog's
+        // page → table map — index-driven fetch loops call this per rowid,
+        // so a linear walk of the table's page list would dominate them.
         let belongs = {
             let cat = self.catalog.read();
-            cat.table(table)?.pages.contains(&rowid.page)
+            cat.table(table)?; // surface NoSuchTable over RowNotFound
+            cat.page_owner(rowid.page) == Some(table)
         };
         if !belongs {
             return Err(StoreError::RowNotFound);
@@ -403,6 +419,22 @@ impl Database {
             .and_then(|r| r)
     }
 
+    /// Streaming scan over every live row of `table`: rows are decoded
+    /// once, page by page (the page is pinned only while it is decoded),
+    /// and yielded **by value** — no second materialize-then-clone pass.
+    /// This is the primitive behind [`Database::for_each_row`],
+    /// [`Database::scan`], the query executor's full scans, fsck's
+    /// logical pass, and the PTdf exporter.
+    pub fn scan_iter(&self, table: TableId) -> Result<ScanIter<'_>> {
+        let pages = self.catalog.read().table(table)?.pages.clone();
+        Ok(ScanIter {
+            pool: &self.pool,
+            pages,
+            next_page: 0,
+            current: Vec::new().into_iter(),
+        })
+    }
+
     /// Visit every live row of `table`; the callback returns `false` to
     /// stop early.
     pub fn for_each_row(
@@ -410,18 +442,10 @@ impl Database {
         table: TableId,
         mut f: impl FnMut(RowId, &Row) -> bool,
     ) -> Result<()> {
-        let pages = self.catalog.read().table(table)?.pages.clone();
-        for page in pages {
-            let rows: Vec<(u16, Row)> = self.pool.with_page(page, |buf| {
-                PageRef::new(&buf[..])
-                    .iter()
-                    .map(|(slot, rec)| decode_row(rec).map(|r| (slot, r)))
-                    .collect::<Result<Vec<_>>>()
-            })??;
-            for (slot, row) in rows {
-                if !f(RowId { page, slot }, &row) {
-                    return Ok(());
-                }
+        for item in self.scan_iter(table)? {
+            let (rid, row) = item?;
+            if !f(rid, &row) {
+                return Ok(());
             }
         }
         Ok(())
@@ -429,12 +453,7 @@ impl Database {
 
     /// Materialize every row of `table`.
     pub fn scan(&self, table: TableId) -> Result<Vec<(RowId, Row)>> {
-        let mut out = Vec::new();
-        self.for_each_row(table, |rid, row| {
-            out.push((rid, row.clone()));
-            true
-        })?;
-        Ok(out)
+        self.scan_iter(table)?.collect()
     }
 
     /// Number of live rows in `table`.
@@ -477,15 +496,9 @@ impl Database {
                     s.spawn(move |_| {
                         let mut local = Vec::new();
                         for &page in part {
-                            let rows: Vec<(u16, Row)> = pool.with_page(page, |buf| {
-                                PageRef::new(&buf[..])
-                                    .iter()
-                                    .map(|(slot, rec)| decode_row(rec).map(|r| (slot, r)))
-                                    .collect::<Result<Vec<_>>>()
-                            })??;
-                            for (slot, row) in rows {
+                            for (rid, row) in decode_page_rows(pool, page)? {
                                 if pred(&row) {
-                                    local.push((RowId { page, slot }, row));
+                                    local.push((rid, row));
                                 }
                             }
                         }
@@ -519,6 +532,28 @@ impl Database {
         let enc = encode_key_vec(key);
         let rids = tree.read().get_eq(&enc);
         Ok(rids.into_iter().map(RowId::from_u64).collect())
+    }
+
+    /// Batched equality probe: rowids for every key in `keys`, walking the
+    /// B+tree **once** for the whole batch (keys are sorted internally and
+    /// routed down shared paths together). `out[i]` corresponds to
+    /// `keys[i]`, exactly as if [`Database::index_lookup`] had been called
+    /// per key. The pr-filter closure expansion uses this — it probes
+    /// hundreds of resource ids per filter, and one batch replaces that
+    /// many root-to-leaf descents.
+    pub fn index_lookup_many(
+        &self,
+        index: IndexId,
+        keys: &[Vec<Value>],
+    ) -> Result<Vec<Vec<RowId>>> {
+        let tree = self.index_tree(index)?;
+        let encoded: Vec<Vec<u8>> = keys.iter().map(|k| encode_key_vec(k)).collect();
+        let refs: Vec<&[u8]> = encoded.iter().map(Vec::as_slice).collect();
+        let batches = tree.read().get_eq_batch(&refs);
+        Ok(batches
+            .into_iter()
+            .map(|rids| rids.into_iter().map(RowId::from_u64).collect())
+            .collect())
     }
 
     /// Rowids whose index key starts with `prefix` (a prefix of the index's
@@ -612,9 +647,24 @@ impl Database {
             btree.splits += s.splits;
             btree.node_reads += s.node_reads;
             btree.max_depth = btree.max_depth.max(s.max_depth);
+            btree.point_probes += s.point_probes;
+            btree.batch_probes += s.batch_probes;
+        }
+        // One pass over the shard counters; the aggregate is derived from
+        // the same reads so `pool` always equals the sum of `pool_shards`,
+        // even while readers are mutating the counters concurrently.
+        let pool_shards = self.pool.shard_stats();
+        let mut pool = PoolStatsSnapshot::default();
+        for s in &pool_shards {
+            pool.hits += s.hits;
+            pool.misses += s.misses;
+            pool.evictions += s.evictions;
+            pool.writebacks += s.writebacks;
+            pool.contended += s.contended;
         }
         MetricsSnapshot {
-            pool: self.pool.stats(),
+            pool,
+            pool_shards,
             wal: self.wal.stats(),
             btree,
             txn: TxnStatsSnapshot {
@@ -754,11 +804,7 @@ impl Database {
                 PageMut::new(&mut buf[..]).format(PageType::Heap);
             }
         })?;
-        let mut cat = self.catalog.write();
-        let meta = cat.table_mut(table)?;
-        if !meta.pages.contains(&page) {
-            meta.pages.push(page);
-        }
+        self.catalog.write().attach_page(table, page)?;
         Ok(())
     }
 
@@ -840,6 +886,54 @@ impl Database {
         }
         *self.indexes.write() = map;
         Ok(())
+    }
+}
+
+/// Decode every live row of `page` in one pin: the page is latched for
+/// the duration of the decode only, and the rows come out owned.
+fn decode_page_rows(pool: &BufferPool, page: PageId) -> Result<Vec<(RowId, Row)>> {
+    pool.with_page(page, |buf| {
+        PageRef::new(&buf[..])
+            .iter()
+            .map(|(slot, rec)| decode_row(rec).map(|row| (RowId { page, slot }, row)))
+            .collect::<Result<Vec<_>>>()
+    })?
+}
+
+/// Streaming row iterator returned by [`Database::scan_iter`].
+///
+/// Each page is pinned once, decoded into owned rows, and released before
+/// rows are yielded, so the iterator never holds buffer-pool pins between
+/// `next` calls and arbitrarily slow consumers cannot wedge eviction. A
+/// decode or I/O error is yielded in place and ends the iteration.
+pub struct ScanIter<'db> {
+    pool: &'db BufferPool,
+    pages: Vec<PageId>,
+    next_page: usize,
+    current: std::vec::IntoIter<(RowId, Row)>,
+}
+
+impl Iterator for ScanIter<'_> {
+    type Item = Result<(RowId, Row)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.current.next() {
+                return Some(Ok(item));
+            }
+            if self.next_page >= self.pages.len() {
+                return None;
+            }
+            let page = self.pages[self.next_page];
+            self.next_page += 1;
+            match decode_page_rows(self.pool, page) {
+                Ok(rows) => self.current = rows.into_iter(),
+                Err(e) => {
+                    self.next_page = self.pages.len();
+                    return Some(Err(e));
+                }
+            }
+        }
     }
 }
 
@@ -1171,7 +1265,7 @@ impl<'db> Txn<'db> {
         self.db.pool.with_page_mut(page, |buf| {
             PageMut::new(&mut buf[..]).format(PageType::Heap);
         })?;
-        self.db.catalog.write().table_mut(table)?.pages.push(page);
+        self.db.catalog.write().attach_page(table, page)?;
         let slot = self
             .db
             .pool

@@ -84,12 +84,12 @@ pub mod wal;
 pub mod prelude {
     pub use crate::catalog::{Column, IndexId, TableId};
     pub use crate::check::{Finding, FsckReport, Severity};
-    pub use crate::db::{Database, DbOptions, Txn};
+    pub use crate::db::{Database, DbOptions, ScanIter, Txn};
     pub use crate::error::{Result as StoreResult, StoreError};
     pub use crate::metrics::{Json, MetricsSnapshot, OperatorProfile, QueryProfile};
     pub use crate::page::{PageId, RowId};
     pub use crate::query::{
-        group_by, hash_join, order_by, AccessPath, AggFn, CmpOp, Expr, TableQuery,
+        group_by, hash_join, order_by, top_k_by, AccessPath, AggFn, CmpOp, Expr, TableQuery,
     };
     pub use crate::value::{ColumnType, Row, Value};
     pub use crate::vfs::{

@@ -677,6 +677,11 @@ pub struct BTreeStatsSnapshot {
     pub node_reads: u64,
     /// Maximum tree depth across indexes (leaf = 1).
     pub max_depth: u64,
+    /// Single-key equality probes (`get_eq`/`contains_key`).
+    pub point_probes: u64,
+    /// Batched multi-key probes (`get_eq_batch`); each batch counts once
+    /// regardless of how many keys it carries.
+    pub batch_probes: u64,
 }
 
 /// WAL counters.
@@ -720,8 +725,10 @@ pub struct IoStatsSnapshot {
 /// [`crate::db::Database::metrics`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
-    /// Buffer pool counters.
+    /// Buffer pool counters (summed across shards).
     pub pool: crate::buffer::PoolStatsSnapshot,
+    /// Per-shard buffer pool counters (`pool.shard.*`), in shard order.
+    pub pool_shards: Vec<crate::buffer::PoolShardSnapshot>,
     /// Write-ahead log counters.
     pub wal: WalStatsSnapshot,
     /// B+tree counters aggregated over all indexes.
@@ -744,7 +751,27 @@ impl MetricsSnapshot {
                     ("misses".into(), Json::UInt(self.pool.misses)),
                     ("evictions".into(), Json::UInt(self.pool.evictions)),
                     ("writebacks".into(), Json::UInt(self.pool.writebacks)),
+                    ("contended".into(), Json::UInt(self.pool.contended)),
                     ("hit_rate".into(), Json::Num(self.pool.hit_rate())),
+                    (
+                        "shards".into(),
+                        Json::Arr(
+                            self.pool_shards
+                                .iter()
+                                .map(|s| {
+                                    Json::Obj(vec![
+                                        ("shard".into(), Json::UInt(s.shard as u64)),
+                                        ("frames".into(), Json::UInt(s.frames as u64)),
+                                        ("hits".into(), Json::UInt(s.hits)),
+                                        ("misses".into(), Json::UInt(s.misses)),
+                                        ("evictions".into(), Json::UInt(s.evictions)),
+                                        ("writebacks".into(), Json::UInt(s.writebacks)),
+                                        ("contended".into(), Json::UInt(s.contended)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             (
@@ -763,6 +790,8 @@ impl MetricsSnapshot {
                     ("splits".into(), Json::UInt(self.btree.splits)),
                     ("node_reads".into(), Json::UInt(self.btree.node_reads)),
                     ("max_depth".into(), Json::UInt(self.btree.max_depth)),
+                    ("point_probes".into(), Json::UInt(self.btree.point_probes)),
+                    ("batch_probes".into(), Json::UInt(self.btree.batch_probes)),
                 ]),
             ),
             (
@@ -794,10 +823,22 @@ impl MetricsSnapshot {
         line("buffer_pool.misses", self.pool.misses.to_string());
         line("buffer_pool.evictions", self.pool.evictions.to_string());
         line("buffer_pool.writebacks", self.pool.writebacks.to_string());
+        line("buffer_pool.contended", self.pool.contended.to_string());
         line(
             "buffer_pool.hit_rate",
             format!("{:.4}", self.pool.hit_rate()),
         );
+        for s in &self.pool_shards {
+            line(&format!("pool.shard.{}.hits", s.shard), s.hits.to_string());
+            line(
+                &format!("pool.shard.{}.misses", s.shard),
+                s.misses.to_string(),
+            );
+            line(
+                &format!("pool.shard.{}.contended", s.shard),
+                s.contended.to_string(),
+            );
+        }
         line("wal.appends", self.wal.appends.to_string());
         line("wal.append_bytes", self.wal.append_bytes.to_string());
         line("wal.syncs", self.wal.syncs.to_string());
@@ -813,6 +854,8 @@ impl MetricsSnapshot {
         line("btree.splits", self.btree.splits.to_string());
         line("btree.node_reads", self.btree.node_reads.to_string());
         line("btree.max_depth", self.btree.max_depth.to_string());
+        line("btree.point_probes", self.btree.point_probes.to_string());
+        line("btree.batch_probes", self.btree.batch_probes.to_string());
         line("txn.commits", self.txn.commits.to_string());
         line("txn.rollbacks", self.txn.rollbacks.to_string());
         line("io.retries", self.io.retries.to_string());
