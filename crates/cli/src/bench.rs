@@ -9,7 +9,10 @@
 //! the results.
 
 use crate::args::{parse, CliError};
-use perftrack::{PTDataStore, QueryEngine};
+use crate::commands::exit;
+use perftrack::{
+    evaluate_baseline, BaselineCheck, Direction, FindingKind, PTDataStore, QueryEngine, Regression,
+};
 use perftrack_adapters::{self as adapters, ExecContext};
 use perftrack_model::ResourceFilter;
 use perftrack_ptdf::PtdfStatement;
@@ -28,13 +31,37 @@ const QUERY_SCHEMA: &str = "pt-bench-query/v1";
 /// Reader-thread counts driven by the concurrent sweep.
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-/// `pt bench [--quick] [--json] [--out DIR] [--seed S]` or
-/// `pt bench --check [--out DIR]`.
-pub fn bench(argv: &[String]) -> Result<()> {
-    let a = parse(argv, &["out", "seed"])?;
+/// Metrics the baseline gate checks, with their directions. `load.*`
+/// resolves into `BENCH_load.json`, `query.*` into `BENCH_query.json`
+/// (both wrapped under those keys before evaluation).
+fn baseline_checks() -> Vec<BaselineCheck> {
+    vec![
+        BaselineCheck::new("load.statements_per_sec", Direction::HigherIsBetter),
+        BaselineCheck::new("query.scan.rows_per_sec", Direction::HigherIsBetter),
+        BaselineCheck::new("query.pr_filter.avg_micros", Direction::LowerIsBetter),
+        BaselineCheck::new(
+            "query.concurrent_read.speedup_8v1",
+            Direction::HigherIsBetter,
+        ),
+    ]
+}
+
+/// Default `--threshold` for the baseline gate, in percent. Deliberately
+/// generous: committed baselines come from other machines and CI
+/// runners are noisy, so only a >2x slowdown counts as a regression.
+const DEFAULT_GATE_THRESHOLD_PCT: f64 = 100.0;
+
+/// `pt bench [--quick] [--json] [--out DIR] [--seed S]
+/// [--compare-baseline DIR] [--threshold PCT]` or
+/// `pt bench --check [--out DIR]`. Returns the process exit code: with
+/// `--compare-baseline`, a real performance regression exits
+/// [`exit::REGRESSION`] and schema drift exits [`exit::DRIFT`]
+/// (contract in `docs/COMPARE.md`).
+pub fn bench(argv: &[String]) -> Result<u8> {
+    let a = parse(argv, &["out", "seed", "compare-baseline", "threshold"])?;
     let out_dir = a.get("out").unwrap_or(".").to_string();
     if a.has_flag("check") {
-        return check(Path::new(&out_dir));
+        return check(Path::new(&out_dir)).map(|()| exit::OK);
     }
     let quick = a.has_flag("quick");
     let seed: u64 = a.get_num("seed", 2005)?;
@@ -195,7 +222,10 @@ pub fn bench(argv: &[String]) -> Result<()> {
     std::fs::write(&query_path, query.emit() + "\n")?;
 
     if a.has_flag("json") {
-        let combined = Json::Obj(vec![("load".into(), load), ("query".into(), query)]);
+        let combined = Json::Obj(vec![
+            ("load".into(), load.clone()),
+            ("query".into(), query.clone()),
+        ]);
         println!("{}", combined.emit());
     } else {
         println!(
@@ -218,7 +248,102 @@ pub fn bench(argv: &[String]) -> Result<()> {
         println!("speedup 8v1: {speedup:.2}x");
         println!("wrote {} and {}", load_path.display(), query_path.display());
     }
-    Ok(())
+    if let Some(baseline_dir) = a.get("compare-baseline") {
+        let threshold: f64 = a.get_num("threshold", DEFAULT_GATE_THRESHOLD_PCT)?;
+        return compare_baseline(
+            Path::new(baseline_dir),
+            &load,
+            &query,
+            threshold,
+            Path::new(&out_dir),
+        );
+    }
+    Ok(exit::OK)
+}
+
+/// Gate this run's results against the baseline `BENCH_load.json` /
+/// `BENCH_query.json` in `dir`. Writes the `pt-compare-baseline/v1`
+/// report to `BENCH_compare.json` in the output directory and returns
+/// the exit code: [`exit::DRIFT`] when the baseline documents are
+/// missing/unparseable/mis-tagged or a checked path no longer resolves,
+/// [`exit::REGRESSION`] when any metric is worse than the baseline by
+/// more than `threshold` percent, [`exit::OK`] otherwise.
+fn compare_baseline(
+    dir: &Path,
+    current_load: &Json,
+    current_query: &Json,
+    threshold: f64,
+    out_dir: &Path,
+) -> Result<u8> {
+    // Load and tag-check the baseline documents; an unreadable or
+    // mis-tagged baseline is schema drift, not a crash — the gate must
+    // report it with its own exit code so CI can tell the cases apart.
+    let mut drift_findings: Vec<Regression> = Vec::new();
+    let mut read_doc = |file: &str, tag: &str| -> Json {
+        let path = dir.join(file);
+        let fail = |msg: String| Regression {
+            kind: FindingKind::SchemaDrift,
+            path: file.to_string(),
+            baseline: None,
+            current: None,
+            ratio: None,
+            message: msg,
+        };
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("invalid JSON: {e}")))
+        {
+            Ok(doc) => {
+                match lookup(&doc, "schema") {
+                    Some(Json::Str(s)) if s == tag => {}
+                    Some(Json::Str(s)) => drift_findings.push(fail(format!(
+                        "{}: baseline schema {s:?}, expected {tag:?}",
+                        path.display()
+                    ))),
+                    _ => drift_findings.push(fail(format!(
+                        "{}: baseline is missing its schema tag",
+                        path.display()
+                    ))),
+                }
+                doc
+            }
+            Err(e) => {
+                drift_findings.push(fail(format!("{}: {e}", path.display())));
+                Json::Obj(Vec::new())
+            }
+        }
+    };
+    let base_load = read_doc("BENCH_load.json", LOAD_SCHEMA);
+    let base_query = read_doc("BENCH_query.json", QUERY_SCHEMA);
+    let wrap = |load: &Json, query: &Json| {
+        Json::Obj(vec![
+            ("load".into(), load.clone()),
+            ("query".into(), query.clone()),
+        ])
+    };
+    let mut report = evaluate_baseline(
+        &wrap(&base_load, &base_query),
+        &wrap(current_load, current_query),
+        &baseline_checks(),
+        threshold,
+    );
+    // File-level drift findings come before path-level ones.
+    drift_findings.append(&mut report.findings);
+    report.findings = drift_findings;
+
+    let report_path = out_dir.join("BENCH_compare.json");
+    std::fs::write(&report_path, report.to_json().emit() + "\n")?;
+    print!("{}", report.render_table());
+    println!("wrote {}", report_path.display());
+    if report.has_drift() {
+        eprintln!("pt bench: baseline schema drift — regenerate the baseline with `pt bench`");
+        Ok(exit::DRIFT)
+    } else if report.has_regressions() {
+        eprintln!("pt bench: performance regression against baseline");
+        Ok(exit::REGRESSION)
+    } else {
+        Ok(exit::OK)
+    }
 }
 
 /// Convert one IRS execution bundle to PTdf statements (same pipeline as

@@ -2,7 +2,8 @@
 
 use crate::args::{parse, Args, CliError};
 use perftrack::{
-    BulkLoadOptions, Compare, PTDataStore, Predictor, QueryEngine, Reports, SelectionDialog,
+    BulkLoadOptions, Compare, CompareOptions, PTDataStore, Predictor, QueryEngine, Reports,
+    SelectionDialog,
 };
 use perftrack_adapters as adapters;
 use perftrack_collect::MachineModel;
@@ -15,14 +16,18 @@ type Result<T> = std::result::Result<T, CliError>;
 /// `pt` exit codes (documented in the README's CLI table):
 /// 0 = success, 2 = completed after transient I/O retries, 3 = store is
 /// in read-only degraded mode, 4 = corruption detected, 5 = the store
-/// directory is locked by another process. 1 stays the generic failure
-/// code.
+/// directory is locked by another process, 6 = the baseline gate found
+/// a real performance regression, 7 = the baseline/current documents'
+/// schemas drifted so the gate could not compare them. 1 stays the
+/// generic failure code.
 pub mod exit {
     pub const OK: u8 = 0;
     pub const RETRIED: u8 = 2;
     pub const DEGRADED: u8 = 3;
     pub const CORRUPT: u8 = 4;
     pub const LOCKED: u8 = 5;
+    pub const REGRESSION: u8 = 6;
+    pub const DRIFT: u8 = 7;
 }
 
 /// An error that carries an explicit process exit code (used when a
@@ -498,40 +503,54 @@ pub fn chart(argv: &[String]) -> Result<()> {
     Ok(())
 }
 
-/// `pt compare <store-dir> <exec-a> <exec-b>` — comparison operators.
+/// Build [`CompareOptions`] from the shared `--top/--threshold/--agg/
+/// --normalize` flags (used by the local and remote compare paths).
+pub fn compare_options(a: &Args) -> Result<CompareOptions> {
+    let defaults = CompareOptions::default();
+    let aggregate = match a.get("agg") {
+        Some(s) => perftrack::Aggregate::parse(s)
+            .ok_or_else(|| format!("bad --agg {s:?} (mean|sum|min|max)"))?,
+        None => defaults.aggregate,
+    };
+    let normalization = match a.get("normalize") {
+        Some(s) => perftrack::Normalization::parse(s)
+            .ok_or_else(|| format!("bad --normalize {s:?} (raw|share)"))?,
+        None => defaults.normalization,
+    };
+    Ok(CompareOptions {
+        aggregate,
+        normalization,
+        threshold_pct: a.get_num("threshold", defaults.threshold_pct)?,
+        top: a.get_num("top", defaults.top)?,
+    })
+}
+
+/// `pt compare <store-dir> <exec-a> <exec-b> [exec...] [--json|--table]
+/// [--top K] [--threshold PCT] [--agg A] [--normalize N]` — align the
+/// executions' resource trees, rank the most-divergent resources, and
+/// render the result as a table (default) or as the versioned
+/// `pt-compare/v1` JSON document (contract in `docs/COMPARE.md`).
 pub fn compare(argv: &[String]) -> Result<()> {
-    let a = parse(argv, &["threshold"])?;
+    let a = parse(argv, &["threshold", "top", "agg", "normalize"])?;
     let dir = a.positional(0, "store directory")?;
-    let exec_a = a.positional(1, "first execution")?;
-    let exec_b = a.positional(2, "second execution")?;
-    let threshold: f64 = a.get_num("threshold", 1.25)?;
+    if a.positional.len() < 3 {
+        return Err("at least two executions required".into());
+    }
+    let execs: Vec<&str> = a.positional[1..].iter().map(String::as_str).collect();
+    let opts = compare_options(&a)?;
     let store = open_store(dir)?;
-    let cmp = Compare::new(&store);
-    let report = cmp.compare_executions(exec_a, exec_b)?;
-    println!(
-        "{} vs {}: {} aligned pairs ({} only in A, {} only in B)",
-        exec_a,
-        exec_b,
-        report.rows.len(),
-        report.only_in_a,
-        report.only_in_b
-    );
-    if let Some(g) = report.geo_mean_ratio() {
-        println!("geo-mean ratio B/A: {g:.4}");
+    let known = store.executions();
+    for e in &execs {
+        if !known.iter().any(|(_, name)| name == e) {
+            return Err(format!("unknown execution {e:?}").into());
+        }
     }
-    let regressions = report.regressions(threshold);
-    println!("\nregressions (B > {threshold}× A): {}", regressions.len());
-    for r in regressions.iter().take(20) {
-        println!(
-            "  {:<60} {:>10.4} → {:>10.4} ({:.2}x)",
-            r.key,
-            r.value_a,
-            r.value_b,
-            r.ratio.unwrap_or(f64::NAN)
-        );
+    let report = Compare::new(&store).tree_compare(&execs, &opts)?;
+    if a.has_flag("json") {
+        println!("{}", report.to_json().emit());
+    } else {
+        print!("{}", report.render_table());
     }
-    let improvements = report.improvements(threshold);
-    println!("improvements (B < A/{threshold}): {}", improvements.len());
     Ok(())
 }
 

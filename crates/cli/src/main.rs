@@ -32,12 +32,14 @@ USAGE:
   pt count <store-dir> [--name PAT]... [--type PATH]...
   pt chart <store-dir> --name PAT --category COL --series COL [--title T] [--svg F]
   pt predict <store-dir> --metric M --train E1,E2,.. [--check EXEC] [--at NP]
-  pt compare <store-dir> <exec-a> <exec-b> [--threshold R]
+  pt compare <store-dir> <exec-a> <exec-b> [exec...] [--json|--table] [--top K]
+          [--threshold PCT] [--agg mean|sum|min|max] [--normalize raw|share]
   pt export <store-dir> <out-file>
-  pt bench [--quick] [--json] [--out DIR] [--seed S] | pt bench --check [--out DIR]
+  pt bench [--quick] [--json] [--out DIR] [--seed S]
+          [--compare-baseline DIR [--threshold PCT]] | pt bench --check [--out DIR]
   pt serve <store-dir> [--bind ADDR | --port N] [--workers N] [--queue N]
           [--deadline-ms N] [--idle-ms N]
-  pt --connect host:port <ping|load|query|stats|fsck|export|shutdown> [args...]";
+  pt --connect host:port <ping|load|query|stats|fsck|compare|export|shutdown> [args...]";
 
 fn main() -> ExitCode {
     // `pt ... | head` closes stdout early; Rust's println! panics on the
@@ -79,8 +81,9 @@ fn main() -> ExitCode {
     }
     let cmd = argv[0].as_str();
     let rest = &argv[1..];
-    // `pt load` has a documented multi-valued exit-code contract
-    // (0/2/3/4/5, see README); every other command exits 0, 1, or 5.
+    // `pt load` and `pt bench` have documented multi-valued exit-code
+    // contracts (0/2/3/4/5 for load, 0/6/7 for the bench baseline gate;
+    // see README); every other command exits 0, 1, or 5.
     let result: Result<u8, args::CliError> = match cmd {
         "init" => commands::init(rest).map(|()| 0),
         "machines" => commands::machines(rest).map(|()| 0),
@@ -97,7 +100,7 @@ fn main() -> ExitCode {
         "predict" => commands::predict(rest).map(|()| 0),
         "delete" => commands::delete(rest).map(|()| 0),
         "export" => commands::export(rest).map(|()| 0),
-        "bench" => bench::bench(rest).map(|()| 0),
+        "bench" => bench::bench(rest),
         "serve" => remote::serve(rest).map(|()| 0),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
     };

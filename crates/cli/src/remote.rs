@@ -3,8 +3,8 @@
 //! `pt serve <store-dir>` opens the store (taking the directory lock)
 //! and exposes it over TCP until SIGTERM/SIGINT or a remote `shutdown`
 //! request drains it. `pt --connect host:port <subcommand>` routes the
-//! read/write subcommands (`load`, `query`, `stats`, `fsck`, `export`,
-//! plus `ping`/`shutdown`) through the retrying client instead of
+//! read/write subcommands (`load`, `query`, `stats`, `fsck`, `compare`,
+//! `export`, plus `ping`/`shutdown`) through the retrying client instead of
 //! opening a local store. Exit codes mirror the local contract: remote
 //! `read-only` maps to 3, `corrupt` to 4, `locked` to 5, and a load that
 //! succeeded only after transient retries exits 2.
@@ -79,8 +79,7 @@ pub fn serve(argv: &[String]) -> Result<()> {
     // Opening the store also takes the directory lock, so a second
     // `pt serve` (or any local pt command) on the same dir fails fast.
     let store = Arc::new(PTDataStore::open(Path::new(dir))?);
-    let handle = Server::start(store, cfg)
-        .map_err(|e| format!("failed to start server: {e}"))?;
+    let handle = Server::start(store, cfg).map_err(|e| format!("failed to start server: {e}"))?;
     // Parseable by wrappers and tests: the only stdout line before drain.
     println!("listening on {}", handle.local_addr());
     install_signal_handlers();
@@ -135,6 +134,7 @@ pub fn dispatch(addr: &str, cmd: &str, rest: &[String]) -> Result<u8> {
         "query" => remote_query(&mut client, rest).map(|()| 0),
         "stats" => remote_stats(&mut client, rest).map(|()| 0),
         "fsck" => remote_fsck(&mut client, rest).map(|()| 0),
+        "compare" => remote_compare(&mut client, rest).map(|()| 0),
         "export" => remote_export(&mut client, rest).map(|()| 0),
         "shutdown" => {
             match client.call(&Request::Shutdown).map_err(map_client_err)? {
@@ -146,7 +146,7 @@ pub fn dispatch(addr: &str, cmd: &str, rest: &[String]) -> Result<u8> {
             }
         }
         other => Err(format!(
-            "unknown remote command {other:?} (supported: ping, load, query, stats, fsck, export, shutdown)"
+            "unknown remote command {other:?} (supported: ping, load, query, stats, fsck, compare, export, shutdown)"
         )
         .into()),
     }
@@ -221,10 +221,7 @@ fn query_spec_from_args(argv: &[String]) -> Result<(QuerySpec, crate::args::Args
 
 fn remote_query(client: &mut Client, argv: &[String]) -> Result<()> {
     let (spec, a) = query_spec_from_args(argv)?;
-    match client
-        .call(&Request::Query(spec))
-        .map_err(map_client_err)?
-    {
+    match client.call(&Request::Query(spec)).map_err(map_client_err)? {
         Response::Table { columns, rows } => {
             if a.has_flag("csv") {
                 println!("{}", columns.join(","));
@@ -279,6 +276,34 @@ fn remote_fsck(client: &mut Client, argv: &[String]) -> Result<()> {
             }
             if errors > 0 {
                 return Err(format!("integrity check failed: {errors} errors").into());
+            }
+            Ok(())
+        }
+        other => Err(unexpected(&other)),
+    }
+}
+
+/// `pt --connect ADDR compare <exec-a> <exec-b> [exec...] [--json]
+/// [--top K] [--threshold PCT]` — run the tree comparison server-side
+/// and print whichever rendering was asked for. The wire protocol
+/// carries the threshold in whole percent; `--agg`/`--normalize` are
+/// local-only options.
+fn remote_compare(client: &mut Client, argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["top", "threshold"])?;
+    if a.positional.len() < 2 {
+        return Err("at least two executions required".into());
+    }
+    let req = Request::Compare {
+        executions: a.positional.clone(),
+        top: a.get_num("top", 10u32)?,
+        threshold_pct: a.get_num("threshold", 25u32)?,
+    };
+    match client.call(&req).map_err(map_client_err)? {
+        Response::CompareDone { json, table } => {
+            if a.has_flag("json") {
+                println!("{json}");
+            } else {
+                print!("{table}");
             }
             Ok(())
         }

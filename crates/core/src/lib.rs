@@ -19,7 +19,11 @@ pub mod schema;
 pub mod session;
 
 pub use chart::{BarChart, Series};
-pub use compare::{Compare, ComparisonReport, ComparisonRow, LoadBalanceRow};
+pub use compare::{
+    evaluate_baseline, Aggregate, AlignedNode, BaselineCheck, BaselineReport, Compare,
+    CompareOptions, ComparisonReport, ComparisonRow, Direction, DivergentResource, FindingKind,
+    LoadBalanceRow, Normalization, PresenceDrift, Regression, TreeComparison,
+};
 pub use datastore::{
     BulkLoadOptions, LoadReport, LoadStats, Loader, ManifestEntry, PTDataStore, ResourceRecord,
 };

@@ -1,0 +1,236 @@
+//! Property tests for the execution-comparison engine, using a seeded
+//! deterministic generator (no proptest dependency, matching the
+//! model-checker precedent elsewhere in the workspace): deltas are
+//! antisymmetric under argument swap, self-comparison is exactly zero,
+//! and alignment tolerates deliberately mismatched resource trees.
+
+use perftrack::compare::{Aggregate, CompareOptions, Normalization};
+use perftrack::{Compare, PTDataStore};
+
+/// Small deterministic LCG (same constants as the bench harness).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A positive value in roughly `(0, 100)`.
+    fn value(&mut self) -> f64 {
+        (self.below(10_000) + 1) as f64 / 100.0
+    }
+}
+
+/// Build a store with two executions over a random module/function tree.
+/// Each execution measures a random subset of the functions, so trees
+/// mismatch in both directions. Returns the store and the function count.
+fn random_store(seed: u64) -> PTDataStore {
+    let mut rng = Lcg::new(seed);
+    let store = PTDataStore::in_memory().unwrap();
+    let modules = 1 + rng.below(3);
+    let mut ptdf =
+        String::from("Application App\nResource /app application\nResource /build build\n");
+    let mut functions = Vec::new();
+    for m in 0..modules {
+        ptdf.push_str(&format!("Resource /build/m{m}.c build/module\n"));
+        for f in 0..(1 + rng.below(4)) {
+            let name = format!("/build/m{m}.c/fn{f}");
+            ptdf.push_str(&format!("Resource {name} build/module/function\n"));
+            functions.push(name);
+        }
+    }
+    for exec in ["x", "y"] {
+        ptdf.push_str(&format!("Execution {exec} App\n"));
+        for f in &functions {
+            // ~75% of functions are measured per execution; the rest are
+            // the mismatched subtrees alignment must tolerate.
+            if rng.below(4) < 3 {
+                let reps = 1 + rng.below(3);
+                for _ in 0..reps {
+                    ptdf.push_str(&format!(
+                        "PerfResult {exec} \"/app,{f}(primary)\" T \"CPU time\" {} seconds\n",
+                        rng.value()
+                    ));
+                }
+            }
+        }
+    }
+    store.load_ptdf_str(&ptdf).unwrap();
+    store
+}
+
+fn all_options() -> Vec<CompareOptions> {
+    let mut opts = Vec::new();
+    for aggregate in [
+        Aggregate::Mean,
+        Aggregate::Sum,
+        Aggregate::Min,
+        Aggregate::Max,
+    ] {
+        for normalization in [Normalization::Raw, Normalization::Share] {
+            opts.push(CompareOptions {
+                aggregate,
+                normalization,
+                threshold_pct: 25.0,
+                top: usize::MAX,
+            });
+        }
+    }
+    opts
+}
+
+#[test]
+fn deltas_are_antisymmetric_under_swap() {
+    for seed in 0..20 {
+        let store = random_store(seed);
+        let cmp = Compare::new(&store);
+        for opts in all_options() {
+            let fwd = cmp.tree_compare(&["x", "y"], &opts).unwrap();
+            let rev = cmp.tree_compare(&["y", "x"], &opts).unwrap();
+            assert_eq!(fwd.ranked_total, rev.ranked_total, "seed {seed}");
+            for f in &fwd.ranked {
+                let r = rev
+                    .ranked
+                    .iter()
+                    .find(|r| r.resource == f.resource && r.metric == f.metric)
+                    .unwrap_or_else(|| panic!("seed {seed}: {} missing in reverse", f.resource));
+                assert!(
+                    (f.delta + r.delta).abs() <= 1e-9 * f.delta.abs().max(1.0),
+                    "seed {seed}: delta not antisymmetric: {} vs {}",
+                    f.delta,
+                    r.delta
+                );
+                if let (Some(fq), Some(rq)) = (f.ratio, r.ratio) {
+                    assert!(
+                        (fq * rq - 1.0).abs() < 1e-9,
+                        "seed {seed}: ratios not reciprocal: {fq} * {rq}"
+                    );
+                }
+                assert!(
+                    (f.score - r.score).abs() < 1e-9
+                        || (f.score.is_infinite() && r.score.is_infinite()),
+                    "seed {seed}: scores differ under swap: {} vs {}",
+                    f.score,
+                    r.score
+                );
+            }
+            // Presence drift is the same set either way, with flags flipped.
+            assert_eq!(fwd.drift.len(), rev.drift.len(), "seed {seed}");
+            for d in &fwd.drift {
+                let rd = rev
+                    .drift
+                    .iter()
+                    .find(|r| r.resource == d.resource)
+                    .unwrap_or_else(|| panic!("seed {seed}: drift {} missing", d.resource));
+                assert_eq!(d.present[0], rd.present[1], "seed {seed}");
+                assert_eq!(d.present[1], rd.present[0], "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn self_comparison_is_exactly_zero() {
+    for seed in 0..20 {
+        let store = random_store(seed);
+        let cmp = Compare::new(&store);
+        for opts in all_options() {
+            let t = cmp.tree_compare(&["x", "x"], &opts).unwrap();
+            assert_eq!(t.ranked_total, 0, "seed {seed}: self-compare diverges");
+            assert!(t.drift.is_empty(), "seed {seed}: self-compare drifts");
+            assert!(t.regressions().is_empty() && t.improvements().is_empty());
+            // Every cell is measured in both columns with equal values.
+            fn walk(n: &perftrack::AlignedNode, seed: u64) {
+                for (metric, row) in &n.metrics {
+                    assert_eq!(row.len(), 2);
+                    assert_eq!(row[0], row[1], "seed {seed}: {} {metric}", n.name);
+                }
+                for c in &n.children {
+                    walk(c, seed);
+                }
+            }
+            for root in &t.roots {
+                walk(root, seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn alignment_tolerates_mismatched_trees() {
+    // Deliberate mismatch: executions share only `common`; each has a
+    // private subtree the other never measures.
+    let store = PTDataStore::in_memory().unwrap();
+    store
+        .load_ptdf_str(
+            "Application App\n\
+             Resource /build build\n\
+             Resource /build/shared.c build/module\n\
+             Resource /build/shared.c/common build/module/function\n\
+             Resource /build/old.c build/module\n\
+             Resource /build/old.c/legacy build/module/function\n\
+             Resource /build/new.c build/module\n\
+             Resource /build/new.c/replacement build/module/function\n\
+             Execution x App\nExecution y App\n\
+             PerfResult x /build/shared.c/common(primary) T t 4.0 s\n\
+             PerfResult y /build/shared.c/common(primary) T t 2.0 s\n\
+             PerfResult x /build/old.c/legacy(primary) T t 9.0 s\n\
+             PerfResult y /build/new.c/replacement(primary) T t 1.0 s\n",
+        )
+        .unwrap();
+    let cmp = Compare::new(&store);
+    let t = cmp
+        .tree_compare(&["x", "y"], &CompareOptions::default())
+        .unwrap();
+    // The shared cell aligns and ranks; the private subtrees are drift,
+    // not errors, and never rank (only one side has a value).
+    assert_eq!(t.aligned_cells, 1);
+    assert_eq!(t.ranked.len(), 1);
+    assert!(t.ranked[0].resource.ends_with("/common"));
+    assert_eq!(t.ranked[0].ratio, Some(0.5));
+    let drifted: Vec<&str> = t.drift.iter().map(|d| d.resource.as_str()).collect();
+    assert!(drifted.contains(&"/build/old.c"));
+    assert!(drifted.contains(&"/build/old.c/legacy"));
+    assert!(drifted.contains(&"/build/new.c"));
+    assert!(drifted.contains(&"/build/new.c/replacement"));
+    assert!(!drifted.contains(&"/build/shared.c/common"));
+    // The merged tree still holds both private subtrees under one root.
+    let build = t.roots.iter().find(|r| r.name == "/build").unwrap();
+    assert_eq!(build.children.len(), 3);
+}
+
+#[test]
+fn share_normalization_bounds_values() {
+    for seed in 0..10 {
+        let store = random_store(seed);
+        let cmp = Compare::new(&store);
+        let opts = CompareOptions {
+            normalization: Normalization::Share,
+            top: usize::MAX,
+            ..CompareOptions::default()
+        };
+        let t = cmp.tree_compare(&["x", "y"], &opts).unwrap();
+        for r in &t.ranked {
+            for v in r.values.iter().flatten() {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(v),
+                    "seed {seed}: share {v} out of [0,1] at {}",
+                    r.resource
+                );
+            }
+        }
+    }
+}

@@ -49,7 +49,7 @@ impl Gauge {
 
 /// Request opcodes tracked by the per-operation latency histograms, in
 /// display order.
-pub const OP_LABELS: [&str; 8] = [
+pub const OP_LABELS: [&str; 9] = [
     "ping",
     "load",
     "query",
@@ -57,6 +57,7 @@ pub const OP_LABELS: [&str; 8] = [
     "export",
     "stats",
     "fsck",
+    "compare",
     "shutdown",
 ];
 
@@ -82,7 +83,7 @@ pub struct ServerMetrics {
     /// Connections accepted but not yet claimed by a worker.
     pub queue_depth: Gauge,
     /// Per-opcode request latency, indexed like [`OP_LABELS`].
-    pub op_latency: [LatencyHistogram; 8],
+    pub op_latency: [LatencyHistogram; 9],
 }
 
 impl ServerMetrics {
@@ -213,6 +214,35 @@ mod tests {
         assert_eq!(m.errors.get(), 1);
         let qi = OP_LABELS.iter().position(|l| *l == "query").unwrap();
         assert_eq!(m.op_latency[qi].snapshot().count, 2);
+    }
+
+    #[test]
+    fn every_request_label_has_a_histogram() {
+        use crate::proto::Request;
+        let requests = [
+            Request::Ping,
+            Request::LoadPtdf {
+                text: String::new(),
+            },
+            Request::Query(Default::default()),
+            Request::FreeResources(Default::default()),
+            Request::Export,
+            Request::Stats,
+            Request::Fsck { deep: false },
+            Request::Compare {
+                executions: vec![],
+                top: 0,
+                threshold_pct: 0,
+            },
+            Request::Shutdown,
+        ];
+        for r in &requests {
+            assert!(
+                ServerMetrics::op_index(r.label()).is_some(),
+                "no OP_LABELS entry for {:?}",
+                r.label()
+            );
+        }
     }
 
     #[test]

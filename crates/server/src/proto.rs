@@ -26,6 +26,7 @@ mod op {
     pub const STATS: u8 = 0x06;
     pub const FSCK: u8 = 0x07;
     pub const SHUTDOWN: u8 = 0x08;
+    pub const COMPARE: u8 = 0x09;
 
     pub const R_PONG: u8 = 0x81;
     pub const R_LOADED: u8 = 0x82;
@@ -35,6 +36,7 @@ mod op {
     pub const R_STATS: u8 = 0x86;
     pub const R_FSCK: u8 = 0x87;
     pub const R_SHUTTING_DOWN: u8 = 0x88;
+    pub const R_COMPARE: u8 = 0x89;
     pub const R_ERR: u8 = 0xFF;
 }
 
@@ -116,6 +118,18 @@ pub enum Request {
         /// Include the deep (content-hashing) passes.
         deep: bool,
     },
+    /// Align two-or-N executions' resource trees server-side and return
+    /// the rendered comparison, so `pt --connect` can diff executions
+    /// without shipping result rows over the wire.
+    Compare {
+        /// Execution names, in order; index 0 is the baseline.
+        executions: Vec<String>,
+        /// Ranked-cell truncation (`--top`).
+        top: u32,
+        /// Regression threshold in whole percent (`--threshold`; integer
+        /// so request frames stay `Eq`/hashable).
+        threshold_pct: u32,
+    },
     /// Ask the server to drain and exit.
     Shutdown,
 }
@@ -131,6 +145,7 @@ impl Request {
             Request::Export => op::EXPORT,
             Request::Stats => op::STATS,
             Request::Fsck { .. } => op::FSCK,
+            Request::Compare { .. } => op::COMPARE,
             Request::Shutdown => op::SHUTDOWN,
         }
     }
@@ -145,6 +160,7 @@ impl Request {
             Request::Export => "export",
             Request::Stats => "stats",
             Request::Fsck { .. } => "fsck",
+            Request::Compare { .. } => "compare",
             Request::Shutdown => "shutdown",
         }
     }
@@ -167,6 +183,15 @@ impl Request {
             Request::LoadPtdf { text } => put_str(&mut p, text),
             Request::Query(spec) | Request::FreeResources(spec) => put_query_spec(&mut p, spec),
             Request::Fsck { deep } => put_bool(&mut p, *deep),
+            Request::Compare {
+                executions,
+                top,
+                threshold_pct,
+            } => {
+                put_str_list(&mut p, executions);
+                put_u32(&mut p, *top);
+                put_u32(&mut p, *threshold_pct);
+            }
         }
         encode_frame(WIRE_VERSION, self.opcode(), &p)
     }
@@ -188,6 +213,11 @@ impl Request {
             op::STATS => Request::Stats,
             op::FSCK => Request::Fsck {
                 deep: r.bool("deep flag")?,
+            },
+            op::COMPARE => Request::Compare {
+                executions: r.str_list("execution list")?,
+                top: r.u32("top")?,
+                threshold_pct: r.u32("threshold pct")?,
             },
             op::SHUTDOWN => Request::Shutdown,
             other => return Err(WireError::BadOpcode(other)),
@@ -354,6 +384,15 @@ pub enum Response {
         /// Human-readable report table.
         table: String,
     },
+    /// Reply to [`Request::Compare`]: both renderings of the tree
+    /// comparison, so the client chooses output format without a second
+    /// round trip (same shape as [`Response::Stats`]).
+    CompareDone {
+        /// The `pt-compare/v1` JSON document (schema in `docs/COMPARE.md`).
+        json: String,
+        /// Human-readable fixed-width table.
+        table: String,
+    },
     /// Reply to [`Request::Shutdown`]: the server stops accepting and
     /// drains in-flight connections.
     ShuttingDown,
@@ -377,6 +416,7 @@ impl Response {
             Response::Ptdf { .. } => op::R_PTDF,
             Response::Stats { .. } => op::R_STATS,
             Response::FsckDone { .. } => op::R_FSCK,
+            Response::CompareDone { .. } => op::R_COMPARE,
             Response::ShuttingDown => op::R_SHUTTING_DOWN,
             Response::Err { .. } => op::R_ERR,
         }
@@ -432,6 +472,10 @@ impl Response {
             } => {
                 put_u64(&mut p, *errors);
                 put_u64(&mut p, *warnings);
+                put_str(&mut p, json);
+                put_str(&mut p, table);
+            }
+            Response::CompareDone { json, table } => {
                 put_str(&mut p, json);
                 put_str(&mut p, table);
             }
@@ -505,6 +549,10 @@ impl Response {
                 json: r.str("fsck json")?,
                 table: r.str("fsck table")?,
             },
+            op::R_COMPARE => Response::CompareDone {
+                json: r.str("compare json")?,
+                table: r.str("compare table")?,
+            },
             op::R_SHUTTING_DOWN => Response::ShuttingDown,
             op::R_ERR => {
                 let cat = r.u8("error category")?;
@@ -559,6 +607,11 @@ mod tests {
         roundtrip_req(&Request::Stats);
         roundtrip_req(&Request::Fsck { deep: true });
         roundtrip_req(&Request::Fsck { deep: false });
+        roundtrip_req(&Request::Compare {
+            executions: vec!["v1".into(), "v2".into(), "v3".into()],
+            top: 10,
+            threshold_pct: 25,
+        });
         roundtrip_req(&Request::Shutdown);
     }
 
@@ -597,6 +650,10 @@ mod tests {
             warnings: 2,
             json: "{}".into(),
             table: "ok\n".into(),
+        });
+        roundtrip_resp(&Response::CompareDone {
+            json: "{\"schema\":\"pt-compare/v1\"}".into(),
+            table: "compare: v1 vs v2\n".into(),
         });
         roundtrip_resp(&Response::ShuttingDown);
         roundtrip_resp(&Response::Err {
@@ -666,8 +723,17 @@ mod tests {
     #[test]
     fn idempotency_classification() {
         assert!(Request::Ping.is_idempotent());
+        assert!(Request::Compare {
+            executions: vec!["a".into(), "b".into()],
+            top: 10,
+            threshold_pct: 25,
+        }
+        .is_idempotent());
         assert!(Request::Query(QuerySpec::default()).is_idempotent());
         assert!(Request::Export.is_idempotent());
-        assert!(!Request::LoadPtdf { text: String::new() }.is_idempotent());
+        assert!(!Request::LoadPtdf {
+            text: String::new()
+        }
+        .is_idempotent());
     }
 }

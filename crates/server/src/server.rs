@@ -37,7 +37,7 @@ use crate::proto::{
     ErrorCategory, QuerySpec, Request, Response, WireFreeColumn, WireLoadStats, WIRE_VERSION,
 };
 use crate::wire::{FrameDecoder, WireError};
-use perftrack::{PTDataStore, PtError, ResultTable, SelectionDialog};
+use perftrack::{Compare, CompareOptions, PTDataStore, PtError, ResultTable, SelectionDialog};
 use perftrack_model::{Relatives, TypePath};
 use perftrack_store::metrics::Json;
 use perftrack_store::StoreError;
@@ -279,10 +279,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 
 /// Execute one decoded (or undecodable) request and build the response.
 /// The boolean asks the connection loop to stop (shutdown was requested).
-fn handle_frame(
-    shared: &Shared,
-    decoded: Result<Request, WireError>,
-) -> (Response, bool) {
+fn handle_frame(shared: &Shared, decoded: Result<Request, WireError>) -> (Response, bool) {
     let req = match decoded {
         Ok(req) => req,
         Err(e) => {
@@ -387,11 +384,7 @@ fn execute(shared: &Shared, req: &Request) -> Response {
                 other => vec![("engine".into(), other)],
             };
             pairs.push(("server".into(), shared.metrics.to_json()));
-            let table = format!(
-                "{}{}",
-                engine.render_table(),
-                shared.metrics.render_table()
-            );
+            let table = format!("{}{}", engine.render_table(), shared.metrics.render_table());
             Ok(Response::Stats {
                 json: Json::Obj(pairs).emit(),
                 table,
@@ -402,6 +395,37 @@ fn execute(shared: &Shared, req: &Request) -> Response {
             store.fsck(*deep).map(|report| Response::FsckDone {
                 errors: report.error_count(),
                 warnings: report.warning_count(),
+                json: report.to_json().emit(),
+                table: report.render_table(),
+            })
+        }
+        Request::Compare {
+            executions,
+            top,
+            threshold_pct,
+        } => {
+            let _r = shared.write_gate.read();
+            let result = (|| {
+                if executions.len() < 2 {
+                    return Err(PtError::Invalid(
+                        "compare needs at least two executions".into(),
+                    ));
+                }
+                let known = store.executions();
+                for e in executions {
+                    if !known.iter().any(|(_, name)| name == e) {
+                        return Err(PtError::NotFound(format!("execution {e:?}")));
+                    }
+                }
+                let execs: Vec<&str> = executions.iter().map(String::as_str).collect();
+                let opts = CompareOptions {
+                    top: *top as usize,
+                    threshold_pct: *threshold_pct as f64,
+                    ..CompareOptions::default()
+                };
+                Compare::new(store).tree_compare(&execs, &opts)
+            })();
+            result.map(|report| Response::CompareDone {
                 json: report.to_json().emit(),
                 table: report.render_table(),
             })
@@ -418,9 +442,8 @@ fn execute(shared: &Shared, req: &Request) -> Response {
 fn run_query<'s>(store: &'s PTDataStore, spec: &QuerySpec) -> Result<ResultTable<'s>, PtError> {
     let mut dialog = SelectionDialog::new(store);
     for nf in &spec.names {
-        let rel = Relatives::from_code(nf.relatives).ok_or_else(|| {
-            PtError::Invalid(format!("bad relatives code {:?}", nf.relatives))
-        })?;
+        let rel = Relatives::from_code(nf.relatives)
+            .ok_or_else(|| PtError::Invalid(format!("bad relatives code {:?}", nf.relatives)))?;
         dialog.add_name(&nf.pattern, rel);
     }
     for t in &spec.types {
@@ -538,9 +561,7 @@ mod tests {
             }],
             ..QuerySpec::default()
         };
-        stream
-            .write_all(&Request::Query(spec).encode())
-            .unwrap();
+        stream.write_all(&Request::Query(spec).encode()).unwrap();
         match read_response(&mut stream) {
             Response::Table { columns, rows } => {
                 assert!(!columns.is_empty());
@@ -578,6 +599,45 @@ mod tests {
             Response::FsckDone { errors, .. } => assert_eq!(errors, 0),
             other => panic!("unexpected response {other:?}"),
         }
+        shutdown_and_join(handle);
+    }
+
+    #[test]
+    fn compare_over_the_wire() {
+        let (handle, store) = start_test_server(ServerConfig::default());
+        store
+            .load_ptdf_str(
+                "Application A\n\
+                 Resource /f application\n\
+                 Execution e1 A\nExecution e2 A\n\
+                 PerfResult e1 /f(primary) T time 2.0 s\n\
+                 PerfResult e2 /f(primary) T time 8.0 s\n",
+            )
+            .unwrap();
+        let req = Request::Compare {
+            executions: vec!["e1".into(), "e2".into()],
+            top: 10,
+            threshold_pct: 25,
+        };
+        match call_raw(handle.local_addr(), &req) {
+            Response::CompareDone { json, table } => {
+                let doc = Json::parse(&json).unwrap();
+                assert_eq!(doc.get("schema"), Some(&Json::Str("pt-compare/v1".into())));
+                assert!(table.contains("/f"), "table mentions the resource: {table}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Unknown executions are an Invalid error, not a panic.
+        let bad = Request::Compare {
+            executions: vec!["e1".into(), "nope".into()],
+            top: 10,
+            threshold_pct: 25,
+        };
+        match call_raw(handle.local_addr(), &bad) {
+            Response::Err { category, .. } => assert_eq!(category, ErrorCategory::Invalid),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(handle.metrics().requests.get(), 2);
         shutdown_and_join(handle);
     }
 

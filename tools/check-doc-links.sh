@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fail on dead relative links in the repo's markdown files.
+#
+# External targets (http/https/mailto) are skipped — CI must not depend
+# on the network — as are SNIPPETS.md and PAPERS.md, whose links point
+# at retrieved external material rather than the repo's own doc graph.
+set -u
+cd "$(dirname "$0")/.."
+
+bad=0
+while IFS= read -r file; do
+  dir=$(dirname "$file")
+  # Every inline markdown link target: [text](target)
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+      '#'*) continue ;; # in-page anchor
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "$file: dead link -> $target"
+      bad=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*(\(.*\))$/\1/')
+done < <(find . -name '*.md' -not -path './target/*' -not -path './.git/*' \
+  -not -name SNIPPETS.md -not -name PAPERS.md)
+
+if [ "$bad" -ne 0 ]; then
+  echo "doc-link check failed" >&2
+  exit 1
+fi
+echo "doc-link check passed"
