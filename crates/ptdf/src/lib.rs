@@ -20,6 +20,8 @@
 //! assert!(matches!(stmts[0], PtdfStatement::Application { .. }));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod lexer;
 pub mod stmt;
 
@@ -33,7 +35,9 @@ use std::io::{BufRead, Write};
 /// A PTdf parse error with its 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PtdfError {
+    /// 1-based line number where parsing failed.
     pub line: usize,
+    /// What went wrong, phrased for the person fixing the file.
     pub message: String,
 }
 
@@ -103,7 +107,9 @@ impl<R: BufRead> PtdfReader<R> {
 /// Errors from streaming reads: I/O or parse.
 #[derive(Debug)]
 pub enum ReadError {
+    /// The underlying reader failed.
     Io(std::io::Error),
+    /// A line was read but did not parse as a PTdf statement.
     Parse(PtdfError),
 }
 

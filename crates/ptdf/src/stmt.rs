@@ -8,7 +8,9 @@ use std::fmt;
 /// `resource`; the field is "partly a placeholder" for richer types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttrType {
+    /// Free-form string value.
     String,
+    /// Value names another resource (a cross-reference).
     Resource,
 }
 
@@ -34,6 +36,7 @@ impl AttrType {
 /// One resource set of a PerfResult: names plus a set-type (role) name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PtdfResourceSet {
+    /// Full resource names participating in the set.
     pub resources: Vec<String>,
     /// Set type name in parentheses (`primary`, `parent`, ...).
     pub set_type: String,
@@ -43,36 +46,65 @@ pub struct PtdfResourceSet {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PtdfStatement {
     /// `Application appName`
-    Application { name: String },
+    Application {
+        /// Application name.
+        name: String,
+    },
     /// `ResourceType resourceTypeName`
-    ResourceType { type_path: String },
+    ResourceType {
+        /// Slash-separated resource-type path.
+        type_path: String,
+    },
     /// `Execution execName appName`
-    Execution { name: String, application: String },
+    Execution {
+        /// Execution name.
+        name: String,
+        /// Owning application name.
+        application: String,
+    },
     /// `Resource resourceName resourceTypeName [execName]`
     Resource {
+        /// Full slash-separated resource name.
         name: String,
+        /// Resource-type path the resource instantiates.
         type_path: String,
+        /// Execution the resource is scoped to, if any.
         execution: Option<String>,
     },
     /// `ResourceAttribute resourceName attributeName attributeValue attributeType`
     ResourceAttribute {
+        /// Resource the attribute describes.
         resource: String,
+        /// Attribute name.
         attribute: String,
+        /// Attribute value, encoded per `attr_type`.
         value: String,
+        /// Declared type of `value`.
         attr_type: AttrType,
     },
     /// `PerfResult execName resourceSet perfToolName metricName value units`
     PerfResult {
+        /// Execution the measurement belongs to.
         execution: String,
+        /// Resource sets the measurement is attributed to.
         resource_sets: Vec<PtdfResourceSet>,
+        /// Tool that produced the measurement.
         tool: String,
+        /// Metric name (e.g. "wall time").
         metric: String,
+        /// Measured value.
         value: f64,
+        /// Units of `value`.
         units: String,
     },
     /// `ResourceConstraint resourceName1 resourceName2` — equivalent to a
     /// resource-typed attribute.
-    ResourceConstraint { first: String, second: String },
+    ResourceConstraint {
+        /// Resource carrying the constraint.
+        first: String,
+        /// Resource it is constrained to.
+        second: String,
+    },
 }
 
 impl PtdfStatement {

@@ -1,0 +1,163 @@
+//! Check 1: I/O confinement.
+//!
+//! Engine code must reach the filesystem only through the
+//! [`Vfs`](../../store/src/vfs.rs) seam — that is what lets the fault
+//! matrix inject torn writes and transient errors under every I/O the
+//! engine performs. This check walks every source file of the *engine
+//! crates* (`crates/store`, `crates/server`) and flags any direct use
+//! of `std::fs`, whether imported, renamed, or fully qualified:
+//!
+//! * `use std::fs;` / `use std::fs::File;` / `use std::fs::{...}` —
+//!   the `use` item itself is flagged, which also covers every later
+//!   use of the imported name;
+//! * `use std::fs as xfs;` — the rename the old grep-based CI check
+//!   famously missed;
+//! * `std::fs::read(..)` and `::std::fs::...` — fully qualified paths
+//!   in expression position.
+//!
+//! Host-side crates (`cli`, `bench`, `adapters`, ...) are deliberately
+//! out of scope: reading PTDF inputs and writing reports from the host
+//! filesystem is their job. `#[cfg(test)]` code is exempt (tests build
+//! scratch directories), `crates/store/src/vfs.rs` is the one file
+//! allowed to touch `std::fs`, and residual sites carry a
+//! `// ptlint: allow(io) -- reason` directive.
+
+use super::{Allows, Workspace};
+use crate::findings::{Finding, LintReport, Severity};
+use crate::lexer::TokenKind;
+
+/// Directories whose sources are confined.
+const CONFINED_DIRS: &[&str] = &["crates/store/src", "crates/server/src"];
+
+/// The one file allowed to use `std::fs` directly.
+const VFS: &str = "crates/store/src/vfs.rs";
+
+/// Run the confinement check over `ws`, appending findings to `report`.
+pub fn run(ws: &Workspace, report: &mut LintReport) {
+    for dir in CONFINED_DIRS {
+        for file in ws.rust_sources(dir) {
+            if file == VFS {
+                continue;
+            }
+            check_file(ws, &file, report);
+        }
+    }
+}
+
+fn check_file(ws: &Workspace, file: &str, report: &mut LintReport) {
+    let Some(lexed) = ws.lex(file) else { return };
+    let allows = Allows::parse(&lexed);
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `std :: fs` — the stem of every import and qualified path.
+        let hit = toks[i].kind == TokenKind::Ident
+            && toks[i].text == "std"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("fs"));
+        if hit && !lexed.in_test[i] {
+            let line = toks[i].line;
+            if !allows.permits("io", line) {
+                let is_use = preceding_use(toks, i);
+                let detail = if is_use {
+                    describe_use(toks, i)
+                } else {
+                    "fully qualified `std::fs` path; route this through the Vfs seam".to_string()
+                };
+                report.push(Finding {
+                    code: "io.direct-fs",
+                    severity: Severity::Error,
+                    file: file.to_string(),
+                    line,
+                    detail,
+                });
+            }
+            i += 4;
+            continue;
+        }
+        i += 1;
+    }
+    allows.report_unjustified(file, report);
+}
+
+/// Is token `i` part of a `use` item? Scan back to the statement start.
+fn preceding_use(toks: &[crate::lexer::Token], i: usize) -> bool {
+    for t in toks[..i].iter().rev() {
+        if t.is_ident("use") {
+            return true;
+        }
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+    }
+    false
+}
+
+/// A one-line description of a flagged `use std::fs...` item, calling
+/// out renames explicitly.
+fn describe_use(toks: &[crate::lexer::Token], i: usize) -> String {
+    // Scan forward to the end of the use item looking for `as`.
+    for w in toks[i..].windows(2).take(32) {
+        if w[0].is_punct(';') {
+            break;
+        }
+        if w[0].is_ident("as") && w[1].kind == TokenKind::Ident {
+            return format!(
+                "`use std::fs` renamed to `{}`; renames do not launder direct I/O",
+                w[1].text
+            );
+        }
+    }
+    "`use std::fs` import; route this through the Vfs seam".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lint_src(src: &str) -> LintReport {
+        let dir = std::env::temp_dir().join(format!(
+            "ptlint-io-{}-{:p}",
+            std::process::id(),
+            &src as *const _
+        ));
+        let store = dir.join("crates/store/src");
+        std::fs::create_dir_all(&store).unwrap();
+        std::fs::write(store.join("demo.rs"), src).unwrap();
+        let ws = Workspace::new(Path::new(&dir));
+        let mut report = LintReport::new();
+        run(&ws, &mut report);
+        std::fs::remove_dir_all(&dir).ok();
+        report
+    }
+
+    #[test]
+    fn renamed_import_is_caught() {
+        let r = lint_src("use std::fs as xfs;\nfn f() { let _ = xfs::read(\"x\"); }\n");
+        assert_eq!(r.errors(), 1);
+        assert!(r.findings[0].detail.contains("renamed to `xfs`"));
+    }
+
+    #[test]
+    fn qualified_path_is_caught() {
+        let r = lint_src("fn f() -> std::io::Result<Vec<u8>> { std::fs::read(\"x\") }\n");
+        assert_eq!(r.errors(), 1);
+        assert!(r.findings[0].detail.contains("fully qualified"));
+    }
+
+    #[test]
+    fn test_code_and_allowed_sites_pass() {
+        let r = lint_src(
+            "// ptlint: allow(io) -- flock needs the raw fd\nfn f() { let _ = std::fs::File::open(\"x\"); }\n#[cfg(test)]\nmod tests { fn t() { std::fs::write(\"a\", \"b\").unwrap(); } }\n",
+        );
+        assert_eq!(r.errors(), 0, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn mention_in_comment_or_string_is_not_flagged() {
+        let r = lint_src("// std::fs is banned here\nfn f() -> &'static str { \"std::fs\" }\n");
+        assert_eq!(r.errors(), 0);
+    }
+}

@@ -1,0 +1,518 @@
+//! Check 4: cross-file protocol and metric consistency.
+//!
+//! The wire protocol's moving parts live in four places that must stay
+//! in sync by hand: the opcode constants in `proto.rs`'s `mod op`, the
+//! `Request`/`Response` enums with their `opcode`/`label`/`encode`/
+//! `decode` methods, the dispatch `match` in `server.rs`, and the
+//! `OP_LABELS` histogram index in `metrics.rs`. PR 6 fixed a bug of
+//! exactly this class (an opcode added without its label) by hand; this
+//! check makes the whole class unrepresentable:
+//!
+//! * every `Request`/`Response` enum variant must appear in each of the
+//!   enum's `opcode`, `label` (requests only), `encode`, and `decode`
+//!   method bodies;
+//! * every request opcode constant must be matched in `Request::decode`
+//!   and every response constant in `Response::decode`;
+//! * every `Request` variant must be dispatched (`Request::<V>`) in
+//!   `server.rs` outside tests;
+//! * the string set returned by `Request::label` must equal the
+//!   `OP_LABELS` array;
+//! * every metric name the engine renders (a dotted string literal in
+//!   either `metrics.rs`) must be documented in `docs/METRICS.md`,
+//!   where `{...}` format segments match `<...>` placeholders and a
+//!   documented histogram name also covers its derived
+//!   `.count`/`.mean`/`.p99` lines.
+
+use super::Workspace;
+use crate::findings::{Finding, LintReport, Severity};
+use crate::lexer::{LexedFile, Token, TokenKind};
+use std::collections::BTreeSet;
+
+const PROTO: &str = "crates/server/src/proto.rs";
+const SERVER: &str = "crates/server/src/server.rs";
+const SERVER_METRICS: &str = "crates/server/src/metrics.rs";
+const STORE_METRICS: &str = "crates/store/src/metrics.rs";
+const METRICS_DOC: &str = "docs/METRICS.md";
+
+/// Run the protocol/metric consistency check.
+pub fn run(ws: &Workspace, report: &mut LintReport) {
+    protocol_check(ws, report);
+    metrics_check(ws, report);
+}
+
+fn protocol_check(ws: &Workspace, report: &mut LintReport) {
+    let Some(proto) = ws.lex(PROTO) else {
+        report.push(missing_file(PROTO));
+        return;
+    };
+    let Some(server) = ws.lex(SERVER) else {
+        report.push(missing_file(SERVER));
+        return;
+    };
+    let Some(metrics) = ws.lex(SERVER_METRICS) else {
+        report.push(missing_file(SERVER_METRICS));
+        return;
+    };
+
+    // Opcode constants from `mod op`, split request/response by value.
+    let (req_consts, resp_consts) = op_consts(&proto);
+
+    for (enum_name, consts) in [("Request", &req_consts), ("Response", &resp_consts)] {
+        let variants = enum_variants(&proto, enum_name);
+        if variants.is_empty() {
+            report.push(Finding {
+                code: "protocol.missing-enum",
+                severity: Severity::Error,
+                file: PROTO.to_string(),
+                line: 0,
+                detail: format!("could not locate `enum {enum_name}`"),
+            });
+            continue;
+        }
+        let methods: &[&str] = if enum_name == "Request" {
+            &["opcode", "label", "encode", "decode"]
+        } else {
+            &["opcode", "encode", "decode"]
+        };
+        for method in methods {
+            let Some(span) = impl_method_span(&proto, enum_name, method) else {
+                report.push(Finding {
+                    code: "protocol.missing-method",
+                    severity: Severity::Error,
+                    file: PROTO.to_string(),
+                    line: 0,
+                    detail: format!("could not locate `{enum_name}::{method}`"),
+                });
+                continue;
+            };
+            for v in &variants {
+                if !span_has_ident(&proto, span, v) {
+                    report.push(Finding {
+                        code: "protocol.missing-arm",
+                        severity: Severity::Error,
+                        file: PROTO.to_string(),
+                        line: proto.tokens[span.0].line,
+                        detail: format!("`{enum_name}::{v}` has no arm in `{enum_name}::{method}`"),
+                    });
+                }
+            }
+            // Every opcode const must be consumed by decode.
+            if *method == "decode" {
+                for c in consts {
+                    if !span_has_ident(&proto, span, c) {
+                        report.push(Finding {
+                            code: "protocol.missing-decode",
+                            severity: Severity::Error,
+                            file: PROTO.to_string(),
+                            line: proto.tokens[span.0].line,
+                            detail: format!(
+                                "opcode `op::{c}` is never matched in `{enum_name}::decode`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Dispatch: every Request variant appears as `Request::V` in
+        // server.rs outside tests.
+        if enum_name == "Request" {
+            for v in &variants {
+                if !dispatched(&server, v) {
+                    report.push(Finding {
+                        code: "protocol.missing-dispatch",
+                        severity: Severity::Error,
+                        file: SERVER.to_string(),
+                        line: 0,
+                        detail: format!("`Request::{v}` is never dispatched in server.rs"),
+                    });
+                }
+            }
+        }
+    }
+
+    // label() string set == OP_LABELS array.
+    if let Some(label_span) = impl_method_span(&proto, "Request", "label") {
+        let labels = strings_in_span(&proto, label_span);
+        let (op_labels, op_labels_line) = op_labels_array(&metrics);
+        for l in &labels {
+            if !op_labels.contains(l) {
+                report.push(Finding {
+                    code: "protocol.missing-op-label",
+                    severity: Severity::Error,
+                    file: SERVER_METRICS.to_string(),
+                    line: op_labels_line,
+                    detail: format!(
+                        "request label \"{l}\" has no OP_LABELS entry; its latency histogram would be dropped"
+                    ),
+                });
+            }
+        }
+        for l in &op_labels {
+            if !labels.contains(l) {
+                report.push(Finding {
+                    code: "protocol.stale-op-label",
+                    severity: Severity::Error,
+                    file: SERVER_METRICS.to_string(),
+                    line: op_labels_line,
+                    detail: format!("OP_LABELS entry \"{l}\" matches no `Request::label` value"),
+                });
+            }
+        }
+    }
+}
+
+fn missing_file(path: &str) -> Finding {
+    Finding {
+        code: "protocol.missing-file",
+        severity: Severity::Error,
+        file: path.to_string(),
+        line: 0,
+        detail: "file is missing or unreadable".to_string(),
+    }
+}
+
+/// `mod op` constants split into (requests, responses) by value.
+fn op_consts(proto: &LexedFile) -> (Vec<String>, Vec<String>) {
+    let toks = &proto.tokens;
+    let mut req = Vec::new();
+    let mut resp = Vec::new();
+    let Some(open) = find_seq(toks, &["mod", "op"]).and_then(|i| next_open_brace(toks, i)) else {
+        return (req, resp);
+    };
+    let (start, end) = proto.brace_span(open);
+    let mut i = start;
+    while i + 5 < end {
+        // const NAME : u8 = VALUE ;
+        if toks[i].is_ident("const")
+            && toks[i + 1].kind == TokenKind::Ident
+            && toks[i + 2].is_punct(':')
+        {
+            let name = toks[i + 1].text.clone();
+            // Find the value literal after `=`.
+            let mut j = i + 3;
+            while j < end && !toks[j].is_punct('=') {
+                j += 1;
+            }
+            if let Some(val) = toks.get(j + 1).filter(|t| t.kind == TokenKind::Num) {
+                let v = parse_u8(&val.text);
+                if let Some(v) = v {
+                    if v < 0x80 {
+                        req.push(name);
+                    } else {
+                        resp.push(name);
+                    }
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    (req, resp)
+}
+
+fn parse_u8(text: &str) -> Option<u8> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u8::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Variant names of `enum <name>`.
+fn enum_variants(proto: &LexedFile, name: &str) -> Vec<String> {
+    let toks = &proto.tokens;
+    let Some(open) = find_seq(toks, &["enum", name]).and_then(|i| next_open_brace(toks, i)) else {
+        return Vec::new();
+    };
+    let (start, end) = proto.brace_span(open);
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = true;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct(',') {
+                expect_variant = true;
+            } else if t.is_punct('#') {
+                // attribute on the next variant; skip its [ ... ] below
+            } else if expect_variant && t.kind == TokenKind::Ident {
+                out.push(t.text.clone());
+                expect_variant = false;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Token span of `fn <method>` inside `impl <ty>` (first matching impl).
+fn impl_method_span(file: &LexedFile, ty: &str, method: &str) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    let impl_open = find_seq(toks, &["impl", ty]).and_then(|i| next_open_brace(toks, i))?;
+    let (istart, iend) = file.brace_span(impl_open);
+    let mut i = istart;
+    while i + 1 < iend {
+        if toks[i].is_ident("fn") && toks[i + 1].is_ident(method) {
+            let open = next_open_brace(toks, i + 1)?;
+            return Some(file.brace_span(open));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// First index where idents `seq` appear consecutively, outside tests.
+fn find_seq(toks: &[Token], seq: &[&str]) -> Option<usize> {
+    'outer: for i in 0..toks.len().saturating_sub(seq.len() - 1) {
+        for (k, want) in seq.iter().enumerate() {
+            if !toks[i + k].is_ident(want) {
+                continue 'outer;
+            }
+        }
+        return Some(i + seq.len() - 1);
+    }
+    None
+}
+
+/// Index of the next `{` after `i` (skipping to it), if any.
+fn next_open_brace(toks: &[Token], i: usize) -> Option<usize> {
+    toks.iter()
+        .enumerate()
+        .skip(i)
+        .find(|(_, t)| t.is_punct('{'))
+        .map(|(j, _)| j)
+}
+
+fn span_has_ident(file: &LexedFile, span: (usize, usize), name: &str) -> bool {
+    file.tokens[span.0..span.1].iter().any(|t| t.is_ident(name))
+}
+
+fn strings_in_span(file: &LexedFile, span: (usize, usize)) -> BTreeSet<String> {
+    file.tokens[span.0..span.1]
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// `Request :: V` occurrence in non-test server code.
+fn dispatched(server: &LexedFile, variant: &str) -> bool {
+    let toks = &server.tokens;
+    for i in 0..toks.len().saturating_sub(3) {
+        if toks[i].is_ident("Request")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident(variant)
+            && !server.in_test[i]
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Contents and line of the `OP_LABELS` array literal.
+fn op_labels_array(metrics: &LexedFile) -> (BTreeSet<String>, u32) {
+    let toks = &metrics.tokens;
+    for i in 0..toks.len() {
+        if toks[i].is_ident("OP_LABELS") && !metrics.in_test[i] {
+            // const OP_LABELS : [...] = [ "a", "b", ... ];
+            let mut j = i;
+            while j < toks.len() && !toks[j].is_punct('=') {
+                j += 1;
+            }
+            let mut out = BTreeSet::new();
+            let mut depth = 0i32;
+            for t in toks.iter().skip(j) {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth > 0 && t.kind == TokenKind::Str {
+                    out.insert(t.text.clone());
+                }
+            }
+            return (out, toks[i].line);
+        }
+    }
+    (BTreeSet::new(), 0)
+}
+
+// ---------------------------------------------------------------------
+// Metric-name documentation
+// ---------------------------------------------------------------------
+
+fn metrics_check(ws: &Workspace, report: &mut LintReport) {
+    let Some(doc) = ws.read(METRICS_DOC) else {
+        report.push(Finding {
+            code: "metrics.missing-doc",
+            severity: Severity::Error,
+            file: METRICS_DOC.to_string(),
+            line: 0,
+            detail: "docs/METRICS.md is missing".to_string(),
+        });
+        return;
+    };
+    let documented = documented_names(&doc);
+    for file in [STORE_METRICS, SERVER_METRICS] {
+        let Some(lexed) = ws.lex(file) else { continue };
+        for (i, t) in lexed.tokens.iter().enumerate() {
+            if t.kind != TokenKind::Str || lexed.in_test[i] || !is_metric_name(&t.text) {
+                continue;
+            }
+            if !name_documented(&t.text, &documented) {
+                report.push(Finding {
+                    code: "metrics.undocumented",
+                    severity: Severity::Error,
+                    file: file.to_string(),
+                    line: t.line,
+                    detail: format!("metric \"{}\" is not documented in docs/METRICS.md", t.text),
+                });
+            }
+        }
+    }
+}
+
+/// Does a string literal look like a metric name? Lowercase dotted
+/// path, possibly with `{...}` format segments.
+fn is_metric_name(s: &str) -> bool {
+    if !s.contains('.') || !s.starts_with(|c: char| c.is_ascii_lowercase()) {
+        return false;
+    }
+    let mut segments = 0;
+    for seg in s.split('.') {
+        if seg.is_empty() {
+            return false;
+        }
+        let fmt = seg.starts_with('{') && seg.ends_with('}');
+        if !fmt
+            && !seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
+/// Backtick-quoted dotted names from the doc, as segment vectors where
+/// `<...>` and `*` become wildcards.
+fn documented_names(doc: &str) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for chunk in doc.split('`').skip(1).step_by(2) {
+        if chunk.contains('.') && !chunk.contains(' ') {
+            let segs: Vec<String> = chunk.split('.').map(|s| s.to_string()).collect();
+            if segs.iter().all(|s| !s.is_empty()) {
+                out.push(segs);
+            }
+        }
+    }
+    out
+}
+
+/// Match a code-side name against the documented set. `{...}` segments
+/// in code match `<...>` segments in docs; a doc entry that is a prefix
+/// of the code name (at a dot boundary, or via a trailing `*`) also
+/// counts — histogram names cover their derived `.count`/`.mean`/`.p99`
+/// renderings.
+fn name_documented(name: &str, documented: &[Vec<String>]) -> bool {
+    let code_segs: Vec<&str> = name.split('.').collect();
+    'next: for doc in documented {
+        let doc_len = if doc.last().is_some_and(|s| s == "*") {
+            doc.len() - 1
+        } else {
+            doc.len()
+        };
+        let explicit_wildcard_tail = doc.last().is_some_and(|s| s == "*");
+        if code_segs.len() < doc_len {
+            continue;
+        }
+        // A plain doc entry may be a strict prefix only when the code
+        // name extends it with derived histogram suffixes.
+        if code_segs.len() > doc_len && !explicit_wildcard_tail {
+            let tail = &code_segs[doc_len..];
+            let derived = tail
+                .iter()
+                .all(|s| matches!(*s, "count" | "mean" | "p99" | "max" | "sum"));
+            if !derived {
+                continue;
+            }
+        }
+        for (c, d) in code_segs.iter().zip(doc.iter().take(doc_len)) {
+            let code_wild = c.starts_with('{') && c.ends_with('}');
+            let doc_wild = d.starts_with('<') && d.ends_with('>');
+            if !(code_wild || doc_wild || c == d) {
+                continue 'next;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_shape() {
+        assert!(is_metric_name("wal.syncs"));
+        assert!(is_metric_name("pool.shard.{}.hits"));
+        assert!(is_metric_name("server.op.{label}.count"));
+        assert!(!is_metric_name("1.50us"));
+        assert!(!is_metric_name("no_dots"));
+        assert!(!is_metric_name("Sentence. Case"));
+    }
+
+    #[test]
+    fn doc_matching_rules() {
+        let doc = documented_names(
+            "| `wal.sync_latency` | histogram | and `pool.shard.<i>.hits` plus `server.op.<label>.*` |",
+        );
+        assert!(name_documented("wal.sync_latency.mean", &doc));
+        assert!(name_documented("wal.sync_latency.p99", &doc));
+        assert!(!name_documented("wal.sync_latency.surprise", &doc));
+        assert!(name_documented("pool.shard.{}.hits", &doc));
+        assert!(!name_documented("pool.shard.{}.misses", &doc));
+        assert!(name_documented("server.op.{label}.count", &doc));
+        assert!(!name_documented("client.op.{label}.count", &doc));
+    }
+
+    #[test]
+    fn op_consts_split_by_value() {
+        let f = LexedFile::lex(
+            "mod op { pub const PING: u8 = 0x01; pub const R_PONG: u8 = 0x81; pub const R_ERR: u8 = 0xFF; }",
+        );
+        let (req, resp) = op_consts(&f);
+        assert_eq!(req, vec!["PING"]);
+        assert_eq!(resp, vec!["R_PONG", "R_ERR"]);
+    }
+
+    #[test]
+    fn enum_variants_ignore_field_idents() {
+        let f = LexedFile::lex(
+            "pub enum Request { Ping, LoadPtdf { text: String }, Query(QuerySpec), Shutdown }",
+        );
+        let v = enum_variants(&f, "Request");
+        assert_eq!(v, vec!["Ping", "LoadPtdf", "Query", "Shutdown"]);
+    }
+
+    #[test]
+    fn op_labels_array_is_harvested() {
+        let f = LexedFile::lex("pub const OP_LABELS: [&str; 2] = [\"ping\", \"query\"];");
+        let (labels, line) = op_labels_array(&f);
+        assert_eq!(line, 1);
+        assert!(labels.contains("ping") && labels.contains("query"));
+    }
+}

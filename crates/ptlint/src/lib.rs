@@ -1,0 +1,114 @@
+//! `ptlint` — workspace-aware static analysis for the PerfTrack repo.
+//!
+//! The engine's correctness story rests on a few cross-cutting
+//! invariants that no single crate's type system can see: all engine
+//! I/O flows through the `Vfs` seam, the request path never panics on
+//! untrusted bytes, locks are acquired in one global order, and the
+//! wire protocol's four hand-synchronized surfaces (opcode constants,
+//! enum arms, dispatch match, `OP_LABELS`) stay in step. `ptlint`
+//! checks all four as a CI gate, reporting typed [`Finding`]s with the
+//! same table/JSON contract as `pt fsck`.
+//!
+//! The analysis is token-level, not AST-level: the crate is
+//! deliberately dependency-free (this container builds with no network
+//! access, and a lint gate should never be knocked over by the
+//! dependencies of the code it checks), so it lexes Rust by hand —
+//! enough to strip comments/strings, mark `#[cfg(test)]` regions,
+//! match brace structure, and track `use` renames, which is what
+//! separates it from the grep it replaces. See `docs/ANALYSIS.md` for
+//! the check catalogue and escape-hatch policy.
+
+#![deny(missing_docs)]
+
+pub mod checks;
+pub mod config;
+pub mod findings;
+pub mod lexer;
+
+pub use config::LockOrderConfig;
+pub use findings::{Finding, LintReport, Severity};
+
+use checks::Workspace;
+use std::path::Path;
+
+/// Which checks to run and where.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root directory.
+    pub root: std::path::PathBuf,
+    /// Workspace-relative path of the lock-order allowlist.
+    pub lock_order: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            root: std::path::PathBuf::from("."),
+            lock_order: "tools/lock-order.toml".to_string(),
+        }
+    }
+}
+
+/// Run every check family over the workspace and return the report.
+pub fn run_all(opts: &Options) -> LintReport {
+    let ws = Workspace::new(&opts.root);
+    let mut report = LintReport::new();
+    checks::io::run(&ws, &mut report);
+    checks::panics::run(&ws, &mut report);
+    match load_lock_config(&ws, &opts.lock_order) {
+        Ok(cfg) => checks::locks::run(&ws, &cfg, &mut report),
+        Err(f) => report.push(f),
+    }
+    checks::protocol::run(&ws, &mut report);
+    report.files_scanned = ws.files_lexed();
+    report
+}
+
+/// The observed lock-acquisition edges (powers `--list-edges`).
+pub fn list_edges(opts: &Options) -> Result<Vec<checks::locks::ObservedEdge>, String> {
+    let ws = Workspace::new(&opts.root);
+    match load_lock_config(&ws, &opts.lock_order) {
+        Ok(cfg) => Ok(checks::locks::observed_edges(&ws, &cfg)),
+        Err(f) => Err(f.detail),
+    }
+}
+
+fn load_lock_config(ws: &Workspace, rel: &str) -> Result<LockOrderConfig, Finding> {
+    let Some(text) = ws.read(rel) else {
+        return Err(Finding {
+            code: "locks.missing-config",
+            severity: Severity::Error,
+            file: rel.to_string(),
+            line: 0,
+            detail: "lock-order allowlist is missing; commit tools/lock-order.toml".to_string(),
+        });
+    };
+    LockOrderConfig::parse(&text).map_err(|e| Finding {
+        code: "locks.bad-config",
+        severity: Severity::Error,
+        file: rel.to_string(),
+        line: 0,
+        detail: e,
+    })
+}
+
+/// The deny family a finding code belongs to: its prefix, with
+/// `metrics.*` folded into `protocol` (one ISSUE-level check family)
+/// and `directive.*` standing alone.
+pub fn family(code: &str) -> &str {
+    let prefix = code.split('.').next().unwrap_or(code);
+    if prefix == "metrics" {
+        "protocol"
+    } else {
+        prefix
+    }
+}
+
+/// Convenience for tests: run everything against a given root with the
+/// default lock-order path.
+pub fn run_at(root: &Path) -> LintReport {
+    run_all(&Options {
+        root: root.to_path_buf(),
+        ..Options::default()
+    })
+}

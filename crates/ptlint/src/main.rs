@@ -1,0 +1,107 @@
+//! The `ptlint` binary: run the static-analysis pass and render the
+//! report as a table (default) or JSON (`--json`), optionally writing
+//! to a file (`--out`) for CI artifact upload.
+//!
+//! ```text
+//! ptlint [--root DIR] [--json] [--out FILE]
+//!        [--deny all|io,panics,locks,protocol,directive]
+//!        [--lock-order FILE] [--list-edges]
+//! ```
+//!
+//! Exit codes: `0` — no denied errors (warnings never fail the build);
+//! `1` — at least one error finding in a denied family; `2` — usage or
+//! internal error.
+
+use ptlint::{family, run_all, Options, Severity};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("ptlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = Options::default();
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut deny: Vec<String> = Vec::new();
+    let mut list_edges = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => opts.root = next_value(&mut it, "--root")?.into(),
+            "--lock-order" => opts.lock_order = next_value(&mut it, "--lock-order")?,
+            "--json" => json = true,
+            "--out" => out = Some(next_value(&mut it, "--out")?),
+            "--deny" => {
+                for f in next_value(&mut it, "--deny")?.split(',') {
+                    deny.push(f.trim().to_string());
+                }
+            }
+            "--list-edges" => list_edges = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: ptlint [--root DIR] [--json] [--out FILE] [--deny all|FAMILIES] [--lock-order FILE] [--list-edges]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_edges {
+        let edges = ptlint::list_edges(&opts)?;
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &edges {
+            if seen.insert((e.from.clone(), e.to.clone())) {
+                println!(
+                    "{} -> {}    # first seen {}:{}",
+                    e.from, e.to, e.file, e.line
+                );
+            }
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let report = run_all(&opts);
+    let rendered = if json {
+        report.to_json()
+    } else {
+        report.render_table()
+    };
+    if let Some(path) = out {
+        std::fs::write(&path, rendered.as_bytes())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    } else {
+        print!("{rendered}");
+        if json {
+            println!();
+        }
+    }
+
+    let deny_all = deny.iter().any(|d| d == "all");
+    let denied_errors = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .filter(|f| deny_all || deny.iter().any(|d| d == family(f.code)))
+        .count();
+    Ok(if denied_errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}

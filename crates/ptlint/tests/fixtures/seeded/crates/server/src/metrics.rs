@@ -1,0 +1,3 @@
+//! Seeded violation: `OP_LABELS` is missing the "query" label, so its
+//! latency histogram would silently be dropped.
+pub const OP_LABELS: [&str; 1] = ["ping"];

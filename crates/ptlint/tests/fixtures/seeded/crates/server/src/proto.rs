@@ -1,0 +1,65 @@
+//! Minimal protocol surface for the seeded fixture: two request
+//! opcodes, one response opcode, all four hand-synchronized surfaces
+//! present and in step. The deliberate defect lives in `metrics.rs`.
+
+mod op {
+    pub const PING: u8 = 0x01;
+    pub const QUERY: u8 = 0x02;
+    pub const R_PONG: u8 = 0x81;
+}
+
+pub enum Request {
+    Ping,
+    Query,
+}
+
+pub enum Response {
+    Pong,
+}
+
+impl Request {
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Ping => op::PING,
+            Request::Query => op::QUERY,
+        }
+    }
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Query => "query",
+        }
+    }
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => vec![op::PING],
+            Request::Query => vec![op::QUERY],
+        }
+    }
+    pub fn decode(buf: &[u8]) -> Option<Request> {
+        match buf.first().copied() {
+            Some(op::PING) => Some(Request::Ping),
+            Some(op::QUERY) => Some(Request::Query),
+            _ => None,
+        }
+    }
+}
+
+impl Response {
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::Pong => op::R_PONG,
+        }
+    }
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Pong => vec![op::R_PONG],
+        }
+    }
+    pub fn decode(buf: &[u8]) -> Option<Response> {
+        match buf.first().copied() {
+            Some(op::R_PONG) => Some(Response::Pong),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Dispatch for the seeded fixture: every Request variant is handled.
+use crate::proto::{Request, Response};
+
+pub fn dispatch(req: &Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Query => Response::Pong,
+    }
+}

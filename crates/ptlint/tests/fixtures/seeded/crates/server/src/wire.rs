@@ -1,0 +1,6 @@
+//! Seeded violation: a renamed `std::fs` import outside the Vfs seam.
+use std::fs as sneaky_fs;
+
+pub fn slurp(path: &str) -> Vec<u8> {
+    sneaky_fs::read(path).unwrap_or_default()
+}

@@ -1,0 +1,7 @@
+//! The I/O seam of the fixture workspace. Direct `std::fs` use is
+//! legal only in this file; ptlint must report nothing here.
+use std::fs;
+
+pub fn read(path: &str) -> std::io::Result<Vec<u8>> {
+    fs::read(path)
+}

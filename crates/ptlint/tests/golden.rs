@@ -1,0 +1,169 @@
+//! Golden-output tests over the seeded-violation fixture.
+//!
+//! The fixture under `tests/fixtures/seeded/` plants exactly one
+//! violation per check family (a renamed `std::fs` import, a hot-path
+//! unwrap, a reversed lock acquisition that is both a new edge and a
+//! cycle, and an opcode missing its `OP_LABELS` entry). The rendered
+//! table and JSON are compared byte-for-byte against committed golden
+//! files so any drift in sorting, alignment, or escaping is caught —
+//! the same contract `pt fsck` output is held to.
+//!
+//! To regenerate after an intentional rendering change:
+//!
+//! ```text
+//! cargo run -p ptlint -- --root crates/ptlint/tests/fixtures/seeded \
+//!     --out crates/ptlint/tests/fixtures/seeded-expected.table
+//! cargo run -p ptlint -- --root crates/ptlint/tests/fixtures/seeded \
+//!     --json --out crates/ptlint/tests/fixtures/seeded-expected.json
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use ptlint::findings::{LintReport, Severity};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/seeded")
+}
+
+fn fixture_report() -> LintReport {
+    ptlint::run_at(&fixture_root())
+}
+
+#[test]
+fn table_output_matches_golden_byte_for_byte() {
+    let expected = include_str!("fixtures/seeded-expected.table");
+    assert_eq!(fixture_report().render_table(), expected);
+}
+
+#[test]
+fn json_output_matches_golden_byte_for_byte() {
+    let expected = include_str!("fixtures/seeded-expected.json");
+    assert_eq!(fixture_report().to_json(), expected);
+}
+
+#[test]
+fn fixture_plants_exactly_one_violation_per_check_family() {
+    let report = fixture_report();
+    assert_eq!(report.errors(), 5, "{}", report.render_table());
+    assert_eq!(report.warnings(), 0, "{}", report.render_table());
+    let mut families: Vec<&str> = report
+        .findings
+        .iter()
+        .map(|f| ptlint::family(f.code))
+        .collect();
+    families.sort_unstable();
+    // locks appears twice: the reversed order is reported both as an
+    // unlisted edge and as the cycle it closes.
+    assert_eq!(families, ["io", "locks", "locks", "panics", "protocol"]);
+}
+
+/// Check family: I/O confinement. The fixture renames the import
+/// (`use std::fs as sneaky_fs`) to prove renames do not launder
+/// direct I/O past the Vfs seam.
+#[test]
+fn io_check_catches_renamed_std_fs_import() {
+    let report = fixture_report();
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.code == "io.direct-fs")
+        .expect("io.direct-fs finding");
+    assert_eq!(f.file, "crates/server/src/wire.rs");
+    assert_eq!(f.line, 2);
+    assert!(
+        f.detail.contains("sneaky_fs"),
+        "detail should name the rename: {}",
+        f.detail
+    );
+    // The exempt file (the Vfs implementation itself) uses std::fs
+    // heavily and must not be flagged.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.file == "crates/store/src/vfs.rs"),
+        "vfs.rs is the confinement seam and is exempt"
+    );
+}
+
+/// Check family: panic-freedom. The hot-path `.unwrap()` is flagged;
+/// the identical call inside `#[cfg(test)]` is not.
+#[test]
+fn panic_check_flags_hot_path_unwrap_but_not_test_code() {
+    let report = fixture_report();
+    let panics: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| ptlint::family(f.code) == "panics")
+        .collect();
+    assert_eq!(panics.len(), 1, "{}", report.render_table());
+    assert_eq!(panics[0].code, "panics.unwrap");
+    assert_eq!(panics[0].file, "crates/store/src/buffer.rs");
+    assert_eq!(panics[0].line, 23);
+}
+
+/// Check family: lock order. `backward()` acquires `pool.a` under
+/// `pool.b`, which is both an edge missing from the allowlist and a
+/// cycle against the committed `pool.a -> pool.b` order.
+#[test]
+fn lock_check_reports_new_edge_and_closed_cycle() {
+    let report = fixture_report();
+    let new_edge = report
+        .findings
+        .iter()
+        .find(|f| f.code == "locks.new-edge")
+        .expect("locks.new-edge finding");
+    assert_eq!(new_edge.file, "crates/store/src/buffer.rs");
+    assert_eq!(new_edge.line, 18);
+    assert!(new_edge.detail.contains("tools/lock-order.toml"));
+
+    let cycle = report
+        .findings
+        .iter()
+        .find(|f| f.code == "locks.cycle")
+        .expect("locks.cycle finding");
+    assert!(
+        cycle.detail.contains("pool.a -> pool.b -> pool.a"),
+        "cycle should render closed: {}",
+        cycle.detail
+    );
+}
+
+/// Check family: protocol/metric consistency. The "query" request is
+/// decodable and dispatched but missing from `OP_LABELS`, so its
+/// latency histogram would silently be dropped.
+#[test]
+fn protocol_check_flags_missing_op_label() {
+    let report = fixture_report();
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.code == "protocol.missing-op-label")
+        .expect("protocol.missing-op-label finding");
+    assert_eq!(f.file, "crates/server/src/metrics.rs");
+    assert_eq!(f.line, 3);
+    assert!(f.detail.contains("query"), "detail: {}", f.detail);
+}
+
+/// Every finding in the golden report is an error: the seeded fixture
+/// must keep exercising the deny path (`--deny all` exits non-zero).
+#[test]
+fn seeded_findings_are_all_errors() {
+    let report = fixture_report();
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.severity == Severity::Error));
+}
+
+/// The real workspace two levels up must lint clean — the same gate
+/// CI enforces with `cargo run -p ptlint -- --deny all`.
+#[test]
+fn real_workspace_has_no_errors() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = ptlint::run_at(&root);
+    assert_eq!(report.errors(), 0, "{}", report.render_table());
+}

@@ -200,10 +200,7 @@ impl Client {
 
     fn call_on_current_conn(&mut self, req: &Request) -> Result<Response, ClientError> {
         if self.conn.is_none() {
-            let mut addrs = self
-                .addr
-                .to_socket_addrs()
-                .map_err(ClientError::Io)?;
+            let mut addrs = self.addr.to_socket_addrs().map_err(ClientError::Io)?;
             let addr = addrs.next().ok_or_else(|| {
                 ClientError::Io(std::io::Error::new(
                     std::io::ErrorKind::InvalidInput,
@@ -217,7 +214,14 @@ impl Client {
             let _ = stream.set_nodelay(true);
             self.conn = Some(stream);
         }
-        let stream = self.conn.as_mut().expect("connection just established");
+        let Some(stream) = self.conn.as_mut() else {
+            // Unreachable: the block above just connected. A typed error
+            // beats a panic if that ever changes.
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "no connection after connect",
+            )));
+        };
         stream.write_all(&req.encode()).map_err(ClientError::Io)?;
         let mut dec = FrameDecoder::new();
         let mut buf = [0u8; 8192];
@@ -232,7 +236,9 @@ impl Client {
                     "server closed the connection mid-response",
                 )));
             }
-            dec.extend(&buf[..n]);
+            // `read` guarantees `n <= buf.len()`; `get` keeps this
+            // panic-free against a misbehaving transport.
+            dec.extend(buf.get(..n).unwrap_or_default());
         }
     }
 }
@@ -358,7 +364,10 @@ mod tests {
         );
         // Idempotent requests DO retry against the dead address.
         let err = client.call(&Request::Ping).unwrap_err();
-        assert!(matches!(err, ClientError::RetriesExhausted { attempts: 4, .. }));
+        assert!(matches!(
+            err,
+            ClientError::RetriesExhausted { attempts: 4, .. }
+        ));
         assert_eq!(client.retries_performed(), 3);
     }
 

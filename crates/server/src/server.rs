@@ -267,7 +267,9 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         }
         match stream.read(&mut buf) {
             Ok(0) => return, // peer closed
-            Ok(n) => decoder.extend(&buf[..n]),
+            // `read` guarantees `n <= buf.len()`; `get` keeps the slice
+            // panic-free even against a misbehaving Read impl.
+            Ok(n) => decoder.extend(buf.get(..n).unwrap_or_default()),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut
@@ -670,6 +672,29 @@ mod tests {
             other => panic!("unexpected response {other:?}"),
         }
         // The server must still answer on a fresh connection.
+        let resp = call_raw(handle.local_addr(), &Request::Ping);
+        assert!(matches!(resp, Response::Pong { .. }));
+        shutdown_and_join(handle);
+    }
+
+    #[test]
+    fn malformed_payload_in_valid_frame_gets_typed_error_not_panic() {
+        // Regression for the panic-freedom contract: a frame whose header
+        // is well-formed but whose payload bytes are hostile must come
+        // back as a typed Invalid error — never a worker panic — and the
+        // same server must keep answering afterwards.
+        let (handle, _store) = start_test_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        // Opcode 0x03 (QUERY, docs/SERVER.md) expects a structured
+        // QuerySpec payload; feed it a string length prefix pointing far
+        // past the payload's end.
+        let frame =
+            crate::wire::encode_frame(crate::proto::WIRE_VERSION, 0x03, &u32::MAX.to_be_bytes());
+        stream.write_all(&frame).unwrap();
+        match read_response(&mut stream) {
+            Response::Err { category, .. } => assert_eq!(category, ErrorCategory::Invalid),
+            other => panic!("unexpected response {other:?}"),
+        }
         let resp = call_raw(handle.local_addr(), &Request::Ping);
         assert!(matches!(resp, Response::Pong { .. }));
         shutdown_and_join(handle);

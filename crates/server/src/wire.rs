@@ -137,10 +137,9 @@ impl FrameDecoder {
     /// more bytes"; an error means the stream is corrupt and the
     /// connection must be torn down.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
-        if self.buf.len() < 4 {
+        let Some(len) = be_u32(&self.buf) else {
             return Ok(None);
-        }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        };
         if len > MAX_FRAME {
             return Err(WireError::FrameTooLarge {
                 len,
@@ -155,12 +154,28 @@ impl FrameDecoder {
         }
         let _prefix = self.buf.split_to(4);
         let body = self.buf.split_to(len as usize);
+        // `len >= 2` was checked above, so both header bytes exist; the
+        // `get`-based destructuring keeps this provably panic-free.
+        let (Some(&version), Some(&opcode)) = (body.first(), body.get(1)) else {
+            return Err(WireError::FrameTooShort { len });
+        };
         Ok(Some(Frame {
-            version: body[0],
-            opcode: body[1],
-            payload: body[2..].to_vec(),
+            version,
+            opcode,
+            payload: body.get(2..).unwrap_or_default().to_vec(),
         }))
     }
+}
+
+/// Big-endian `u32` from the first four bytes, `None` when fewer than
+/// four are available. Panic-free by construction.
+fn be_u32(buf: &[u8]) -> Option<u32> {
+    Some(u32::from_be_bytes([
+        *buf.first()?,
+        *buf.get(1)?,
+        *buf.get(2)?,
+        *buf.get(3)?,
+    ]))
 }
 
 // ---------------------------------------------------------------------------
@@ -224,14 +239,20 @@ impl<'a> PayloadReader<'a> {
         if self.remaining() < n {
             return Err(WireError::Malformed(what));
         }
-        let s = &self.buf[self.pos..self.pos + n];
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or(WireError::Malformed(what))?;
         self.pos += n;
         Ok(s)
     }
 
     /// Read one byte.
     pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
-        Ok(self.take(1, what)?[0])
+        self.take(1, what)?
+            .first()
+            .copied()
+            .ok_or(WireError::Malformed(what))
     }
 
     /// Read a boolean byte (anything nonzero is `true`).
@@ -241,16 +262,20 @@ impl<'a> PayloadReader<'a> {
 
     /// Read a big-endian `u32`.
     pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .take(4, what)?
+            .try_into()
+            .map_err(|_| WireError::Malformed(what))?;
+        Ok(u32::from_be_bytes(b))
     }
 
     /// Read a big-endian `u64`.
     pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
-        let b = self.take(8, what)?;
-        Ok(u64::from_be_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self
+            .take(8, what)?
+            .try_into()
+            .map_err(|_| WireError::Malformed(what))?;
+        Ok(u64::from_be_bytes(b))
     }
 
     /// Read a `u32`-length-prefixed UTF-8 string. The declared length is

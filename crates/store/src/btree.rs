@@ -49,12 +49,19 @@ impl Node {
                 }
                 *splits += 1;
                 let right: Vec<Entry> = entries.split_off(entries.len() / 2);
-                let sep = (right[0].0.clone(), right[0].1);
+                // Non-empty: the leaf held > MAX_KEYS entries before the
+                // split, so both halves have at least one.
+                let sep = right.first().map(|e| (e.0.clone(), e.1))?;
                 Some((sep, Node::Leaf(right)))
             }
             Node::Internal { seps, children } => {
                 let idx = seps.partition_point(|s| cmp_entry(s, &key, rid).is_le());
-                if let Some((sep, new_child)) = children[idx].insert(key, rid, splits) {
+                // idx <= seps.len() < children.len() by the B+tree shape
+                // invariant; `get_mut` keeps the walk panic-free anyway.
+                if let Some((sep, new_child)) = children
+                    .get_mut(idx)
+                    .and_then(|c| c.insert(key, rid, splits))
+                {
                     seps.insert(idx, sep);
                     children.insert(idx + 1, new_child);
                     if seps.len() > MAX_KEYS {
@@ -88,7 +95,7 @@ impl Node {
             },
             Node::Internal { seps, children } => {
                 let idx = seps.partition_point(|s| cmp_entry(s, key, rid).is_le());
-                children[idx].remove(key, rid)
+                children.get_mut(idx).is_some_and(|c| c.remove(key, rid))
             }
         }
     }
@@ -110,7 +117,7 @@ impl Node {
                     Bound::Included(k) => entries.partition_point(|e| e.0.as_ref() < k),
                     Bound::Excluded(k) => entries.partition_point(|e| e.0.as_ref() <= k),
                 };
-                for e in &entries[start..] {
+                for e in entries.iter().skip(start) {
                     let past_end = match hi {
                         Bound::Unbounded => false,
                         Bound::Included(k) => e.0.as_ref() > k,
@@ -135,21 +142,20 @@ impl Node {
                         seps.partition_point(|s| s.0.as_ref() < k)
                     }
                 };
-                for idx in first..children.len() {
+                for (idx, child) in children.iter().enumerate().skip(first) {
                     // Stop descending once the subtree's lower bound
                     // (seps[idx-1]) is past hi.
                     if idx > first {
-                        let sep_key = seps[idx - 1].0.as_ref();
-                        let past = match hi {
-                            Bound::Unbounded => false,
-                            Bound::Included(k) => sep_key > k,
-                            Bound::Excluded(k) => sep_key >= k,
+                        let past = match (idx.checked_sub(1).and_then(|i| seps.get(i)), hi) {
+                            (None, _) | (_, Bound::Unbounded) => false,
+                            (Some(sep), Bound::Included(k)) => sep.0.as_ref() > k,
+                            (Some(sep), Bound::Excluded(k)) => sep.0.as_ref() >= k,
                         };
                         if past {
                             break;
                         }
                     }
-                    if !children[idx].visit_range(lo, hi, f, reads) {
+                    if !child.visit_range(lo, hi, f, reads) {
                         return false;
                     }
                 }
@@ -176,33 +182,34 @@ impl Node {
             Node::Leaf(entries) => {
                 for &(slot, key) in keys {
                     let start = entries.partition_point(|e| e.0.as_ref() < key);
-                    for e in &entries[start..] {
+                    for e in entries.iter().skip(start) {
                         if e.0.as_ref() != key {
                             break;
                         }
-                        out[slot].push(e.1);
+                        if let Some(bucket) = out.get_mut(slot) {
+                            bucket.push(e.1);
+                        }
                     }
                 }
             }
             Node::Internal { seps, children } => {
-                for idx in 0..children.len() {
+                for (idx, child) in children.iter().enumerate() {
                     // Child idx spans [seps[idx-1], seps[idx]] in key terms
                     // (inclusive on both sides because separators carry
-                    // composite keys).
-                    let start = if idx == 0 {
-                        0
-                    } else {
-                        let lo = seps[idx - 1].0.as_ref();
-                        keys.partition_point(|&(_, k)| k < lo)
+                    // composite keys). `seps.get(idx)` is None exactly for
+                    // the last child.
+                    let start = match idx.checked_sub(1).and_then(|i| seps.get(i)) {
+                        None => 0,
+                        Some(lo) => keys.partition_point(|&(_, k)| k < lo.0.as_ref()),
                     };
-                    let end = if idx + 1 == children.len() {
-                        keys.len()
-                    } else {
-                        let hi = seps[idx].0.as_ref();
-                        keys.partition_point(|&(_, k)| k <= hi)
+                    let end = match seps.get(idx) {
+                        None => keys.len(),
+                        Some(hi) => keys.partition_point(|&(_, k)| k <= hi.0.as_ref()),
                     };
                     if start < end {
-                        children[idx].visit_many(&keys[start..end], out, reads);
+                        if let Some(chunk) = keys.get(start..end) {
+                            child.visit_many(chunk, out, reads);
+                        }
                     }
                 }
             }
@@ -212,7 +219,7 @@ impl Node {
     fn depth(&self) -> usize {
         match self {
             Node::Leaf(_) => 1,
-            Node::Internal { children, .. } => 1 + children[0].depth(),
+            Node::Internal { children, .. } => 1 + children.first().map_or(0, Node::depth),
         }
     }
 }

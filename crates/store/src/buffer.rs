@@ -233,13 +233,24 @@ impl BufferPool {
     /// The shard a page maps to.
     #[inline]
     fn shard_of(&self, id: PageId) -> &Shard {
+        // ptlint: allow(panic) -- modulo keeps the index in range; with_shards guarantees >= 1 shard
         &self.shards[id.0 as usize % self.shards.len()]
+    }
+
+    /// The frame at global index `idx`. Single chokepoint for frame
+    /// addressing: every caller computes `shard.base + local` with
+    /// `local` below the shard's capacity, which `with_shards` sized the
+    /// frame vector to cover exactly.
+    #[inline]
+    fn frame(&self, idx: usize) -> &Frame {
+        // ptlint: allow(panic) -- shard.base + local < frames.len() by pool construction
+        &self.frames[idx]
     }
 
     /// Run `f` with read access to page `id`.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
         let (idx, preloaded) = self.acquire(id, false)?;
-        let frame = &self.frames[idx];
+        let frame = self.frame(idx);
         let result = if let Some(guard) = preloaded {
             // We loaded the page ourselves and hold the write lock; use it.
             f(&guard)
@@ -259,7 +270,7 @@ impl BufferPool {
         f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
         let (idx, preloaded) = self.acquire(id, true)?;
-        let frame = &self.frames[idx];
+        let frame = self.frame(idx);
         let result = if let Some(mut guard) = preloaded {
             f(&mut guard)
         } else {
@@ -293,10 +304,13 @@ impl BufferPool {
             if let Some(&local) = state.page_table.get(&id) {
                 let idx = shard.base + local;
                 shard.stats.hits.fetch_add(1, Ordering::Relaxed);
-                self.frames[idx].pin.fetch_add(1, Ordering::Acquire);
-                self.frames[idx].referenced.store(1, Ordering::Relaxed);
+                let frame = self.frame(idx);
+                frame.pin.fetch_add(1, Ordering::Acquire);
+                frame.referenced.store(1, Ordering::Relaxed);
                 if write_intent {
-                    state.info[local].dirty = true;
+                    if let Some(info) = state.info.get_mut(local) {
+                        info.dirty = true;
+                    }
                 }
                 return Ok((idx, None));
             }
@@ -312,11 +326,11 @@ impl BufferPool {
             for _ in 0..2 * cap {
                 let local = state.hand;
                 state.hand = (state.hand + 1) % cap;
-                let idx = shard.base + local;
-                if self.frames[idx].pin.load(Ordering::Acquire) != 0 {
+                let frame = self.frame(shard.base + local);
+                if frame.pin.load(Ordering::Acquire) != 0 {
                     continue;
                 }
-                if self.frames[idx].referenced.swap(0, Ordering::Relaxed) == 1 {
+                if frame.referenced.swap(0, Ordering::Relaxed) == 1 {
                     continue; // second chance
                 }
                 victim = Some(local);
@@ -339,10 +353,11 @@ impl BufferPool {
             // Write back the victim's dirty page before the mapping
             // changes. The victim belongs to this shard, so re-fetches of
             // it block on the shard mutex we hold.
-            if let Some(old) = state.info[local].page {
-                if state.info[local].dirty {
+            let victim_info = state.info.get(local).map(|i| (i.page, i.dirty));
+            if let Some((Some(old), dirty)) = victim_info {
+                if dirty {
                     self.run_writeback_hook()?;
-                    let guard = self.frames[idx].data.read();
+                    let guard = self.frame(idx).data.read();
                     self.disk.write_page(old, &guard)?;
                     shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
                 }
@@ -358,17 +373,22 @@ impl BufferPool {
             // frame is unpinned and unmapped, and every other pin/flush
             // path takes frame locks only under the shard mutex we
             // already hold.
-            let mut guard = self.frames[idx].data.write();
+            let mut guard = self.frame(idx).data.write();
             if let Err(e) = self.disk.read_page(id, &mut guard) {
-                state.info[local].page = None;
-                state.info[local].dirty = false;
+                if let Some(info) = state.info.get_mut(local) {
+                    info.page = None;
+                    info.dirty = false;
+                }
                 return Err(e);
             }
             state.page_table.insert(id, local);
-            state.info[local].page = Some(id);
-            state.info[local].dirty = write_intent;
-            self.frames[idx].pin.fetch_add(1, Ordering::Acquire);
-            self.frames[idx].referenced.store(1, Ordering::Relaxed);
+            if let Some(info) = state.info.get_mut(local) {
+                info.page = Some(id);
+                info.dirty = write_intent;
+            }
+            let frame = self.frame(idx);
+            frame.pin.fetch_add(1, Ordering::Acquire);
+            frame.referenced.store(1, Ordering::Relaxed);
             drop(state);
             return Ok((idx, Some(guard)));
         }
@@ -381,15 +401,18 @@ impl BufferPool {
         for shard in &self.shards {
             let mut state = self.lock_shard(shard);
             for local in 0..state.info.len() {
-                if let Some(page) = state.info[local].page {
-                    if state.info[local].dirty {
-                        let idx = shard.base + local;
-                        let guard = self.frames[idx].data.read();
-                        self.disk.write_page(page, &guard)?;
-                        drop(guard);
-                        state.info[local].dirty = false;
-                        shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                let dirty_page = state
+                    .info
+                    .get(local)
+                    .and_then(|i| i.dirty.then_some(i.page).flatten());
+                if let Some(page) = dirty_page {
+                    let guard = self.frame(shard.base + local).data.read();
+                    self.disk.write_page(page, &guard)?;
+                    drop(guard);
+                    if let Some(info) = state.info.get_mut(local) {
+                        info.dirty = false;
                     }
+                    shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }

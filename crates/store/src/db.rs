@@ -204,6 +204,7 @@ impl Database {
     /// fault-injection tests use to run a whole database against
     /// [`crate::vfs::FaultVfs`].
     pub fn open_with_vfs(dir: &Path, opts: DbOptions, vfs: &dyn Vfs) -> Result<Self> {
+        // ptlint: allow(io) -- store-directory creation happens before any Vfs handle exists
         std::fs::create_dir_all(dir)?;
         // Take the directory lock before reading a single page: two
         // processes racing through recovery would each replay the WAL

@@ -94,21 +94,38 @@ impl std::fmt::Display for RowId {
     }
 }
 
+// The field accessors are *total*: an out-of-bounds offset — which only
+// corrupted header bytes can produce, e.g. a slot_count of 0xFFFF
+// driving the slot directory past PAGE_SIZE — reads as zero and writes
+// nowhere, so corruption surfaces as tombstones/absent data for the
+// checker to report, never as a slice-bounds panic in the engine.
 #[inline]
 fn get_u16(buf: &[u8], off: usize) -> u16 {
-    u16::from_be_bytes([buf[off], buf[off + 1]])
+    buf.get(off..off.wrapping_add(2))
+        .and_then(|b| <[u8; 2]>::try_from(b).ok())
+        .map_or(0, u16::from_be_bytes)
 }
 #[inline]
 fn put_u16(buf: &mut [u8], off: usize, v: u16) {
-    buf[off..off + 2].copy_from_slice(&v.to_be_bytes());
+    if let Some(dst) = buf.get_mut(off..off.wrapping_add(2)) {
+        dst.copy_from_slice(&v.to_be_bytes());
+    } else {
+        debug_assert!(false, "put_u16 out of bounds at {off}");
+    }
 }
 #[inline]
 fn get_u32(buf: &[u8], off: usize) -> u32 {
-    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+    buf.get(off..off.wrapping_add(4))
+        .and_then(|b| <[u8; 4]>::try_from(b).ok())
+        .map_or(0, u32::from_be_bytes)
 }
 #[inline]
 fn put_u32(buf: &mut [u8], off: usize, v: u32) {
-    buf[off..off + 4].copy_from_slice(&v.to_be_bytes());
+    if let Some(dst) = buf.get_mut(off..off.wrapping_add(4)) {
+        dst.copy_from_slice(&v.to_be_bytes());
+    } else {
+        debug_assert!(false, "put_u32 out of bounds at {off}");
+    }
 }
 
 /// Read-only view over a page buffer.
@@ -132,7 +149,7 @@ impl<'a> PageRef<'a> {
 
     /// The page's type tag.
     pub fn page_type(&self) -> Result<PageType> {
-        PageType::from_tag(self.buf[OFF_TYPE])
+        PageType::from_tag(self.buf.get(OFF_TYPE).copied().unwrap_or(u8::MAX))
     }
 
     /// Number of slots in the directory (including tombstones).
@@ -227,7 +244,9 @@ impl<'a> PageMut<'a> {
     pub fn format(&mut self, ty: PageType) {
         self.buf.fill(0);
         put_u16(self.buf, OFF_MAGIC, MAGIC);
-        self.buf[OFF_TYPE] = ty.tag();
+        if let Some(b) = self.buf.get_mut(OFF_TYPE) {
+            *b = ty.tag();
+        }
         put_u16(self.buf, OFF_SLOT_COUNT, 0);
         put_u16(self.buf, OFF_FREE_END, PAGE_SIZE as u16);
         put_u32(self.buf, OFF_NEXT, u32::MAX);
@@ -296,9 +315,15 @@ impl<'a> PageMut<'a> {
             }
             put_u16(self.buf, OFF_SLOT_COUNT, slot + 1);
         }
-        // Place the record.
-        let new_end = usize::from(self.as_ref().free_end()) - record.len();
-        self.buf[new_end..new_end + record.len()].copy_from_slice(record);
+        // Place the record. A corrupt free_end (only disk damage can put
+        // it outside the page) surfaces as a typed error, not a panic.
+        let new_end = usize::from(self.as_ref().free_end())
+            .checked_sub(record.len())
+            .ok_or_else(|| StoreError::Corrupt("free_end underflows record area".into()))?;
+        self.buf
+            .get_mut(new_end..new_end + record.len())
+            .ok_or_else(|| StoreError::Corrupt("record area outside page bounds".into()))?
+            .copy_from_slice(record);
         put_u16(self.buf, OFF_FREE_END, new_end as u16);
         self.set_slot(slot, new_end as u16, record.len() as u16);
         debug_assert!(
@@ -336,7 +361,10 @@ impl<'a> PageMut<'a> {
         if record.len() <= usize::from(len) {
             // In-place: shrinkage just leaks bytes until the next compact.
             let off = usize::from(off);
-            self.buf[off..off + record.len()].copy_from_slice(record);
+            self.buf
+                .get_mut(off..off + record.len())
+                .ok_or_else(|| StoreError::Corrupt("slot offset outside page bounds".into()))?
+                .copy_from_slice(record);
             self.set_slot(slot, off as u16, record.len() as u16);
             debug_assert!(
                 crate::check::page_is_sound(self.buf),
@@ -362,13 +390,26 @@ impl<'a> PageMut<'a> {
         let live: Vec<(u16, Vec<u8>)> =
             self.as_ref().iter().map(|(s, r)| (s, r.to_vec())).collect();
         let mut end = PAGE_SIZE;
-        // Zero the record area first for deterministic bytes on disk.
+        // Zero the record area first for deterministic bytes on disk. A
+        // corrupt slot_count can push dir_end past the page; clamp
+        // instead of panicking.
         let dir_end = HEADER_SIZE + usize::from(self.as_ref().slot_count()) * SLOT_SIZE;
-        self.buf[dir_end..].fill(0);
+        if let Some(tail) = self.buf.get_mut(dir_end.min(PAGE_SIZE)..) {
+            tail.fill(0);
+        }
         for (slot, rec) in &live {
-            end -= rec.len();
-            self.buf[end..end + rec.len()].copy_from_slice(rec);
-            self.set_slot(*slot, end as u16, rec.len() as u16);
+            // Overlapping corrupt slots could oversubscribe the page;
+            // stop rather than underflow (the soundness check below
+            // reports the damage).
+            let Some(new_end) = end.checked_sub(rec.len()) else {
+                break;
+            };
+            let Some(dst) = self.buf.get_mut(new_end..new_end + rec.len()) else {
+                break;
+            };
+            dst.copy_from_slice(rec);
+            self.set_slot(*slot, new_end as u16, rec.len() as u16);
+            end = new_end;
         }
         put_u16(self.buf, OFF_FREE_END, end as u16);
         debug_assert!(

@@ -55,6 +55,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     let table = crc32_table();
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // ptlint: allow(panic) -- index is masked to 0xFF and the table has 256 entries
         c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -188,23 +189,39 @@ struct Decoder<'a> {
     pos: usize,
 }
 
+fn truncated() -> StoreError {
+    StoreError::Corrupt("wal record truncated".into())
+}
+
+/// Big-endian `u32` at `off`, `None` if out of bounds. Panic-free by
+/// construction, which is what the recovery scan needs: a torn or
+/// corrupt tail ends the scan, it never aborts the process.
+fn be_u32_at(buf: &[u8], off: usize) -> Option<u32> {
+    let b: [u8; 4] = buf.get(off..off.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_be_bytes(b))
+}
+
 impl<'a> Decoder<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
-            return Err(StoreError::Corrupt("wal record truncated".into()));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or_else(truncated)?;
+        self.pos = end;
         Ok(s)
     }
     fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or_else(truncated)
     }
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        let b: [u8; 4] = self.take(4)?.try_into().map_err(|_| truncated())?;
+        Ok(u32::from_be_bytes(b))
     }
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let b: [u8; 8] = self.take(8)?.try_into().map_err(|_| truncated())?;
+        Ok(u64::from_be_bytes(b))
     }
     fn bytes(&mut self) -> Result<Vec<u8>> {
         let n = self.u32()? as usize;
@@ -301,6 +318,7 @@ impl Wal {
     /// Log kept in memory (no durability; tests and ephemeral stores).
     pub fn in_memory() -> Self {
         Self::open_with_vfs(&MemVfs::new(), Path::new("wal.mem"))
+            // ptlint: allow(panic) -- MemVfs::open is infallible; no untrusted input reaches this
             .expect("in-memory log cannot fail to open")
     }
 
@@ -425,12 +443,16 @@ impl Wal {
         let mut records = Vec::new();
         let mut pos = 0usize;
         while pos + 8 <= raw.len() {
-            let len = u32::from_be_bytes(raw[pos..pos + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_be_bytes(raw[pos + 4..pos + 8].try_into().unwrap());
+            let (Some(len), Some(crc)) = (be_u32_at(&raw, pos), be_u32_at(&raw, pos + 4)) else {
+                break; // torn tail
+            };
+            let len = len as usize;
             if pos + 8 + len > raw.len() {
                 break; // torn tail
             }
-            let body = &raw[pos + 8..pos + 8 + len];
+            let Some(body) = raw.get(pos + 8..pos + 8 + len) else {
+                break; // torn tail
+            };
             if crc32(body) != crc {
                 break; // corrupt tail
             }
