@@ -31,14 +31,13 @@ fn bench_codec(c: &mut Criterion) {
     for results in [10usize, 100, 1000] {
         let req = Request::LoadPtdf {
             text: ptdf(results),
+            token: String::new(),
         };
         let encoded = req.encode();
         group.throughput(Throughput::Bytes(encoded.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("encode", results),
-            &req,
-            |b, req| b.iter(|| std::hint::black_box(req).encode()),
-        );
+        group.bench_with_input(BenchmarkId::new("encode", results), &req, |b, req| {
+            b.iter(|| std::hint::black_box(req).encode())
+        });
         group.bench_with_input(
             BenchmarkId::new("frame_and_decode", results),
             &encoded,
@@ -47,7 +46,7 @@ fn bench_codec(c: &mut Criterion) {
                     let mut dec = FrameDecoder::new();
                     dec.extend(std::hint::black_box(encoded));
                     let frame = dec.next_frame().unwrap().unwrap();
-                    Request::decode(&frame).unwrap()
+                    Request::decode(&frame).unwrap().0
                 })
             },
         );
@@ -76,10 +75,12 @@ fn bench_roundtrip(c: &mut Criterion) {
         ..QuerySpec::default()
     };
     group.bench_function("query_100_rows", |b| {
-        b.iter(|| match client.call(&Request::Query(spec.clone())).unwrap() {
-            Response::Table { rows, .. } => assert_eq!(rows.len(), 100),
-            other => panic!("unexpected response {other:?}"),
-        })
+        b.iter(
+            || match client.call(&Request::Query(spec.clone())).unwrap() {
+                Response::Table { rows, .. } => assert_eq!(rows.len(), 100),
+                other => panic!("unexpected response {other:?}"),
+            },
+        )
     });
     group.finish();
     handle.shutdown();

@@ -28,6 +28,9 @@ pub mod exit {
     pub const LOCKED: u8 = 5;
     pub const REGRESSION: u8 = 6;
     pub const DRIFT: u8 = 7;
+    /// The server shed the request under load and the retry budget ran
+    /// out before it was admitted.
+    pub const OVERLOADED: u8 = 8;
 }
 
 /// An error that carries an explicit process exit code (used when a

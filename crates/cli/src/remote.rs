@@ -6,15 +6,18 @@
 //! read/write subcommands (`load`, `query`, `stats`, `fsck`, `compare`,
 //! `export`, plus `ping`/`shutdown`) through the retrying client instead of
 //! opening a local store. Exit codes mirror the local contract: remote
-//! `read-only` maps to 3, `corrupt` to 4, `locked` to 5, and a load that
-//! succeeded only after transient retries exits 2.
+//! `read-only` maps to 3, `corrupt` to 4, `locked` to 5, a shed request
+//! whose retry budget ran out maps to 8, and a load that succeeded only
+//! after transient retries exits 2. Every `load` request carries a
+//! per-invocation idempotency token so client-side retries can never
+//! double-apply rows.
 
 use crate::args::{parse, CliError};
 use crate::commands::{exit, ExitCodeError};
 use perftrack::PTDataStore;
 use perftrack_server::{
-    Client, ClientError, ErrorCategory, NameFilter, QuerySpec, Request, Response, Server,
-    ServerConfig,
+    AdmissionConfig, Client, ClientError, ErrorCategory, NameFilter, QuerySpec, Request, Response,
+    Server, ServerConfig,
 };
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,12 +54,24 @@ fn install_signal_handlers() {
 fn install_signal_handlers() {}
 
 /// `pt serve <store-dir> [--bind ADDR] [--port N] [--workers N]
-/// [--queue N] [--deadline-ms N] [--idle-ms N]` — serve the store over
-/// TCP until a signal or a remote shutdown request.
+/// [--queue N] [--deadline-ms N] [--idle-ms N] [--capacity N]
+/// [--admission-queue N]` — serve the store over TCP until a signal or
+/// a remote shutdown request. `--capacity` sets the admission
+/// controller's concurrent cost budget and `--admission-queue` bounds
+/// how many cheap requests may wait for capacity.
 pub fn serve(argv: &[String]) -> Result<()> {
     let a = parse(
         argv,
-        &["bind", "port", "workers", "queue", "deadline-ms", "idle-ms"],
+        &[
+            "bind",
+            "port",
+            "workers",
+            "queue",
+            "deadline-ms",
+            "idle-ms",
+            "capacity",
+            "admission-queue",
+        ],
     )?;
     let dir = a.positional(0, "store directory")?;
     let addr = match (a.get("bind"), a.get("port")) {
@@ -75,6 +90,12 @@ pub fn serve(argv: &[String]) -> Result<()> {
         idle_timeout: Duration::from_millis(
             a.get_num("idle-ms", defaults.idle_timeout.as_millis() as u64)?,
         ),
+        admission: AdmissionConfig {
+            capacity: a.get_num("capacity", defaults.admission.capacity)?,
+            queue_depth: a.get_num("admission-queue", defaults.admission.queue_depth)?,
+            ..defaults.admission
+        },
+        transport: None,
     };
     // Opening the store also takes the directory lock, so a second
     // `pt serve` (or any local pt command) on the same dir fails fast.
@@ -100,6 +121,7 @@ fn map_client_err(e: ClientError) -> CliError {
         Some(ErrorCategory::ReadOnly) => exit::DEGRADED,
         Some(ErrorCategory::Corrupt) => exit::CORRUPT,
         Some(ErrorCategory::Locked) => exit::LOCKED,
+        Some(ErrorCategory::Overloaded) => exit::OVERLOADED,
         _ => 1,
     };
     if code != 1 {
@@ -152,21 +174,52 @@ pub fn dispatch(addr: &str, cmd: &str, rest: &[String]) -> Result<u8> {
     }
 }
 
+/// Mint a per-invocation idempotency token: unique across CLI runs (pid
+/// + wall clock + a process-local counter) so re-running `pt load` on
+/// the same file still appends, while *retries within one run* reuse the
+/// token and can never double-apply.
+fn mint_load_token(path: &str, seq: usize) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static INVOCATION: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    // FNV-1a over the path keeps tokens short but path-distinct.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!(
+        "cli-{:08x}-{:016x}-{}-{}",
+        std::process::id(),
+        nanos ^ h,
+        INVOCATION.fetch_add(1, Ordering::Relaxed),
+        seq
+    )
+}
+
 /// `pt --connect ADDR load <ptdf-file>...` — upload each file as one
-/// load request. Exits 2 when any request succeeded only after retries.
+/// load request carrying an idempotency token. Exits 2 when any request
+/// succeeded only after retries.
 fn remote_load(client: &mut Client, argv: &[String]) -> Result<u8> {
     let a = parse(argv, &[])?;
     if a.positional.is_empty() {
         return Err("at least one PTdf file required".into());
     }
     let mut total = perftrack_server::WireLoadStats::default();
-    for path in &a.positional {
+    let mut replays = 0u64;
+    for (i, path) in a.positional.iter().enumerate() {
         let text = std::fs::read_to_string(path)?;
+        let token = mint_load_token(path, i);
         match client
-            .call(&Request::LoadPtdf { text })
+            .call(&Request::LoadPtdf { text, token })
             .map_err(map_client_err)?
         {
-            Response::Loaded(s) => {
+            Response::Loaded { stats: s, replayed } => {
+                if replayed {
+                    replays += 1;
+                }
                 total.statements += s.statements;
                 total.executions += s.executions;
                 total.resources += s.resources;
@@ -184,6 +237,9 @@ fn remote_load(client: &mut Client, argv: &[String]) -> Result<u8> {
         total.attributes,
         total.results
     );
+    if replays > 0 {
+        println!("{replays} requests were replays of already-applied loads");
+    }
     let retries = client.retries_performed();
     if retries > 0 {
         println!("completed after {retries} retries");

@@ -1,8 +1,8 @@
 //! `pt serve` / `pt --connect` end to end, across real process
 //! boundaries: a server child process announces its address on stdout,
-//! `pt --connect` subcommands drive loads and reads through it, and a
-//! SIGTERM drains it gracefully (exit 0, the announced drain line, and a
-//! store that passes a local deep fsck afterwards).
+//! `pt --connect` subcommands drive loads and reads through it, and
+//! SIGTERM or SIGINT drains it gracefully (exit 0, the announced drain
+//! line, and a store that passes a local deep fsck afterwards).
 
 use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
@@ -115,6 +115,67 @@ fn serve_load_query_sigterm_drain() {
     assert_eq!(out.status.code(), Some(0), "{out:?}");
 }
 
+/// Ctrl-C gets the same graceful treatment as SIGTERM: an interactive
+/// `pt serve` interrupted at the terminal drains in-flight work, closes
+/// the store cleanly, and exits 0 — no torn state for a deep fsck to
+/// find.
+#[test]
+fn sigint_drains_like_sigterm() {
+    let dir = tmpdir("sigint");
+    let store_dir = dir.join("store");
+    let ptdf = dir.join("in.ptdf");
+    std::fs::write(&ptdf, PTDF).unwrap();
+    assert_eq!(
+        pt().args(["init", store_dir.to_str().unwrap()])
+            .output()
+            .unwrap()
+            .status
+            .code(),
+        Some(0)
+    );
+    let mut server = pt()
+        .args(["serve", store_dir.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(server.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap()
+        .trim()
+        .to_string();
+
+    // Put real work through first so the drain has something to close.
+    let out = pt()
+        .args(["--connect", &addr, "load", ptdf.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    let int = Command::new("kill")
+        .args(["-INT", &server.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(int.success());
+    let status = server.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "SIGINT drain must exit 0");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(
+        rest.contains("server drained; store closed cleanly"),
+        "missing drain line in: {rest:?}"
+    );
+
+    // Lock released, store intact.
+    let out = pt()
+        .args(["fsck", store_dir.to_str().unwrap(), "--deep"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
 #[test]
 fn remote_shutdown_request_drains_server() {
     let dir = tmpdir("wire-shutdown");
@@ -135,7 +196,11 @@ fn remote_shutdown_request_drains_server() {
     let mut stdout = BufReader::new(server.stdout.take().unwrap());
     let mut line = String::new();
     stdout.read_line(&mut line).unwrap();
-    let addr = line.strip_prefix("listening on ").unwrap().trim().to_string();
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap()
+        .trim()
+        .to_string();
 
     let out = pt()
         .args(["--connect", &addr, "shutdown"])

@@ -439,6 +439,33 @@ impl PTDataStore {
         self.load_statements(&stmts)
     }
 
+    /// Parse and load PTdf text at most once per idempotency `token`.
+    ///
+    /// If a previous load already committed under `token`, nothing is
+    /// applied and the recorded counters come back with the second
+    /// element `true` ("replayed"). Otherwise the statements and the
+    /// `load_token` row commit in one transaction, so after a crash or a
+    /// lost response either everything *and* the token are durable or
+    /// neither is — a network client may replay the request safely
+    /// (the retry-safe write contract in `docs/SERVER.md`). An empty
+    /// token means "no dedup" and behaves like [`Self::load_ptdf_str`].
+    pub fn load_ptdf_str_dedup(&self, text: &str, token: &str) -> Result<(LoadStats, bool)> {
+        if token.is_empty() {
+            return Ok((self.load_ptdf_str(text)?, false));
+        }
+        if let Some(stats) = self.load_token_entry(token)? {
+            return Ok((stats, true));
+        }
+        let stmts = perftrack_ptdf::parse_str(text)?;
+        let mut l = self.begin_load();
+        for s in &stmts {
+            l.apply(s)?;
+        }
+        l.set_load_token(token)?;
+        let stats = l.commit()?;
+        Ok((stats, false))
+    }
+
     /// Load one PTdf file.
     pub fn load_ptdf_file(&self, path: &Path) -> Result<LoadStats> {
         let text = std::fs::read_to_string(path)?;
@@ -536,6 +563,22 @@ impl PTDataStore {
             Some(&rid) => {
                 let row = self.db.get(self.schema.load_manifest, rid)?;
                 Ok(Some(decode_manifest(&row)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// The counters recorded under idempotency `token`, if a load ever
+    /// committed with it.
+    pub fn load_token_entry(&self, token: &str) -> Result<Option<LoadStats>> {
+        let idx = self.db.index_id("load_token_token")?;
+        let rids = self
+            .db
+            .index_lookup(idx, &[Value::Text(token.to_string())])?;
+        match rids.first() {
+            Some(&rid) => {
+                let row = self.db.get(self.schema.load_token, rid)?;
+                Ok(Some(decode_load_token(&row)))
             }
             None => Ok(None),
         }
@@ -963,6 +1006,20 @@ fn decode_manifest(row: &Row) -> ManifestEntry {
         content_hash: row[col::load_manifest::CONTENT_HASH].as_int().unwrap_or(0),
         watermark: row[col::load_manifest::WATERMARK].as_int().unwrap_or(0) as usize,
         done: row[col::load_manifest::DONE].as_int().unwrap_or(0) != 0,
+    }
+}
+
+fn decode_load_token(row: &Row) -> LoadStats {
+    let int = |i: usize| row.get(i).and_then(|v| v.as_int().ok()).unwrap_or(0) as usize;
+    LoadStats {
+        statements: int(col::load_token::STATEMENTS),
+        applications: int(col::load_token::APPLICATIONS),
+        resource_types: int(col::load_token::RESOURCE_TYPES),
+        executions: int(col::load_token::EXECUTIONS),
+        resources: int(col::load_token::RESOURCES),
+        attributes: int(col::load_token::ATTRIBUTES),
+        constraints: int(col::load_token::CONSTRAINTS),
+        results: int(col::load_token::RESULTS),
     }
 }
 
@@ -1408,6 +1465,31 @@ impl<'s> Loader<'s> {
                 self.txn().insert(table, row)?;
             }
         }
+        Ok(())
+    }
+
+    /// Record this load's accumulated counters under idempotency
+    /// `token` inside the load's transaction — the network-load analog
+    /// of [`Loader::set_manifest`]. The unique `load_token_token` index
+    /// turns a racing duplicate into a typed `UniqueViolation` instead
+    /// of a double-apply.
+    pub fn set_load_token(&mut self, token: &str) -> Result<()> {
+        let table = self.store.schema.load_token;
+        let s = self.stats;
+        self.txn().insert(
+            table,
+            vec![
+                Value::Text(token.to_string()),
+                Value::Int(s.statements as i64),
+                Value::Int(s.applications as i64),
+                Value::Int(s.resource_types as i64),
+                Value::Int(s.executions as i64),
+                Value::Int(s.resources as i64),
+                Value::Int(s.attributes as i64),
+                Value::Int(s.constraints as i64),
+                Value::Int(s.results as i64),
+            ],
+        )?;
         Ok(())
     }
 

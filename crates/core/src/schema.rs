@@ -23,6 +23,11 @@
 //!   loaded, carrying its content hash and batch watermark so interrupted
 //!   loads can resume idempotently (`pt load --resume`; see
 //!   `docs/FAULTS.md`). Not part of Figure 1 — operational metadata.
+//! * `load_token` — retry-safe network loads: one row per idempotency
+//!   token a client ever attached to a `LoadPtdf` request, committed in
+//!   the same transaction as the rows it covers. A replayed token
+//!   returns the recorded counters instead of double-applying
+//!   (`docs/SERVER.md` §idempotency). Also operational metadata.
 
 use perftrack_store::{Column, ColumnType, Database, StoreError, StoreResult, TableId};
 
@@ -68,6 +73,7 @@ pub struct Schema {
     pub focus: TableId,
     pub focus_has_resource: TableId,
     pub load_manifest: TableId,
+    pub load_token: TableId,
 }
 
 /// Column ordinals, by table, for code clarity. Kept in sync with
@@ -157,6 +163,19 @@ pub mod col {
         pub const CONTENT_HASH: usize = 1;
         pub const WATERMARK: usize = 2;
         pub const DONE: usize = 3;
+    }
+    /// `load_token(token, statements, applications, resource_types,
+    /// executions, resources, attributes, constraints, results)`
+    pub mod load_token {
+        pub const TOKEN: usize = 0;
+        pub const STATEMENTS: usize = 1;
+        pub const APPLICATIONS: usize = 2;
+        pub const RESOURCE_TYPES: usize = 3;
+        pub const EXECUTIONS: usize = 4;
+        pub const RESOURCES: usize = 5;
+        pub const ATTRIBUTES: usize = 6;
+        pub const CONSTRAINTS: usize = 7;
+        pub const RESULTS: usize = 8;
     }
 }
 
@@ -413,6 +432,7 @@ impl Schema {
         )?;
 
         let load_manifest = Self::create_manifest_table(db)?;
+        let load_token = Self::create_token_table(db)?;
 
         Ok(Schema {
             application,
@@ -429,6 +449,7 @@ impl Schema {
             focus,
             focus_has_resource,
             load_manifest,
+            load_token,
         })
     }
 
@@ -450,6 +471,29 @@ impl Schema {
         Ok(load_manifest)
     }
 
+    /// Create the `load_token` idempotency table (split out like
+    /// `load_manifest` so [`Schema::resolve`] can add it to stores
+    /// created before it existed).
+    fn create_token_table(db: &Database) -> StoreResult<TableId> {
+        let load_token = ensure_table(
+            db,
+            "load_token",
+            vec![
+                Column::new("token", ColumnType::Text),
+                Column::new("statements", ColumnType::Int),
+                Column::new("applications", ColumnType::Int),
+                Column::new("resource_types", ColumnType::Int),
+                Column::new("executions", ColumnType::Int),
+                Column::new("resources", ColumnType::Int),
+                Column::new("attributes", ColumnType::Int),
+                Column::new("constraints", ColumnType::Int),
+                Column::new("results", ColumnType::Int),
+            ],
+        )?;
+        ensure_index(db, "load_token_token", load_token, &["token"], true)?;
+        Ok(load_token)
+    }
+
     /// Resolve table ids on a database where the schema already exists.
     /// Any table still missing is created: that covers both stores from
     /// before a table existed (`load_manifest` is an additive migration)
@@ -467,7 +511,7 @@ impl Schema {
 
     /// Every table in the schema, with its name (test support and the
     /// CLI's `report tables`).
-    pub fn all_tables(&self) -> [(&'static str, TableId); 14] {
+    pub fn all_tables(&self) -> [(&'static str, TableId); 15] {
         [
             ("application", self.application),
             ("focus_framework", self.focus_framework),
@@ -483,6 +527,7 @@ impl Schema {
             ("focus", self.focus),
             ("focus_has_resource", self.focus_has_resource),
             ("load_manifest", self.load_manifest),
+            ("load_token", self.load_token),
         ]
     }
 }

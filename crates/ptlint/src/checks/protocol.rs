@@ -9,8 +9,10 @@
 //! check makes the whole class unrepresentable:
 //!
 //! * every `Request`/`Response` enum variant must appear in each of the
-//!   enum's `opcode`, `label` (requests only), `encode`, and `decode`
-//!   method bodies;
+//!   enum's `opcode`, `label`/`cost` (requests only), `encode`, and
+//!   `decode` method bodies — `cost` is the admission controller's
+//!   opcode-cost table, so a variant missing there would dodge load
+//!   shedding;
 //! * every request opcode constant must be matched in `Request::decode`
 //!   and every response constant in `Response::decode`;
 //! * every `Request` variant must be dispatched (`Request::<V>`) in
@@ -70,7 +72,10 @@ fn protocol_check(ws: &Workspace, report: &mut LintReport) {
             continue;
         }
         let methods: &[&str] = if enum_name == "Request" {
-            &["opcode", "label", "encode", "decode"]
+            // `cost` keeps the admission controller's opcode-cost table
+            // total: a new request variant without a cost entry would
+            // silently dodge load shedding.
+            &["opcode", "label", "encode", "decode", "cost"]
         } else {
             &["opcode", "encode", "decode"]
         };

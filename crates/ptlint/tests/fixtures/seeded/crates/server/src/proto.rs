@@ -1,6 +1,8 @@
 //! Minimal protocol surface for the seeded fixture: two request
-//! opcodes, one response opcode, all four hand-synchronized surfaces
-//! present and in step. The deliberate defect lives in `metrics.rs`.
+//! opcodes, one response opcode, the hand-synchronized surfaces present
+//! and in step — except for two deliberate defects: the `query` label
+//! is missing from OP_LABELS in `metrics.rs`, and `Request::Query` has
+//! no entry in the admission cost table below.
 
 mod op {
     pub const PING: u8 = 0x01;
@@ -41,6 +43,14 @@ impl Request {
             Some(op::PING) => Some(Request::Ping),
             Some(op::QUERY) => Some(Request::Query),
             _ => None,
+        }
+    }
+    pub fn cost(&self) -> u32 {
+        match self {
+            Request::Ping => 1,
+            // Query deliberately has no cost entry: ptlint must flag it,
+            // because a variant missing here would dodge load shedding.
+            _ => 1,
         }
     }
 }

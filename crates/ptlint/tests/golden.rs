@@ -1,12 +1,13 @@
 //! Golden-output tests over the seeded-violation fixture.
 //!
-//! The fixture under `tests/fixtures/seeded/` plants exactly one
+//! The fixture under `tests/fixtures/seeded/` plants at least one
 //! violation per check family (a renamed `std::fs` import, a hot-path
 //! unwrap, a reversed lock acquisition that is both a new edge and a
-//! cycle, and an opcode missing its `OP_LABELS` entry). The rendered
-//! table and JSON are compared byte-for-byte against committed golden
-//! files so any drift in sorting, alignment, or escaping is caught —
-//! the same contract `pt fsck` output is held to.
+//! cycle, an opcode missing its `OP_LABELS` entry, and a request
+//! variant missing from the admission cost table). The rendered table
+//! and JSON are compared byte-for-byte against committed golden files
+//! so any drift in sorting, alignment, or escaping is caught — the
+//! same contract `pt fsck` output is held to.
 //!
 //! To regenerate after an intentional rendering change:
 //!
@@ -44,7 +45,7 @@ fn json_output_matches_golden_byte_for_byte() {
 #[test]
 fn fixture_plants_exactly_one_violation_per_check_family() {
     let report = fixture_report();
-    assert_eq!(report.errors(), 5, "{}", report.render_table());
+    assert_eq!(report.errors(), 6, "{}", report.render_table());
     assert_eq!(report.warnings(), 0, "{}", report.render_table());
     let mut families: Vec<&str> = report
         .findings
@@ -53,8 +54,12 @@ fn fixture_plants_exactly_one_violation_per_check_family() {
         .collect();
     families.sort_unstable();
     // locks appears twice: the reversed order is reported both as an
-    // unlisted edge and as the cycle it closes.
-    assert_eq!(families, ["io", "locks", "locks", "panics", "protocol"]);
+    // unlisted edge and as the cycle it closes. protocol appears twice:
+    // the missing OP_LABELS entry and the missing cost-table arm.
+    assert_eq!(
+        families,
+        ["io", "locks", "locks", "panics", "protocol", "protocol"]
+    );
 }
 
 /// Check family: I/O confinement. The fixture renames the import
@@ -143,6 +148,25 @@ fn protocol_check_flags_missing_op_label() {
     assert_eq!(f.file, "crates/server/src/metrics.rs");
     assert_eq!(f.line, 3);
     assert!(f.detail.contains("query"), "detail: {}", f.detail);
+}
+
+/// Check family: protocol/metric consistency, admission cost table.
+/// `Request::Query` has no arm in `Request::cost`, so it would bypass
+/// opcode-cost load shedding.
+#[test]
+fn protocol_check_flags_missing_cost_table_entry() {
+    let report = fixture_report();
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.code == "protocol.missing-arm")
+        .expect("protocol.missing-arm finding");
+    assert_eq!(f.file, "crates/server/src/proto.rs");
+    assert!(
+        f.detail.contains("Query") && f.detail.contains("cost"),
+        "detail: {}",
+        f.detail
+    );
 }
 
 /// Every finding in the golden report is an error: the seeded fixture

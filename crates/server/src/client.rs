@@ -12,17 +12,28 @@
 //!   mid-`LoadPtdf` the client cannot know whether the load committed,
 //!   and loads append results, so replaying could double-load.
 //!
-//! Each retry reconnects from scratch with exponential backoff
-//! (`backoff * 2^attempt`). [`Client::retries_performed`] exposes the
-//! cumulative retry count so the CLI can report "succeeded after
-//! retries" (exit code 2), matching the local degraded-mode contract in
-//! `docs/FAULTS.md`.
+//! * A typed `Overloaded { retry_after_ms }` response is the server
+//!   shedding load *before* executing anything, so it is always safe to
+//!   retry — the client honors the server's retry-after hint (taking
+//!   the larger of the hint and its own backoff).
+//!
+//! Each retry reconnects from scratch with *jittered* exponential
+//! backoff: attempt `n` sleeps a seeded-random duration in
+//! `[backoff * 2^n / 2, backoff * 2^n]`, so a fleet of clients bounced
+//! by the same overload event does not reconnect in lockstep (no
+//! thundering herd). Cumulative sleep is capped by
+//! [`ClientConfig::retry_budget`]; when the budget is exhausted the
+//! client stops retrying even if attempts remain.
+//! [`Client::retries_performed`] exposes the cumulative retry count so
+//! the CLI can report "succeeded after retries" (exit code 2), matching
+//! the local degraded-mode contract in `docs/FAULTS.md`.
 
 use crate::proto::{ErrorCategory, Request, Response};
+use crate::transport::{wrap_stream, Transport, TransportFactory};
 use crate::wire::{FrameDecoder, WireError};
 use std::fmt;
-use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Client-side failures.
@@ -39,7 +50,13 @@ pub enum ClientError {
         /// Server-provided description.
         message: String,
     },
-    /// Every retry attempt failed; carries the final error.
+    /// The server shed the request before executing it.
+    Overloaded {
+        /// Server-suggested minimum backoff before retrying.
+        retry_after_ms: u32,
+    },
+    /// Every retry attempt failed (or the retry budget ran out); carries
+    /// the final error.
     RetriesExhausted {
         /// Total attempts made (initial try + retries).
         attempts: u32,
@@ -56,6 +73,9 @@ impl fmt::Display for ClientError {
             ClientError::Remote { category, message } => {
                 write!(f, "server error ({category}): {message}")
             }
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
             ClientError::RetriesExhausted { attempts, last } => {
                 write!(f, "request failed after {attempts} attempts: {last}")
             }
@@ -69,7 +89,7 @@ impl std::error::Error for ClientError {
             ClientError::Io(e) => Some(e),
             ClientError::Wire(e) => Some(e),
             ClientError::RetriesExhausted { last, .. } => Some(last),
-            ClientError::Remote { .. } => None,
+            ClientError::Remote { .. } | ClientError::Overloaded { .. } => None,
         }
     }
 }
@@ -80,6 +100,7 @@ impl ClientError {
     pub fn remote_category(&self) -> Option<ErrorCategory> {
         match self {
             ClientError::Remote { category, .. } => Some(*category),
+            ClientError::Overloaded { .. } => Some(ErrorCategory::Overloaded),
             ClientError::RetriesExhausted { last, .. } => last.remote_category(),
             _ => None,
         }
@@ -87,15 +108,44 @@ impl ClientError {
 }
 
 /// Retry and timeout knobs for [`Client::with_config`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ClientConfig {
     /// Retries after the initial attempt (so `max_retries = 3` means up
     /// to 4 attempts).
     pub max_retries: u32,
-    /// Base backoff; attempt `n` sleeps `backoff * 2^n`.
+    /// Base backoff; attempt `n` sleeps a jittered duration in
+    /// `[backoff * 2^n / 2, backoff * 2^n]`.
     pub backoff: Duration,
+    /// Cap on *cumulative* retry sleep; once spent, the client stops
+    /// retrying even if `max_retries` attempts remain.
+    pub retry_budget: Duration,
+    /// Seed for the deterministic jitter stream. Two clients with the
+    /// same seed still diverge (a per-client nonce is mixed in), but a
+    /// fixed seed makes a single client's backoff schedule reproducible.
+    pub jitter_seed: u64,
+    /// Deadline propagated to the server in every request header; the
+    /// server tightens its own per-request deadline to this. `None`
+    /// sends no deadline.
+    pub deadline: Option<Duration>,
     /// Socket read timeout while waiting for a response.
     pub read_timeout: Duration,
+    /// Optional transport wrapper applied to every connection; `None`
+    /// means plain TCP. Tests splice in a chaos injector here.
+    pub transport: Option<TransportFactory>,
+}
+
+impl fmt::Debug for ClientConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientConfig")
+            .field("max_retries", &self.max_retries)
+            .field("backoff", &self.backoff)
+            .field("retry_budget", &self.retry_budget)
+            .field("jitter_seed", &self.jitter_seed)
+            .field("deadline", &self.deadline)
+            .field("read_timeout", &self.read_timeout)
+            .field("transport", &self.transport.as_ref().map(|_| "<factory>"))
+            .finish()
+    }
 }
 
 impl Default for ClientConfig {
@@ -103,17 +153,27 @@ impl Default for ClientConfig {
         ClientConfig {
             max_retries: 3,
             backoff: Duration::from_millis(20),
+            retry_budget: Duration::from_secs(10),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+            deadline: None,
             read_timeout: Duration::from_secs(30),
+            transport: None,
         }
     }
 }
+
+/// Monotonic per-process nonce mixed into each client's jitter state so
+/// clients sharing a default seed still spread their retries.
+static CLIENT_NONCE: AtomicU64 = AtomicU64::new(1);
 
 /// A blocking, lazily reconnecting client for one server address.
 pub struct Client {
     addr: String,
     cfg: ClientConfig,
-    conn: Option<TcpStream>,
+    conn: Option<Box<dyn Transport>>,
     retries: u64,
+    /// xorshift64* state for backoff jitter.
+    jitter: u64,
 }
 
 impl Client {
@@ -125,12 +185,42 @@ impl Client {
 
     /// A client with explicit retry/timeout settings.
     pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> Client {
+        let nonce = CLIENT_NONCE.fetch_add(1, Ordering::Relaxed);
+        // splitmix-style scramble so seed 0 and consecutive nonces still
+        // produce well-spread initial states.
+        let jitter = (cfg.jitter_seed ^ nonce.wrapping_mul(0xFF51_AFD7_ED55_8CCD)) | 1;
         Client {
             addr: addr.into(),
             cfg,
             conn: None,
             retries: 0,
+            jitter,
         }
+    }
+
+    /// Next value from the client's xorshift64* jitter stream.
+    fn next_jitter(&mut self) -> u64 {
+        let mut x = self.jitter;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.jitter = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Jittered sleep duration for retry `attempt`: uniform over
+    /// `[base/2, base]` where `base = backoff * 2^attempt`, but never
+    /// below the server's retry-after hint.
+    fn backoff_for(&mut self, attempt: u32, min_hint: Duration) -> Duration {
+        let base = self.cfg.backoff * 2u32.saturating_pow(attempt);
+        let half = base / 2;
+        let span_ms = (base.saturating_sub(half)).as_millis() as u64;
+        let jittered = if span_ms == 0 {
+            base
+        } else {
+            half + Duration::from_millis(self.next_jitter() % (span_ms + 1))
+        };
+        jittered.max(min_hint)
     }
 
     /// Cumulative retries performed over the life of this client (drives
@@ -155,11 +245,15 @@ impl Client {
     /// retryable).
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
         let mut attempt: u32 = 0;
+        let mut slept = Duration::ZERO;
         loop {
             let result = self.call_once(req);
             let err = match result {
                 Ok(Response::Err { category, message }) => {
                     ClientError::Remote { category, message }
+                }
+                Ok(Response::Overloaded { retry_after_ms }) => {
+                    ClientError::Overloaded { retry_after_ms }
                 }
                 Ok(resp) => return Ok(resp),
                 Err(e) => e,
@@ -168,11 +262,23 @@ impl Client {
                 // The server answered: the transaction rolled back
                 // cleanly, so any request may be replayed.
                 ClientError::Remote { category, .. } => category.is_retryable(),
+                // The server shed the request before touching the store.
+                ClientError::Overloaded { .. } => true,
                 // The transport died: only idempotent requests replay.
                 ClientError::Io(_) | ClientError::Wire(_) => req.is_idempotent(),
                 ClientError::RetriesExhausted { .. } => false,
             };
-            if !retryable || attempt >= self.cfg.max_retries {
+            // Honor the server's retry-after hint as a floor under the
+            // client's own jittered backoff.
+            let min_hint = match &err {
+                ClientError::Overloaded { retry_after_ms } => {
+                    Duration::from_millis(u64::from(*retry_after_ms))
+                }
+                _ => Duration::ZERO,
+            };
+            let sleep = self.backoff_for(attempt, min_hint);
+            let budget_left = slept + sleep <= self.cfg.retry_budget;
+            if !retryable || attempt >= self.cfg.max_retries || !budget_left {
                 if attempt > 0 {
                     return Err(ClientError::RetriesExhausted {
                         attempts: attempt + 1,
@@ -181,7 +287,8 @@ impl Client {
                 }
                 return Err(err);
             }
-            std::thread::sleep(self.cfg.backoff * 2u32.saturating_pow(attempt));
+            std::thread::sleep(sleep);
+            slept += sleep;
             attempt += 1;
             self.retries += 1;
         }
@@ -208,11 +315,12 @@ impl Client {
                 ))
             })?;
             let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
-            stream
+            let transport = wrap_stream(self.cfg.transport.as_ref(), stream);
+            transport
                 .set_read_timeout(Some(self.cfg.read_timeout))
                 .map_err(ClientError::Io)?;
-            let _ = stream.set_nodelay(true);
-            self.conn = Some(stream);
+            let _ = transport.set_nodelay(true);
+            self.conn = Some(transport);
         }
         let Some(stream) = self.conn.as_mut() else {
             // Unreachable: the block above just connected. A typed error
@@ -222,7 +330,11 @@ impl Client {
                 "no connection after connect",
             )));
         };
-        stream.write_all(&req.encode()).map_err(ClientError::Io)?;
+        let frame = match self.cfg.deadline {
+            Some(d) => req.encode_with_deadline(d.as_millis().min(u128::from(u32::MAX)) as u32),
+            None => req.encode(),
+        };
+        stream.write_all(&frame).map_err(ClientError::Io)?;
         let mut dec = FrameDecoder::new();
         let mut buf = [0u8; 8192];
         loop {
@@ -269,10 +381,14 @@ mod tests {
         match client
             .call(&Request::LoadPtdf {
                 text: GOOD_PTDF.into(),
+                token: String::new(),
             })
             .unwrap()
         {
-            Response::Loaded(s) => assert_eq!(s.results, 1),
+            Response::Loaded { stats, replayed } => {
+                assert_eq!(stats.results, 1);
+                assert!(!replayed);
+            }
             other => panic!("unexpected {other:?}"),
         }
         let spec = QuerySpec {
@@ -354,21 +470,103 @@ mod tests {
         let err = client
             .call(&Request::LoadPtdf {
                 text: GOOD_PTDF.into(),
+                token: String::new(),
             })
             .unwrap_err();
         assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
         assert_eq!(
             client.retries_performed(),
             0,
-            "loads must not replay on transport failure"
+            "untokened loads must not replay on transport failure"
         );
+        // A load carrying an idempotency token IS retried: the server
+        // would dedup a replay, so a transport failure is safe to chase.
+        let err = client
+            .call(&Request::LoadPtdf {
+                text: GOOD_PTDF.into(),
+                token: "retry-me".into(),
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, ClientError::RetriesExhausted { .. }),
+            "got {err:?}"
+        );
+        assert_eq!(client.retries_performed(), 3);
         // Idempotent requests DO retry against the dead address.
         let err = client.call(&Request::Ping).unwrap_err();
         assert!(matches!(
             err,
             ClientError::RetriesExhausted { attempts: 4, .. }
         ));
-        assert_eq!(client.retries_performed(), 3);
+        assert_eq!(client.retries_performed(), 6);
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_bounds_and_is_seeded() {
+        let mk = |seed| {
+            Client::with_config(
+                "127.0.0.1:1",
+                ClientConfig {
+                    backoff: Duration::from_millis(64),
+                    jitter_seed: seed,
+                    ..ClientConfig::default()
+                },
+            )
+        };
+        let mut c = mk(42);
+        for attempt in 0..4 {
+            let base = Duration::from_millis(64) * 2u32.saturating_pow(attempt);
+            let d = c.backoff_for(attempt, Duration::ZERO);
+            assert!(d >= base / 2 && d <= base, "attempt {attempt}: {d:?}");
+        }
+        // The server's retry-after hint is a floor.
+        let d = c.backoff_for(0, Duration::from_millis(500));
+        assert_eq!(d, Duration::from_millis(500));
+        // Two clients never share a jitter stream (per-client nonce),
+        // so lockstep reconnect storms cannot form.
+        let (mut a, mut b) = (mk(42), mk(42));
+        let sa: Vec<u64> = (0..8).map(|_| a.next_jitter()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_jitter()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn retry_budget_caps_cumulative_backoff() {
+        // Nothing listens here; every attempt fails fast with a
+        // connection error, so only the sleeps consume time.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut client = Client::with_config(
+            addr,
+            ClientConfig {
+                max_retries: 100,
+                backoff: Duration::from_millis(20),
+                retry_budget: Duration::from_millis(50),
+                ..ClientConfig::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let err = client.call(&Request::Ping).unwrap_err();
+        assert!(
+            matches!(err, ClientError::RetriesExhausted { .. })
+                || matches!(err, ClientError::Io(_))
+        );
+        // 100 retries at ≥10ms each would take >1s; the budget stops the
+        // loop after ~50ms of sleep.
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(client.retries_performed() < 10);
+    }
+
+    #[test]
+    fn overloaded_surfaces_as_retryable_category() {
+        let err = ClientError::Overloaded {
+            retry_after_ms: 250,
+        };
+        assert_eq!(err.remote_category(), Some(ErrorCategory::Overloaded));
+        assert!(ErrorCategory::Overloaded.is_retryable());
+        assert!(err.to_string().contains("250ms"));
     }
 
     #[test]

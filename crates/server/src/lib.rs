@@ -14,8 +14,14 @@
 //! * [`server`] — thread-per-connection server with a bounded accept
 //!   queue, single-writer/multi-reader scheduling, per-request
 //!   deadlines, idle reaping, and graceful drain.
-//! * [`client`] — blocking client with bounded-backoff retry keyed off
+//! * [`client`] — blocking client with jittered-backoff retry keyed off
 //!   the server-reported error category and request idempotency.
+//! * [`admission`] — opcode-cost admission control: a bounded queue in
+//!   front of the worker pool that sheds expensive ops first and tells
+//!   clients when to retry.
+//! * [`transport`] — byte-stream seam over [`std::net::TcpStream`] with
+//!   a deterministic network-fault injector ([`transport::ChaosInjector`])
+//!   for delay, partial writes, corruption, disconnects, and blackholes.
 //! * [`metrics`] — `server.*` counters/gauges/histograms merged into
 //!   `pt stats` output.
 //!
@@ -24,17 +30,24 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod client;
 pub mod metrics;
 pub mod proto;
 pub mod server;
+pub mod transport;
 pub mod wire;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionPermit};
 pub use client::{Client, ClientConfig, ClientError};
 pub use metrics::ServerMetrics;
 pub use proto::{
-    ErrorCategory, NameFilter, QuerySpec, Request, Response, WireFreeColumn, WireLoadStats,
-    WIRE_VERSION,
+    ErrorCategory, NameFilter, QuerySpec, Request, RequestHeader, Response, WireFreeColumn,
+    WireLoadStats, EXPENSIVE_COST, WIRE_VERSION,
 };
 pub use server::{categorize, Server, ServerConfig, ServerHandle};
+pub use transport::{
+    wrap_stream, ChaosInjector, ChaosTransport, NetFault, NetTrigger, StdTransport, Transport,
+    TransportFactory,
+};
 pub use wire::{Frame, FrameDecoder, WireError, MAX_FRAME};

@@ -40,6 +40,13 @@ impl Gauge {
             });
     }
 
+    /// Overwrite the value (used when mirroring an externally tracked
+    /// quantity, like admission-queue occupancy).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
@@ -82,6 +89,14 @@ pub struct ServerMetrics {
     pub in_flight: Gauge,
     /// Connections accepted but not yet claimed by a worker.
     pub queue_depth: Gauge,
+    /// Requests admitted by the cost-aware admission controller.
+    pub admission_admitted: Counter,
+    /// Requests shed with a typed `Overloaded` response.
+    pub admission_shed: Counter,
+    /// Cheap requests currently waiting in the admission queue.
+    pub admission_queued: Gauge,
+    /// Summed opcode cost of requests currently executing.
+    pub admission_in_flight_cost: Gauge,
     /// Per-opcode request latency, indexed like [`OP_LABELS`].
     pub op_latency: [LatencyHistogram; 9],
 }
@@ -133,6 +148,18 @@ impl ServerMetrics {
             ),
             ("in_flight".into(), Json::UInt(self.in_flight.get())),
             ("queue_depth".into(), Json::UInt(self.queue_depth.get())),
+            (
+                "admission".into(),
+                Json::Obj(vec![
+                    ("admitted".into(), Json::UInt(self.admission_admitted.get())),
+                    ("shed".into(), Json::UInt(self.admission_shed.get())),
+                    ("queued".into(), Json::UInt(self.admission_queued.get())),
+                    (
+                        "in_flight_cost".into(),
+                        Json::UInt(self.admission_in_flight_cost.get()),
+                    ),
+                ]),
+            ),
         ];
         let ops: Vec<(String, Json)> = OP_LABELS
             .iter()
@@ -170,6 +197,22 @@ impl ServerMetrics {
         );
         line("server.in_flight", self.in_flight.get().to_string());
         line("server.queue_depth", self.queue_depth.get().to_string());
+        line(
+            "server.admission.admitted",
+            self.admission_admitted.get().to_string(),
+        );
+        line(
+            "server.admission.shed",
+            self.admission_shed.get().to_string(),
+        );
+        line(
+            "server.admission.queued",
+            self.admission_queued.get().to_string(),
+        );
+        line(
+            "server.admission.in_flight_cost",
+            self.admission_in_flight_cost.get().to_string(),
+        );
         for (label, h) in OP_LABELS.iter().zip(self.op_latency.iter()) {
             let s = h.snapshot();
             if s.count == 0 {
@@ -223,6 +266,7 @@ mod tests {
             Request::Ping,
             Request::LoadPtdf {
                 text: String::new(),
+                token: String::new(),
             },
             Request::Query(Default::default()),
             Request::FreeResources(Default::default()),
@@ -260,12 +304,21 @@ mod tests {
         let m = ServerMetrics::new();
         m.connections_accepted.inc();
         m.record_request("ping", Duration::from_micros(3), false);
+        m.admission_admitted.inc();
+        m.admission_in_flight_cost.set(16);
         let json = m.to_json();
         assert_eq!(
             json.get("connections_accepted").and_then(Json::as_u64),
             Some(1)
         );
         assert_eq!(json.get("requests").and_then(Json::as_u64), Some(1));
+        let admission = json.get("admission").unwrap();
+        assert_eq!(admission.get("admitted").and_then(Json::as_u64), Some(1));
+        assert_eq!(admission.get("shed").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            admission.get("in_flight_cost").and_then(Json::as_u64),
+            Some(16)
+        );
         let ops = json.get("op_latency").unwrap();
         assert!(ops.get("ping").is_some());
         assert!(ops.get("load").is_none(), "empty histograms are omitted");

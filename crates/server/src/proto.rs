@@ -15,7 +15,11 @@ use crate::wire::{
 /// Current wire-protocol version. Bump whenever a frame layout or opcode
 /// meaning changes; servers reject frames from other versions with
 /// [`WireError::BadVersion`].
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2: every request payload starts with a 4-byte request header
+/// (`deadline_ms`), `LOAD_PTDF` carries an idempotency token, `LOADED`
+/// carries a `replayed` flag, and `R_OVERLOADED` (0x8A) exists.
+pub const WIRE_VERSION: u8 = 2;
 
 mod op {
     pub const PING: u8 = 0x01;
@@ -37,7 +41,21 @@ mod op {
     pub const R_FSCK: u8 = 0x87;
     pub const R_SHUTTING_DOWN: u8 = 0x88;
     pub const R_COMPARE: u8 = 0x89;
+    pub const R_OVERLOADED: u8 = 0x8A;
     pub const R_ERR: u8 = 0xFF;
+}
+
+/// Admission cost at or above which a request counts as *expensive* and
+/// is shed first under overload (`docs/SERVER.md` §admission).
+pub const EXPENSIVE_COST: u32 = 32;
+
+/// The per-request header every v2 request payload starts with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Client-propagated deadline in milliseconds; `0` means the client
+    /// set none and the server's own deadline applies alone. The server
+    /// enforces `min(server deadline, client deadline)`.
+    pub deadline_ms: u32,
 }
 
 /// One name-pattern term of a pr-filter: a resource-name suffix plus the
@@ -104,6 +122,11 @@ pub enum Request {
     LoadPtdf {
         /// PTdf source text.
         text: String,
+        /// Idempotency token: non-empty means "apply at most once under
+        /// this token" — the server records it in the same transaction
+        /// as the rows, so a retried request replays the recorded
+        /// counters instead of double-loading. Empty means no dedup.
+        token: String,
     },
     /// Run a pr-filter query and return the rendered result table.
     Query(QuerySpec),
@@ -166,21 +189,57 @@ impl Request {
     }
 
     /// True when replaying the request after a *transport* failure is
-    /// safe. `LoadPtdf` is excluded: if the connection died mid-call the
-    /// client cannot know whether the load committed, and PTdf loads
-    /// append performance results (they are not idempotent). A clean
-    /// error *response* from the server is different — the transaction
-    /// rolled back, so retrying any request is safe then.
+    /// safe. A token-less `LoadPtdf` is excluded: if the connection died
+    /// mid-call the client cannot know whether the load committed, and
+    /// PTdf loads append performance results (they are not idempotent).
+    /// With an idempotency token the server dedups server-side, so the
+    /// replay is safe. A clean error *response* from the server is
+    /// different — the transaction rolled back, so retrying any request
+    /// is safe then.
     pub fn is_idempotent(&self) -> bool {
-        !matches!(self, Request::LoadPtdf { .. })
+        match self {
+            Request::LoadPtdf { token, .. } => !token.is_empty(),
+            _ => true,
+        }
     }
 
-    /// Encode to a complete frame (length prefix included).
+    /// Admission-control cost, in abstract capacity units (the
+    /// per-opcode cost table; see `docs/SERVER.md` §admission). Costs
+    /// at or above [`EXPENSIVE_COST`] mark a request as expensive:
+    /// shed first under overload, never queued.
+    pub fn cost(&self) -> u32 {
+        match self {
+            Request::Ping => 1,
+            Request::Stats => 1,
+            Request::Shutdown => 1,
+            Request::Query(_) => 4,
+            Request::FreeResources(_) => 4,
+            Request::LoadPtdf { .. } => 16,
+            Request::Export => 32,
+            Request::Compare { .. } => 32,
+            Request::Fsck { .. } => 64,
+        }
+    }
+
+    /// Whether this request sheds before cheap ones under overload.
+    pub fn is_expensive(&self) -> bool {
+        self.cost() >= EXPENSIVE_COST
+    }
+
+    /// Encode to a complete frame (length prefix included) with no
+    /// client deadline in the request header.
     pub fn encode(&self) -> Vec<u8> {
+        // The request header is written as zeroes here and patched by
+        // `encode_with_deadline`; it sits at a fixed offset, so the
+        // variant match below stays the single encoding source.
         let mut p = Vec::new();
+        put_u32(&mut p, 0); // RequestHeader.deadline_ms
         match self {
             Request::Ping | Request::Export | Request::Stats | Request::Shutdown => {}
-            Request::LoadPtdf { text } => put_str(&mut p, text),
+            Request::LoadPtdf { text, token } => {
+                put_str(&mut p, text);
+                put_str(&mut p, token);
+            }
             Request::Query(spec) | Request::FreeResources(spec) => put_query_spec(&mut p, spec),
             Request::Fsck { deep } => put_bool(&mut p, *deep),
             Request::Compare {
@@ -196,16 +255,48 @@ impl Request {
         encode_frame(WIRE_VERSION, self.opcode(), &p)
     }
 
-    /// Decode from a frame. Rejects frames from other protocol versions.
-    pub fn decode(frame: &Frame) -> Result<Request, WireError> {
+    /// Encode with a client-propagated deadline in the request header.
+    pub fn encode_with_deadline(&self, deadline_ms: u32) -> Vec<u8> {
+        let mut frame = self.encode();
+        // Payload starts after [len:4][ver:1][op:1]; the header's
+        // deadline is its first field.
+        if let Some(slot) = frame.get_mut(6..10) {
+            slot.copy_from_slice(&deadline_ms.to_be_bytes());
+        }
+        frame
+    }
+
+    /// Decode from a frame, returning the request and its header.
+    /// Rejects frames from other protocol versions.
+    pub fn decode(frame: &Frame) -> Result<(Request, RequestHeader), WireError> {
         if frame.version != WIRE_VERSION {
             return Err(WireError::BadVersion(frame.version));
         }
+        // Reject unknown opcodes before touching the payload so a
+        // garbage frame reports BadOpcode, not a truncated header.
+        if !matches!(
+            frame.opcode,
+            op::PING
+                | op::LOAD_PTDF
+                | op::QUERY
+                | op::FREE_RESOURCES
+                | op::EXPORT
+                | op::STATS
+                | op::FSCK
+                | op::COMPARE
+                | op::SHUTDOWN
+        ) {
+            return Err(WireError::BadOpcode(frame.opcode));
+        }
         let mut r = PayloadReader::new(&frame.payload);
+        let header = RequestHeader {
+            deadline_ms: r.u32("request deadline")?,
+        };
         let req = match frame.opcode {
             op::PING => Request::Ping,
             op::LOAD_PTDF => Request::LoadPtdf {
                 text: r.str("ptdf text")?,
+                token: r.str("idempotency token")?,
             },
             op::QUERY => Request::Query(read_query_spec(&mut r)?),
             op::FREE_RESOURCES => Request::FreeResources(read_query_spec(&mut r)?),
@@ -223,7 +314,7 @@ impl Request {
             other => return Err(WireError::BadOpcode(other)),
         };
         r.finish()?;
-        Ok(req)
+        Ok((req, header))
     }
 }
 
@@ -285,6 +376,9 @@ pub enum ErrorCategory {
     Invalid,
     /// Any other server-side failure.
     Internal,
+    /// Admission control shed the request (the store itself is fine);
+    /// retry after the server-suggested delay.
+    Overloaded,
 }
 
 impl ErrorCategory {
@@ -299,6 +393,7 @@ impl ErrorCategory {
             ErrorCategory::Deadline => 5,
             ErrorCategory::Invalid => 6,
             ErrorCategory::Internal => 7,
+            ErrorCategory::Overloaded => 8,
         }
     }
 
@@ -313,13 +408,17 @@ impl ErrorCategory {
             5 => ErrorCategory::Deadline,
             6 => ErrorCategory::Invalid,
             7 => ErrorCategory::Internal,
+            8 => ErrorCategory::Overloaded,
             _ => return None,
         })
     }
 
     /// True for categories a client should retry with backoff.
     pub fn is_retryable(self) -> bool {
-        matches!(self, ErrorCategory::Transient | ErrorCategory::Busy)
+        matches!(
+            self,
+            ErrorCategory::Transient | ErrorCategory::Busy | ErrorCategory::Overloaded
+        )
     }
 }
 
@@ -334,6 +433,7 @@ impl std::fmt::Display for ErrorCategory {
             ErrorCategory::Deadline => "deadline",
             ErrorCategory::Invalid => "invalid",
             ErrorCategory::Internal => "internal",
+            ErrorCategory::Overloaded => "overloaded",
         };
         f.write_str(s)
     }
@@ -350,7 +450,14 @@ pub enum Response {
         degraded: bool,
     },
     /// Reply to [`Request::LoadPtdf`].
-    Loaded(WireLoadStats),
+    Loaded {
+        /// Counters from the load (or from the original load, when
+        /// `replayed`).
+        stats: WireLoadStats,
+        /// True when an idempotency token matched an earlier committed
+        /// load and nothing was applied this time.
+        replayed: bool,
+    },
     /// Reply to [`Request::Query`]: rendered result table.
     Table {
         /// Column headers.
@@ -396,6 +503,13 @@ pub enum Response {
     /// Reply to [`Request::Shutdown`]: the server stops accepting and
     /// drains in-flight connections.
     ShuttingDown,
+    /// Admission control shed the request before execution: the server
+    /// is saturated (or reserving headroom for cheap requests) and this
+    /// request's cost did not fit. Nothing ran; retry after the hint.
+    Overloaded {
+        /// Server-suggested minimum backoff before retrying.
+        retry_after_ms: u32,
+    },
     /// Any request that failed.
     Err {
         /// Failure classification (drives client retry policy).
@@ -410,7 +524,7 @@ impl Response {
     pub fn opcode(&self) -> u8 {
         match self {
             Response::Pong { .. } => op::R_PONG,
-            Response::Loaded(_) => op::R_LOADED,
+            Response::Loaded { .. } => op::R_LOADED,
             Response::Table { .. } => op::R_TABLE,
             Response::FreeResources(_) => op::R_FREE_RESOURCES,
             Response::Ptdf { .. } => op::R_PTDF,
@@ -418,6 +532,7 @@ impl Response {
             Response::FsckDone { .. } => op::R_FSCK,
             Response::CompareDone { .. } => op::R_COMPARE,
             Response::ShuttingDown => op::R_SHUTTING_DOWN,
+            Response::Overloaded { .. } => op::R_OVERLOADED,
             Response::Err { .. } => op::R_ERR,
         }
     }
@@ -430,7 +545,7 @@ impl Response {
                 put_u8(&mut p, *version);
                 put_bool(&mut p, *degraded);
             }
-            Response::Loaded(s) => {
+            Response::Loaded { stats: s, replayed } => {
                 for v in [
                     s.statements,
                     s.applications,
@@ -443,6 +558,7 @@ impl Response {
                 ] {
                     put_u64(&mut p, v);
                 }
+                put_bool(&mut p, *replayed);
             }
             Response::Table { columns, rows } => {
                 put_str_list(&mut p, columns);
@@ -480,6 +596,7 @@ impl Response {
                 put_str(&mut p, table);
             }
             Response::ShuttingDown => {}
+            Response::Overloaded { retry_after_ms } => put_u32(&mut p, *retry_after_ms),
             Response::Err { category, message } => {
                 put_u8(&mut p, category.to_u8());
                 put_str(&mut p, message);
@@ -499,16 +616,19 @@ impl Response {
                 version: r.u8("pong version")?,
                 degraded: r.bool("degraded flag")?,
             },
-            op::R_LOADED => Response::Loaded(WireLoadStats {
-                statements: r.u64("statements")?,
-                applications: r.u64("applications")?,
-                resource_types: r.u64("resource_types")?,
-                executions: r.u64("executions")?,
-                resources: r.u64("resources")?,
-                attributes: r.u64("attributes")?,
-                constraints: r.u64("constraints")?,
-                results: r.u64("results")?,
-            }),
+            op::R_LOADED => Response::Loaded {
+                stats: WireLoadStats {
+                    statements: r.u64("statements")?,
+                    applications: r.u64("applications")?,
+                    resource_types: r.u64("resource_types")?,
+                    executions: r.u64("executions")?,
+                    resources: r.u64("resources")?,
+                    attributes: r.u64("attributes")?,
+                    constraints: r.u64("constraints")?,
+                    results: r.u64("results")?,
+                },
+                replayed: r.bool("replayed flag")?,
+            },
             op::R_TABLE => {
                 let columns = r.str_list("columns")?;
                 let n = r.u32("row count")? as usize;
@@ -554,6 +674,9 @@ impl Response {
                 table: r.str("compare table")?,
             },
             op::R_SHUTTING_DOWN => Response::ShuttingDown,
+            op::R_OVERLOADED => Response::Overloaded {
+                retry_after_ms: r.u32("retry-after ms")?,
+            },
             op::R_ERR => {
                 let cat = r.u8("error category")?;
                 Response::Err {
@@ -578,7 +701,9 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.extend(&req.encode());
         let frame = dec.next_frame().unwrap().unwrap();
-        assert_eq!(&Request::decode(&frame).unwrap(), req);
+        let (decoded, header) = Request::decode(&frame).unwrap();
+        assert_eq!(&decoded, req);
+        assert_eq!(header, RequestHeader::default());
     }
 
     fn roundtrip_resp(resp: &Response) {
@@ -593,6 +718,11 @@ mod tests {
         roundtrip_req(&Request::Ping);
         roundtrip_req(&Request::LoadPtdf {
             text: "Application A\n".into(),
+            token: String::new(),
+        });
+        roundtrip_req(&Request::LoadPtdf {
+            text: "Application A\n".into(),
+            token: "load-0001".into(),
         });
         roundtrip_req(&Request::Query(QuerySpec {
             names: vec![NameFilter {
@@ -621,11 +751,25 @@ mod tests {
             version: WIRE_VERSION,
             degraded: false,
         });
-        roundtrip_resp(&Response::Loaded(WireLoadStats {
-            statements: 10,
-            results: 4,
-            ..Default::default()
-        }));
+        roundtrip_resp(&Response::Loaded {
+            stats: WireLoadStats {
+                statements: 10,
+                results: 4,
+                ..Default::default()
+            },
+            replayed: false,
+        });
+        roundtrip_resp(&Response::Loaded {
+            stats: WireLoadStats {
+                statements: 10,
+                results: 4,
+                ..Default::default()
+            },
+            replayed: true,
+        });
+        roundtrip_resp(&Response::Overloaded {
+            retry_after_ms: 250,
+        });
         roundtrip_resp(&Response::Table {
             columns: vec!["metric".into(), "value".into()],
             rows: vec![
@@ -690,13 +834,23 @@ mod tests {
     fn trailing_payload_rejected() {
         let frame = Frame {
             version: WIRE_VERSION,
-            opcode: 0x01, // Ping takes no payload
-            payload: vec![9, 9],
+            opcode: 0x01, // Ping takes only the 4-byte request header
+            payload: vec![0, 0, 0, 0, 9, 9],
         };
         assert!(matches!(
             Request::decode(&frame),
             Err(WireError::Trailing { remaining: 2 })
         ));
+    }
+
+    #[test]
+    fn truncated_request_header_rejected() {
+        let frame = Frame {
+            version: WIRE_VERSION,
+            opcode: 0x01,
+            payload: vec![0, 0],
+        };
+        assert!(Request::decode(&frame).is_err());
     }
 
     #[test]
@@ -710,14 +864,67 @@ mod tests {
             ErrorCategory::Deadline,
             ErrorCategory::Invalid,
             ErrorCategory::Internal,
+            ErrorCategory::Overloaded,
         ] {
             assert_eq!(ErrorCategory::from_u8(cat.to_u8()), Some(cat));
         }
-        assert_eq!(ErrorCategory::from_u8(8), None);
+        assert_eq!(ErrorCategory::from_u8(9), None);
         assert!(ErrorCategory::Transient.is_retryable());
         assert!(ErrorCategory::Busy.is_retryable());
+        assert!(ErrorCategory::Overloaded.is_retryable());
         assert!(!ErrorCategory::ReadOnly.is_retryable());
         assert!(!ErrorCategory::Corrupt.is_retryable());
+    }
+
+    #[test]
+    fn deadline_header_roundtrips() {
+        let req = Request::Fsck { deep: true };
+        let mut dec = FrameDecoder::new();
+        dec.extend(&req.encode_with_deadline(7500));
+        let frame = dec.next_frame().unwrap().unwrap();
+        let (decoded, header) = Request::decode(&frame).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(header.deadline_ms, 7500);
+        // A plain encode() leaves the deadline unset.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&req.encode());
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(Request::decode(&frame).unwrap().1.deadline_ms, 0);
+    }
+
+    #[test]
+    fn cost_table_orders_expensive_ops_last() {
+        assert_eq!(Request::Ping.cost(), 1);
+        assert_eq!(Request::Stats.cost(), 1);
+        assert_eq!(Request::Shutdown.cost(), 1);
+        assert_eq!(Request::Query(QuerySpec::default()).cost(), 4);
+        assert_eq!(Request::FreeResources(QuerySpec::default()).cost(), 4);
+        assert_eq!(
+            Request::LoadPtdf {
+                text: String::new(),
+                token: String::new(),
+            }
+            .cost(),
+            16
+        );
+        assert!(!Request::LoadPtdf {
+            text: String::new(),
+            token: String::new(),
+        }
+        .is_expensive());
+        for expensive in [
+            Request::Export,
+            Request::Compare {
+                executions: vec!["a".into(), "b".into()],
+                top: 10,
+                threshold_pct: 25,
+            },
+            Request::Fsck { deep: true },
+        ] {
+            assert!(expensive.cost() >= EXPENSIVE_COST);
+            assert!(expensive.is_expensive());
+        }
+        assert!(!Request::Ping.is_expensive());
     }
 
     #[test]
@@ -732,7 +939,15 @@ mod tests {
         assert!(Request::Query(QuerySpec::default()).is_idempotent());
         assert!(Request::Export.is_idempotent());
         assert!(!Request::LoadPtdf {
-            text: String::new()
+            text: String::new(),
+            token: String::new(),
+        }
+        .is_idempotent());
+        // A load carrying an idempotency token is safe to retry: the server
+        // dedups on the token, so replays cannot double-apply rows.
+        assert!(Request::LoadPtdf {
+            text: String::new(),
+            token: "load-0001".into(),
         }
         .is_idempotent());
     }

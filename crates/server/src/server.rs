@@ -14,6 +14,14 @@
 //! channel is full — a slow store must surface as back-pressure the
 //! client can retry, not as an unbounded backlog.
 //!
+//! Past the accept queue, every request passes the cost-aware
+//! [`AdmissionController`]: expensive ops (export, compare, fsck) are
+//! shed with a typed `Overloaded { retry_after_ms }` response when the
+//! server is saturated, cheap ops may briefly queue, and `Shutdown`
+//! bypasses admission so a drain is always possible. All socket I/O
+//! goes through the [`Transport`] seam so tests can splice the
+//! [`crate::transport::ChaosInjector`] into either side of the wire.
+//!
 //! Workers serve one connection at a time to completion. Requests on a
 //! connection execute under a server-level `RwLock<()>` gate: PTdf loads
 //! take the write side, every read-only request the read side, so the
@@ -32,23 +40,25 @@
 //! and drops the channel, workers finish the request in flight, answer
 //! nothing further, and exit once the queue is empty.
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 use crate::metrics::ServerMetrics;
 use crate::proto::{
-    ErrorCategory, QuerySpec, Request, Response, WireFreeColumn, WireLoadStats, WIRE_VERSION,
+    ErrorCategory, QuerySpec, Request, RequestHeader, Response, WireFreeColumn, WireLoadStats,
+    WIRE_VERSION,
 };
+use crate::transport::{wrap_stream, Transport, TransportFactory};
 use crate::wire::{FrameDecoder, WireError};
 use perftrack::{Compare, CompareOptions, PTDataStore, PtError, ResultTable, SelectionDialog};
 use perftrack_model::{Relatives, TypePath};
 use perftrack_store::metrics::Json;
 use perftrack_store::StoreError;
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::start`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Address to bind, e.g. `"127.0.0.1:7071"`. Port 0 picks a free
     /// port (read it back from [`ServerHandle::local_addr`]).
@@ -58,10 +68,30 @@ pub struct ServerConfig {
     /// Accepted-but-unclaimed connection queue bound; beyond it new
     /// connections are rejected with a `Busy` error frame.
     pub queue_depth: usize,
-    /// Per-request wall-clock deadline (post-hoc enforced).
+    /// Per-request wall-clock deadline (post-hoc enforced). A shorter
+    /// client-propagated deadline in the request header wins.
     pub request_deadline: Duration,
     /// Close connections with no complete request for this long.
     pub idle_timeout: Duration,
+    /// Cost-aware admission control knobs (see [`AdmissionConfig`]).
+    pub admission: AdmissionConfig,
+    /// Optional transport wrapper applied to every accepted connection;
+    /// `None` means plain TCP. Tests splice in a chaos injector here.
+    pub transport: Option<TransportFactory>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("queue_depth", &self.queue_depth)
+            .field("request_deadline", &self.request_deadline)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("admission", &self.admission)
+            .field("transport", &self.transport.as_ref().map(|_| "<factory>"))
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -72,6 +102,8 @@ impl Default for ServerConfig {
             queue_depth: 16,
             request_deadline: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
+            admission: AdmissionConfig::default(),
+            transport: None,
         }
     }
 }
@@ -87,6 +119,7 @@ struct Shared {
     shutdown: AtomicBool,
     /// Single-writer/multi-reader request gate (see module docs).
     write_gate: parking_lot::RwLock<()>,
+    admission: Arc<AdmissionController>,
     cfg: ServerConfig,
 }
 
@@ -111,6 +144,7 @@ impl Server {
             metrics: Arc::new(ServerMetrics::new()),
             shutdown: AtomicBool::new(false),
             write_gate: parking_lot::RwLock::new(()),
+            admission: AdmissionController::new(cfg.admission.clone()),
             cfg: cfg.clone(),
         });
         let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(cfg.queue_depth.max(1));
@@ -184,7 +218,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: crossbeam::channel::
                 }
                 Err(crossbeam::channel::TrySendError::Full(stream)) => {
                     shared.metrics.connections_rejected.inc();
-                    reject_busy(stream);
+                    reject_busy(shared, stream);
                 }
                 Err(crossbeam::channel::TrySendError::Disconnected(_)) => return,
             },
@@ -198,12 +232,13 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: crossbeam::channel::
 }
 
 /// Best-effort `Busy` error frame to a connection we will not serve.
-fn reject_busy(mut stream: TcpStream) {
+fn reject_busy(shared: &Shared, stream: TcpStream) {
+    let mut transport = wrap_stream(shared.cfg.transport.as_ref(), stream);
     let resp = Response::Err {
         category: ErrorCategory::Busy,
         message: "server accept queue is full; retry with backoff".into(),
     };
-    let _ = stream.write_all(&resp.encode());
+    let _ = transport.write_all(&resp.encode());
 }
 
 fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<TcpStream>) {
@@ -223,7 +258,8 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<TcpStream>) {
 
 /// Serve one connection until the peer closes it, a protocol error makes
 /// the stream undecodable, the idle timeout fires, or shutdown drains us.
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let mut stream: Box<dyn Transport> = wrap_stream(shared.cfg.transport.as_ref(), stream);
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
@@ -281,9 +317,12 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 
 /// Execute one decoded (or undecodable) request and build the response.
 /// The boolean asks the connection loop to stop (shutdown was requested).
-fn handle_frame(shared: &Shared, decoded: Result<Request, WireError>) -> (Response, bool) {
-    let req = match decoded {
-        Ok(req) => req,
+fn handle_frame(
+    shared: &Shared,
+    decoded: Result<(Request, RequestHeader), WireError>,
+) -> (Response, bool) {
+    let (req, header) = match decoded {
+        Ok(pair) => pair,
         Err(e) => {
             shared.metrics.errors.inc();
             return (
@@ -295,21 +334,51 @@ fn handle_frame(shared: &Shared, decoded: Result<Request, WireError>) -> (Respon
             );
         }
     };
+    // The client-propagated deadline tightens (never loosens) the
+    // server's own per-request deadline.
+    let mut deadline = shared.cfg.request_deadline;
+    if header.deadline_ms > 0 {
+        deadline = deadline.min(Duration::from_millis(u64::from(header.deadline_ms)));
+    }
+    // Cost-aware admission; `Shutdown` bypasses it so a drain is always
+    // possible no matter how saturated the server is.
+    let _permit = if matches!(req, Request::Shutdown) {
+        None
+    } else {
+        let max_wait = shared.cfg.admission.max_queue_wait.min(deadline);
+        match shared
+            .admission
+            .admit(req.cost(), req.is_expensive(), max_wait)
+        {
+            AdmissionDecision::Admitted(permit) => {
+                shared.metrics.admission_admitted.inc();
+                Some(permit)
+            }
+            AdmissionDecision::Shed { retry_after_ms } => {
+                shared.metrics.admission_shed.inc();
+                sync_admission_gauges(shared);
+                return (Response::Overloaded { retry_after_ms }, false);
+            }
+        }
+    };
+    sync_admission_gauges(shared);
     let label = req.label();
     shared.metrics.in_flight.inc();
     let start = Instant::now();
     let mut resp = execute(shared, &req);
     let elapsed = start.elapsed();
     shared.metrics.in_flight.dec();
+    drop(_permit);
+    sync_admission_gauges(shared);
     // Post-hoc deadline: the work happened, but the client asked for a
     // bounded response time and gets a typed error it can act on.
-    if elapsed > shared.cfg.request_deadline && !matches!(resp, Response::Err { .. }) {
+    if elapsed > deadline && !matches!(resp, Response::Err { .. }) {
         shared.metrics.deadline_expired.inc();
         resp = Response::Err {
             category: ErrorCategory::Deadline,
             message: format!(
                 "request exceeded the {}ms deadline (took {}ms)",
-                shared.cfg.request_deadline.as_millis(),
+                deadline.as_millis(),
                 elapsed.as_millis()
             ),
         };
@@ -323,6 +392,18 @@ fn handle_frame(shared: &Shared, decoded: Result<Request, WireError>) -> (Respon
     (resp, stop)
 }
 
+/// Mirror the admission controller's occupancy into the metrics gauges.
+fn sync_admission_gauges(shared: &Shared) {
+    shared
+        .metrics
+        .admission_queued
+        .set(shared.admission.queued());
+    shared
+        .metrics
+        .admission_in_flight_cost
+        .set(shared.admission.in_flight_cost());
+}
+
 /// Dispatch a request against the store under the scheduling gate.
 fn execute(shared: &Shared, req: &Request) -> Response {
     let store = &*shared.store;
@@ -331,20 +412,23 @@ fn execute(shared: &Shared, req: &Request) -> Response {
             version: WIRE_VERSION,
             degraded: store.is_degraded(),
         }),
-        Request::LoadPtdf { text } => {
+        Request::LoadPtdf { text, token } => {
             let _w = shared.write_gate.write();
-            store.load_ptdf_str(text).map(|s| {
-                Response::Loaded(WireLoadStats {
-                    statements: s.statements as u64,
-                    applications: s.applications as u64,
-                    resource_types: s.resource_types as u64,
-                    executions: s.executions as u64,
-                    resources: s.resources as u64,
-                    attributes: s.attributes as u64,
-                    constraints: s.constraints as u64,
-                    results: s.results as u64,
+            store
+                .load_ptdf_str_dedup(text, token)
+                .map(|(s, replayed)| Response::Loaded {
+                    stats: WireLoadStats {
+                        statements: s.statements as u64,
+                        applications: s.applications as u64,
+                        resource_types: s.resource_types as u64,
+                        executions: s.executions as u64,
+                        resources: s.resources as u64,
+                        attributes: s.attributes as u64,
+                        constraints: s.constraints as u64,
+                        results: s.results as u64,
+                    },
+                    replayed,
                 })
-            })
         }
         Request::Query(spec) => {
             let _r = shared.write_gate.read();
@@ -483,6 +567,7 @@ fn clone_io_kind(e: &std::io::Error) -> std::io::Error {
 mod tests {
     use super::*;
     use crate::proto::NameFilter;
+    use std::io::{Read, Write};
 
     const GOOD_PTDF: &str = "Application A\n\
                              Execution e1 A\n\
@@ -545,14 +630,16 @@ mod tests {
             .write_all(
                 &Request::LoadPtdf {
                     text: GOOD_PTDF.into(),
+                    token: String::new(),
                 }
                 .encode(),
             )
             .unwrap();
         match read_response(&mut stream) {
-            Response::Loaded(s) => {
+            Response::Loaded { stats: s, replayed } => {
                 assert_eq!(s.statements, 4);
                 assert_eq!(s.results, 1);
+                assert!(!replayed);
             }
             other => panic!("unexpected response {other:?}"),
         }
@@ -740,6 +827,130 @@ mod tests {
             other => panic!("unexpected response {other:?}"),
         }
         assert_eq!(handle.metrics().deadline_expired.get(), 1);
+        shutdown_and_join(handle);
+    }
+
+    /// Build a `Shared` directly so tests can hold admission permits and
+    /// observe shedding without racing real request timing.
+    fn test_shared(admission: AdmissionConfig) -> Arc<Shared> {
+        Arc::new(Shared {
+            store: Arc::new(PTDataStore::in_memory().unwrap()),
+            metrics: Arc::new(ServerMetrics::new()),
+            shutdown: AtomicBool::new(false),
+            write_gate: parking_lot::RwLock::new(()),
+            admission: AdmissionController::new(admission.clone()),
+            cfg: ServerConfig {
+                admission,
+                ..ServerConfig::default()
+            },
+        })
+    }
+
+    fn decoded(req: Request) -> Result<(Request, RequestHeader), WireError> {
+        Ok((req, RequestHeader::default()))
+    }
+
+    #[test]
+    fn expensive_ops_shed_while_cheap_ops_keep_succeeding() {
+        let shared = test_shared(AdmissionConfig {
+            capacity: 64,
+            queue_depth: 8,
+            max_queue_wait: Duration::from_millis(10),
+            retry_base_ms: 100,
+        });
+        // Simulate a busy server: hold 40 cost units of cheap work.
+        let held = match shared.admission.admit(40, false, Duration::ZERO) {
+            AdmissionDecision::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        // Expensive op (fsck, cost 64) is shed with a typed retry hint...
+        match handle_frame(&shared, decoded(Request::Fsck { deep: false })) {
+            (Response::Overloaded { retry_after_ms }, false) => assert!(retry_after_ms > 0),
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        assert_eq!(shared.metrics.admission_shed.get(), 1);
+        // ...while a cheap op still goes straight through.
+        match handle_frame(&shared, decoded(Request::Ping)) {
+            (Response::Pong { .. }, false) => {}
+            other => panic!("expected pong, got {other:?}"),
+        }
+        assert_eq!(shared.metrics.admission_admitted.get(), 1);
+        // Once load clears, the same expensive op is admitted.
+        drop(held);
+        match handle_frame(&shared, decoded(Request::Fsck { deep: false })) {
+            (Response::FsckDone { .. }, false) => {}
+            other => panic!("expected fsck result, got {other:?}"),
+        }
+        assert_eq!(shared.metrics.admission_in_flight_cost.get(), 0);
+    }
+
+    #[test]
+    fn shutdown_bypasses_admission_under_full_load() {
+        let shared = test_shared(AdmissionConfig {
+            capacity: 4,
+            queue_depth: 0,
+            max_queue_wait: Duration::ZERO,
+            retry_base_ms: 100,
+        });
+        let _held = match shared.admission.admit(4, false, Duration::ZERO) {
+            AdmissionDecision::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        // A cheap op sheds (queue_depth 0, capacity full)...
+        match handle_frame(&shared, decoded(Request::Ping)) {
+            (Response::Overloaded { .. }, false) => {}
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        // ...but shutdown still drains the server.
+        match handle_frame(&shared, decoded(Request::Shutdown)) {
+            (Response::ShuttingDown, true) => {}
+            other => panic!("expected shutdown, got {other:?}"),
+        }
+        assert!(shared.shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn client_deadline_header_tightens_server_deadline() {
+        let shared = test_shared(AdmissionConfig::default());
+        // Server deadline is 10s; the client asks for 1ms via the header.
+        match handle_frame(
+            &shared,
+            Ok((Request::Stats, RequestHeader { deadline_ms: 1 })),
+        ) {
+            (Response::Err { category, .. }, false) if category == ErrorCategory::Deadline => {}
+            // Sub-millisecond stats are possible on a fast machine; the
+            // contract is only "no looser than the header".
+            (Response::Stats { .. }, false) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tokened_load_replays_instead_of_double_applying() {
+        let (handle, store) = start_test_server(ServerConfig::default());
+        let addr = handle.local_addr();
+        let req = Request::LoadPtdf {
+            text: GOOD_PTDF.into(),
+            token: "retry-abc".into(),
+        };
+        match call_raw(addr, &req) {
+            Response::Loaded { stats, replayed } => {
+                assert_eq!(stats.results, 1);
+                assert!(!replayed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The same token again — e.g. a client retry after a lost
+        // response — must not double-apply rows.
+        match call_raw(addr, &req) {
+            Response::Loaded { stats, replayed } => {
+                assert_eq!(stats.results, 1);
+                assert!(replayed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let report = store.fsck(true).unwrap();
+        assert_eq!(report.error_count(), 0);
         shutdown_and_join(handle);
     }
 

@@ -6,6 +6,7 @@
 
 use perftrack_server::proto::{
     ErrorCategory, NameFilter, QuerySpec, Request, Response, WireFreeColumn, WireLoadStats,
+    WIRE_VERSION,
 };
 use perftrack_server::wire::{FrameDecoder, PayloadReader, WireError};
 
@@ -40,6 +41,7 @@ fn sample_requests() -> Vec<Request> {
         Request::Ping,
         Request::LoadPtdf {
             text: "Application A\nResource /r application\n".into(),
+            token: "retry-safe-token-1".into(),
         },
         Request::Query(QuerySpec {
             names: vec![
@@ -69,11 +71,14 @@ fn sample_responses() -> Vec<Response> {
             version: 1,
             degraded: true,
         },
-        Response::Loaded(WireLoadStats {
-            statements: u64::MAX,
-            results: 1,
-            ..Default::default()
-        }),
+        Response::Loaded {
+            stats: WireLoadStats {
+                statements: u64::MAX,
+                results: 1,
+                ..Default::default()
+            },
+            replayed: true,
+        },
         Response::Table {
             columns: vec!["execution".into(), "metric".into()],
             rows: vec![vec!["e1".into(), "wall, \"quoted\"".into()]],
@@ -165,7 +170,7 @@ fn truncated_valid_frames_park_then_complete() {
             );
             dec.extend(&bytes[cut..]);
             let frame = dec.next_frame().unwrap().unwrap();
-            assert_eq!(Request::decode(&frame).unwrap(), req);
+            assert_eq!(Request::decode(&frame).unwrap().0, req);
         }
     }
 }
@@ -192,7 +197,7 @@ fn every_sample_message_roundtrips() {
         let mut dec = FrameDecoder::new();
         dec.extend(&req.encode());
         let frame = dec.next_frame().unwrap().unwrap();
-        assert_eq!(Request::decode(&frame).unwrap(), req);
+        assert_eq!(Request::decode(&frame).unwrap().0, req);
     }
     for resp in sample_responses() {
         let mut dec = FrameDecoder::new();
@@ -215,7 +220,7 @@ fn concatenated_message_stream_splits_cleanly() {
     for chunk in stream.chunks(7) {
         dec.extend(chunk);
         while let Ok(Some(frame)) = dec.next_frame() {
-            decoded.push(Request::decode(&frame).unwrap());
+            decoded.push(Request::decode(&frame).unwrap().0);
         }
     }
     assert_eq!(decoded, reqs);
@@ -225,8 +230,8 @@ fn concatenated_message_stream_splits_cleanly() {
 #[test]
 fn truncated_payload_inside_valid_frame_is_malformed_not_panic() {
     // A structurally valid frame whose payload is cut short for its
-    // opcode: Fsck (0x07) with an empty payload.
-    let frame_bytes = perftrack_server::wire::encode_frame(1, 0x07, &[]);
+    // opcode: Fsck (0x07) with the request header but no `deep` flag.
+    let frame_bytes = perftrack_server::wire::encode_frame(WIRE_VERSION, 0x07, &[0, 0, 0, 0]);
     let mut dec = FrameDecoder::new();
     dec.extend(&frame_bytes);
     let frame = dec.next_frame().unwrap().unwrap();

@@ -16,10 +16,7 @@ fn arb_relatives() -> impl Strategy<Value = char> {
 }
 
 fn arb_name_filter() -> impl Strategy<Value = NameFilter> {
-    (".{0,40}", arb_relatives()).prop_map(|(pattern, relatives)| NameFilter {
-        pattern,
-        relatives,
-    })
+    (".{0,40}", arb_relatives()).prop_map(|(pattern, relatives)| NameFilter { pattern, relatives })
 }
 
 fn arb_query_spec() -> impl Strategy<Value = QuerySpec> {
@@ -38,7 +35,7 @@ fn arb_query_spec() -> impl Strategy<Value = QuerySpec> {
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         Just(Request::Ping),
-        ".{0,200}".prop_map(|text| Request::LoadPtdf { text }),
+        (".{0,200}", ".{0,40}").prop_map(|(text, token)| Request::LoadPtdf { text, token }),
         arb_query_spec().prop_map(Request::Query),
         arb_query_spec().prop_map(Request::FreeResources),
         Just(Request::Export),
@@ -49,38 +46,44 @@ fn arb_request() -> impl Strategy<Value = Request> {
 }
 
 fn arb_category() -> impl Strategy<Value = ErrorCategory> {
-    (0u8..8).prop_map(|v| ErrorCategory::from_u8(v).unwrap())
+    (0u8..9).prop_map(|v| ErrorCategory::from_u8(v).unwrap())
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
-        (any::<u8>(), any::<bool>()).prop_map(|(version, degraded)| Response::Pong {
-            version,
-            degraded
+        (any::<u8>(), any::<bool>())
+            .prop_map(|(version, degraded)| Response::Pong { version, degraded }),
+        (prop::array::uniform8(any::<u64>()), any::<bool>()).prop_map(|(v, replayed)| {
+            Response::Loaded {
+                stats: WireLoadStats {
+                    statements: v[0],
+                    applications: v[1],
+                    resource_types: v[2],
+                    executions: v[3],
+                    resources: v[4],
+                    attributes: v[5],
+                    constraints: v[6],
+                    results: v[7],
+                },
+                replayed,
+            }
         }),
-        prop::array::uniform8(any::<u64>()).prop_map(|v| Response::Loaded(WireLoadStats {
-            statements: v[0],
-            applications: v[1],
-            resource_types: v[2],
-            executions: v[3],
-            resources: v[4],
-            attributes: v[5],
-            constraints: v[6],
-            results: v[7],
-        })),
         (
             prop::collection::vec(".{0,20}", 0..4),
             prop::collection::vec(prop::collection::vec(".{0,20}", 0..4), 0..4)
         )
             .prop_map(|(columns, rows)| Response::Table { columns, rows }),
         prop::collection::vec(
-            (".{0,30}", any::<u64>(), prop::collection::vec(".{0,20}", 0..3)).prop_map(
-                |(type_path, distinct_values, attributes)| WireFreeColumn {
+            (
+                ".{0,30}",
+                any::<u64>(),
+                prop::collection::vec(".{0,20}", 0..3)
+            )
+                .prop_map(|(type_path, distinct_values, attributes)| WireFreeColumn {
                     type_path,
                     distinct_values,
                     attributes,
-                }
-            ),
+                }),
             0..4
         )
         .prop_map(Response::FreeResources),
@@ -104,7 +107,7 @@ fn decode_one_request(bytes: &[u8]) -> Request {
     let mut dec = FrameDecoder::new();
     dec.extend(bytes);
     let frame = dec.next_frame().unwrap().unwrap();
-    Request::decode(&frame).unwrap()
+    Request::decode(&frame).unwrap().0
 }
 
 fn decode_one_response(bytes: &[u8]) -> Response {
@@ -139,7 +142,7 @@ proptest! {
         for piece in stream.chunks(chunk) {
             dec.extend(piece);
             while let Some(frame) = dec.next_frame().unwrap() {
-                out.push(Request::decode(&frame).unwrap());
+                out.push(Request::decode(&frame).unwrap().0);
             }
         }
         prop_assert_eq!(out, reqs);

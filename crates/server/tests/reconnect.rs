@@ -102,10 +102,11 @@ fn kill_and_reconnect_ladder() {
         match client
             .call(&Request::LoadPtdf {
                 text: rung_ptdf(rung),
+                token: String::new(),
             })
             .unwrap()
         {
-            Response::Loaded(s) => assert_eq!(s.results, 1, "rung {rung} load"),
+            Response::Loaded { stats, .. } => assert_eq!(stats.results, 1, "rung {rung} load"),
             other => panic!("unexpected response {other:?}"),
         }
         // ...and still serves every earlier generation's data.

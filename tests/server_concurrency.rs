@@ -103,11 +103,12 @@ fn faulted_store_serves_concurrent_clients_degrades_and_recovers() {
                 match client
                     .call(&Request::LoadPtdf {
                         text: client_ptdf(i),
+                        token: String::new(),
                     })
                     .unwrap()
                 {
-                    Response::Loaded(s) => {
-                        assert_eq!(s.results as usize, RESULTS_PER_CLIENT, "client {i}");
+                    Response::Loaded { stats, .. } => {
+                        assert_eq!(stats.results as usize, RESULTS_PER_CLIENT, "client {i}");
                     }
                     other => panic!("unexpected response {other:?}"),
                 }
@@ -179,6 +180,7 @@ fn faulted_store_serves_concurrent_clients_degrades_and_recovers() {
     let err = writer
         .call(&Request::LoadPtdf {
             text: client_ptdf(90),
+            token: String::new(),
         })
         .unwrap_err();
     assert_eq!(err.remote_category(), Some(ErrorCategory::Internal));
@@ -188,6 +190,7 @@ fn faulted_store_serves_concurrent_clients_degrades_and_recovers() {
     let err = writer
         .call(&Request::LoadPtdf {
             text: client_ptdf(91),
+            token: String::new(),
         })
         .unwrap_err();
     assert_eq!(err.remote_category(), Some(ErrorCategory::ReadOnly));
@@ -199,7 +202,10 @@ fn faulted_store_serves_concurrent_clients_degrades_and_recovers() {
             let addr = addr.clone();
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr);
-                assert_eq!(query_rows(&mut client, &format!("/c{i}")), RESULTS_PER_CLIENT);
+                assert_eq!(
+                    query_rows(&mut client, &format!("/c{i}")),
+                    RESULTS_PER_CLIENT
+                );
                 match client.call(&Request::Ping).unwrap() {
                     Response::Pong { degraded, .. } => {
                         assert!(degraded, "ping must advertise degraded mode");
