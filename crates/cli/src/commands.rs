@@ -297,6 +297,21 @@ pub fn stats(argv: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// `pt analyze <store-dir>` — collect planner statistics (per-table row
+/// counts, per-index distinct-key counts, equi-depth histograms) and
+/// persist them in the catalog. Until the next `analyze`, the query
+/// planner costs access paths from these numbers; heavy mutation drifts
+/// them stale and the planner falls back to its heuristic (thresholds
+/// and the statistics format are documented in `docs/PLANNER.md`).
+pub fn analyze(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &[])?;
+    let dir = a.positional(0, "store directory")?;
+    let store = open_store(dir)?;
+    let (tables, indexes) = store.db().analyze()?;
+    println!("analyzed {tables} tables and {indexes} indexes; statistics persisted to the catalog");
+    Ok(())
+}
+
 /// `pt fsck <store-dir> [--deep] [--json]` — whole-store integrity
 /// verification: slotted pages, B+trees, WAL, catalog, closure tables,
 /// and foreign keys. Every invariant, finding code, and the JSON schema
@@ -404,6 +419,11 @@ pub fn query(argv: &[String]) -> Result<()> {
     let a = parse(argv, &["name", "type", "relatives", "add-column"])?;
     let dir = a.positional(0, "store directory")?;
     let store = open_store(dir)?;
+    if a.has_flag("explain") {
+        // EXPLAIN without executing, like SQL's EXPLAIN.
+        print_explain(&store, &a)?;
+        return Ok(());
+    }
     let mut dialog = SelectionDialog::new(&store);
     for f in filters_from_args(&a)? {
         match &f.selector {
@@ -439,6 +459,29 @@ pub fn query(argv: &[String]) -> Result<()> {
         }
     }
     Ok(())
+}
+
+fn print_explain(store: &PTDataStore, a: &Args) -> Result<()> {
+    let engine = QueryEngine::new(store);
+    let plan = engine.explain(&filters_from_args(a)?);
+    if a.has_flag("json") {
+        println!("{}", plan.to_json().emit());
+    } else {
+        print!("{}", plan.render_table());
+    }
+    Ok(())
+}
+
+/// `pt explain <store-dir> [--name PAT]... [--type PATH]...
+/// [--relatives D|A|B|N] [--json]` — show the planned pr-filter pipeline
+/// without running it: access path, closure expansion, match order, and
+/// estimated rows per operator, as the versioned `pt-explain/v1` tree
+/// (schema in `docs/PLANNER.md`).
+pub fn explain(argv: &[String]) -> Result<()> {
+    let a = parse(argv, &["name", "type", "relatives"])?;
+    let dir = a.positional(0, "store directory")?;
+    let store = open_store(dir)?;
+    print_explain(&store, &a)
 }
 
 /// `pt count <store-dir> ...` — the GUI's live match counts.

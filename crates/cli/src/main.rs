@@ -25,10 +25,13 @@ USAGE:
   pt report <store-dir> [summary|types|executions|metrics|tables]
   pt report <store-dir> execution <name> | resource <full-name>
   pt stats <store-dir> [--json]
+  pt analyze <store-dir>
   pt fsck <store-dir> [--deep] [--json]
   pt delete <store-dir> <execution>
   pt query <store-dir> [--name PAT]... [--type PATH]... [--relatives D|A|B|N]
-          [--add-column TYPE]... [--csv] [--profile] [--json]
+          [--add-column TYPE]... [--csv] [--profile] [--explain] [--json]
+  pt explain <store-dir> [--name PAT]... [--type PATH]... [--relatives D|A|B|N]
+          [--json]
   pt count <store-dir> [--name PAT]... [--type PATH]...
   pt chart <store-dir> --name PAT --category COL --series COL [--title T] [--svg F]
   pt predict <store-dir> --metric M --train E1,E2,.. [--check EXEC] [--at NP]
@@ -92,8 +95,10 @@ fn main() -> ExitCode {
         "load" => commands::load(rest),
         "report" => commands::report(rest).map(|()| 0),
         "stats" => commands::stats(rest).map(|()| 0),
+        "analyze" => commands::analyze(rest).map(|()| 0),
         "fsck" => commands::fsck(rest).map(|()| 0),
         "query" => commands::query(rest).map(|()| 0),
+        "explain" => commands::explain(rest).map(|()| 0),
         "count" => commands::count(rest).map(|()| 0),
         "chart" => commands::chart(rest).map(|()| 0),
         "compare" => commands::compare(rest).map(|()| 0),

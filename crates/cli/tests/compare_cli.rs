@@ -204,7 +204,7 @@ fn write_baseline(dir: &PathBuf, stmts_per_sec: f64, rows_per_sec: f64, avg_micr
     std::fs::write(
         dir.join("BENCH_query.json"),
         format!(
-            r#"{{"schema":"pt-bench-query/v1","mode":"quick","scan":{{"rows_per_sec":{rows_per_sec}}},"pr_filter":{{"avg_micros":{avg_micros}}},"concurrent_read":{{"speedup_8v1":0.000001}}}}"#
+            r#"{{"schema":"pt-bench-query/v2","mode":"quick","scan":{{"rows_per_sec":{rows_per_sec}}},"pr_filter":{{"avg_micros":{avg_micros}}},"planner":{{"speedup":0.000001}},"concurrent_read":{{"speedup_8v1":0.000001}}}}"#
         ),
     )
     .unwrap();

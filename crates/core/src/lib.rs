@@ -12,6 +12,7 @@ pub mod compare;
 pub mod datastore;
 pub mod error;
 pub mod fsck;
+pub mod planner;
 pub mod predict;
 pub mod query;
 pub mod reports;
@@ -30,6 +31,8 @@ pub use datastore::{
 pub use error::{PtError, Result};
 pub use perftrack_store::check::{Finding, FsckReport, Severity};
 pub use perftrack_store::metrics::{Json, MetricsSnapshot, OperatorProfile, QueryProfile};
+pub use perftrack_store::planner::{ExplainNode, ExplainPlan};
+pub use planner::{explain_filters, plan_filters, FilterPlan, PrFilterPlan};
 pub use predict::{Observation, PredictionCheck, Predictor, ScalingModel};
 pub use query::{ExpandStrategy, FreeResourceColumn, QueryEngine, ResultRow};
 pub use reports::{ExecutionDetail, MetricSummary, Reports, ResourceDetail, StoreSummary};

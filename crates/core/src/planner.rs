@@ -1,0 +1,256 @@
+//! Core-level planning pass over the pr-filter IR.
+//!
+//! Before running a pr-filter query, [`plan_filters`] costs each
+//! [`ResourceFilter`]'s seed access path and closure expansion from the
+//! store's ANALYZE statistics ([`perftrack_store::db::Database::analyze`])
+//! and decides the order in which families are checked during the match
+//! stage — most selective first, so non-matching contexts are rejected
+//! after the fewest set probes. The same pass feeds
+//! [`crate::query::QueryEngine::explain`] (the `pt-explain/v1` tree) and
+//! the estimate annotations on profiled runs.
+//!
+//! Like the store-level planner, this pass never fails: missing or stale
+//! statistics simply leave estimates empty and keep the pre-planner
+//! behaviour.
+
+use crate::datastore::PTDataStore;
+use crate::schema::Schema;
+use perftrack_model::{Relatives, ResourceFilter, Selector};
+use perftrack_store::planner::{ExplainNode, ExplainPlan};
+use perftrack_store::value::encode_key_vec;
+use perftrack_store::Value;
+
+/// The planned evaluation of one resource filter.
+#[derive(Debug, Clone)]
+pub struct FilterPlan {
+    /// Seed access-path description, e.g.
+    /// `index-eq(resource_item_base) [statistics]`.
+    pub access: String,
+    /// Requested relative expansion.
+    pub relatives: Relatives,
+    /// Estimated seed resources before expansion.
+    pub estimated_seed: Option<u64>,
+    /// Estimated family size after ancestor/descendant expansion.
+    pub estimated_family: Option<u64>,
+}
+
+/// The planned evaluation of a whole pr-filter query.
+#[derive(Debug, Clone)]
+pub struct PrFilterPlan {
+    /// One plan per filter, in the caller's filter order.
+    pub filters: Vec<FilterPlan>,
+    /// Family-check order for the match stage: filter indexes sorted by
+    /// ascending estimated family size (unestimated filters last).
+    pub match_order: Vec<usize>,
+    /// Estimated result contexts (rows of the `focus` table).
+    pub estimated_contexts: Option<u64>,
+    /// Estimated matching results, when it can be bounded.
+    pub estimated_matches: Option<u64>,
+}
+
+fn relatives_label(r: Relatives) -> &'static str {
+    match r {
+        Relatives::Neither => "neither",
+        Relatives::Ancestors => "ancestors",
+        Relatives::Descendants => "descendants",
+        Relatives::Both => "both",
+    }
+}
+
+/// Estimate output rows of one equality probe against a named index,
+/// tagging the access description with how the number was (or wasn't)
+/// obtained.
+fn probe_estimate(store: &PTDataStore, index: &str, key: &[Value]) -> (String, Option<u64>) {
+    let db = store.db();
+    let est = db
+        .index_id(index)
+        .ok()
+        .and_then(|idx| db.index_eq_estimate(idx, &encode_key_vec(key)))
+        .map(|e| e.round() as u64);
+    let source = if est.is_some() {
+        "statistics"
+    } else {
+        "heuristic"
+    };
+    (format!("index-eq({index}) [{source}]"), est)
+}
+
+/// Average closure fan-out (relatives per seed) of one closure index.
+fn closure_fanout(store: &PTDataStore, index: &str) -> Option<f64> {
+    let db = store.db();
+    db.index_id(index).ok().and_then(|i| db.index_avg_fanout(i))
+}
+
+fn plan_one(store: &PTDataStore, filter: &ResourceFilter) -> FilterPlan {
+    let (access, seed) = match &filter.selector {
+        Selector::ByType(tp) => match store.type_id(tp.as_str()) {
+            Some(type_id) => probe_estimate(store, "resource_item_type", &[Value::Int(type_id)]),
+            None => ("index-eq(resource_item_type) [statistics]".into(), Some(0)),
+        },
+        Selector::ByName(pattern) => {
+            if pattern.starts_with('/') {
+                probe_estimate(store, "resource_item_name", &[Value::Text(pattern.clone())])
+            } else {
+                let base = pattern.rsplit('/').next().unwrap_or(pattern);
+                probe_estimate(
+                    store,
+                    "resource_item_base",
+                    &[Value::Text(base.to_string())],
+                )
+            }
+        }
+        Selector::ByAttrs(preds) => match preds.first() {
+            Some(p) => probe_estimate(
+                store,
+                "resource_attribute_name",
+                &[Value::Text(p.attr.clone())],
+            ),
+            None => ("none".into(), Some(0)),
+        },
+    };
+    // Expansion multiplies the seed set by the average closure fan-out.
+    let estimated_family = seed.map(|s| {
+        let mut total = s as f64;
+        if matches!(filter.relatives, Relatives::Ancestors | Relatives::Both) {
+            total += s as f64 * closure_fanout(store, "rha_resource").unwrap_or(0.0);
+        }
+        if matches!(filter.relatives, Relatives::Descendants | Relatives::Both) {
+            total += s as f64 * closure_fanout(store, "rhd_resource").unwrap_or(0.0);
+        }
+        total.round() as u64
+    });
+    FilterPlan {
+        access,
+        relatives: filter.relatives,
+        estimated_seed: seed,
+        estimated_family,
+    }
+}
+
+/// Plan a pr-filter query: cost each filter's seed access and expansion,
+/// and order the match-stage family checks by estimated selectivity.
+pub fn plan_filters(store: &PTDataStore, filters: &[ResourceFilter]) -> PrFilterPlan {
+    let plans: Vec<FilterPlan> = filters.iter().map(|f| plan_one(store, f)).collect();
+    let mut match_order: Vec<usize> = (0..plans.len()).collect();
+    match_order.sort_by_key(|&i| plans[i].estimated_family.unwrap_or(u64::MAX));
+    let schema: &Schema = store.schema();
+    let estimated_contexts = store.db().table_stats_state(schema.focus).rows();
+    // An empty family can't match anything; an empty filter list matches
+    // every context. In between, context membership isn't estimable from
+    // per-table statistics alone.
+    let estimated_matches = if plans.iter().any(|p| p.estimated_family == Some(0)) {
+        Some(0)
+    } else if plans.is_empty() {
+        estimated_contexts
+    } else {
+        None
+    };
+    PrFilterPlan {
+        filters: plans,
+        match_order,
+        estimated_contexts,
+        estimated_matches,
+    }
+}
+
+/// Render a [`PrFilterPlan`] as a `pt-explain/v1` operator tree, using
+/// the profiled-run operator vocabulary (`family[i]`, `context-map`,
+/// `match`, `fetch` — documented in `docs/METRICS.md`).
+pub fn explain_filters(plan: &PrFilterPlan) -> ExplainPlan {
+    let mut root = ExplainNode::new("pr-filter", "").with_estimate(plan.estimated_matches);
+    for (i, f) in plan.filters.iter().enumerate() {
+        root = root.child(
+            ExplainNode::new(
+                &format!("family[{i}]"),
+                &format!("{} relatives={}", f.access, relatives_label(f.relatives)),
+            )
+            .with_estimate(f.estimated_family),
+        );
+    }
+    let order = plan
+        .match_order
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    root = root
+        .child(
+            ExplainNode::new("context-map", "focus+focus_has_resource")
+                .with_estimate(plan.estimated_contexts),
+        )
+        .child(
+            ExplainNode::new("match", &format!("order=[{order}]"))
+                .with_estimate(plan.estimated_matches),
+        )
+        .child(
+            ExplainNode::new("fetch", "index-eq(performance_result_id)")
+                .with_estimate(plan.estimated_matches),
+        );
+    ExplainPlan { root }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_data() -> PTDataStore {
+        let store = PTDataStore::in_memory().unwrap();
+        let mut ptdf = String::from("Application IRS\nResource /M grid\n");
+        for n in 0..8 {
+            ptdf.push_str(&format!("Resource /M/m{n} grid/machine\n"));
+        }
+        ptdf.push_str("Execution e1 IRS\n");
+        ptdf.push_str("PerfResult e1 \"/M/m0(primary)\" IRS \"CPU time\" 1.0 seconds\n");
+        store.load_ptdf_str(&ptdf).unwrap();
+        store
+    }
+
+    #[test]
+    fn unanalyzed_store_plans_without_estimates() {
+        let store = store_with_data();
+        let plan = plan_filters(&store, &[ResourceFilter::by_name("/M/m0")]);
+        assert_eq!(plan.filters.len(), 1);
+        assert!(plan.filters[0].access.contains("[heuristic]"));
+        assert_eq!(plan.filters[0].estimated_family, None);
+        assert_eq!(plan.match_order, vec![0]);
+    }
+
+    #[test]
+    fn analyzed_store_estimates_and_orders_families() {
+        let store = store_with_data();
+        store.db().analyze().unwrap();
+        let filters = vec![
+            ResourceFilter::by_name("M").relatives(Relatives::Descendants),
+            ResourceFilter::by_name("/M/m0").relatives(Relatives::Neither),
+        ];
+        let plan = plan_filters(&store, &filters);
+        assert!(plan.filters[0].access.contains("[statistics]"));
+        assert_eq!(plan.filters[1].estimated_family, Some(1));
+        // The selective exact-name family is checked first.
+        assert_eq!(plan.match_order[0], 1);
+        assert!(
+            plan.filters[0].estimated_family.unwrap() > 1,
+            "descendant expansion multiplies the seed: {plan:?}"
+        );
+        let table = explain_filters(&plan).render_table();
+        assert!(
+            table.starts_with("plan (pt-explain/v1)\npr-filter"),
+            "{table}"
+        );
+        assert!(table.contains("match  order=[1,0]"), "{table}");
+    }
+
+    #[test]
+    fn unknown_names_estimate_to_zero_matches() {
+        let store = store_with_data();
+        store.db().analyze().unwrap();
+        let plan = plan_filters(
+            &store,
+            &[ResourceFilter::by_type(
+                perftrack_model::TypePath::new("no/such/type").unwrap(),
+            )],
+        );
+        assert_eq!(plan.filters[0].estimated_family, Some(0));
+        assert_eq!(plan.estimated_matches, Some(0));
+    }
+}

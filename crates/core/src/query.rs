@@ -5,11 +5,13 @@
 
 use crate::datastore::{decode_resource, PTDataStore, ResourceRecord};
 use crate::error::{PtError, Result};
+use crate::planner::{explain_filters, plan_filters};
 use crate::schema::col;
 use parking_lot::Mutex;
 use perftrack_model::{AttrPredicate, Relatives, ResourceFilter, Selector};
 use perftrack_store::metrics::{OperatorProfile, QueryProfile};
-use perftrack_store::Value;
+use perftrack_store::planner::{ExplainPlan, COST_FETCH_ROW, COST_PROBE, COST_SCAN_ROW};
+use perftrack_store::{StatsState, Value};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -145,6 +147,7 @@ impl<'s> QueryEngine<'s> {
                 ExpandStrategy::ClosureTable => self.expand_closure_batch(
                     "rha_resource",
                     schema.resource_has_ancestor,
+                    col::resource_has_ancestor::RESOURCE_ID,
                     col::resource_has_ancestor::ANCESTOR_ID,
                     &seed,
                     &mut family,
@@ -161,6 +164,7 @@ impl<'s> QueryEngine<'s> {
                 ExpandStrategy::ClosureTable => self.expand_closure_batch(
                     "rhd_resource",
                     schema.resource_has_descendant,
+                    col::resource_has_descendant::RESOURCE_ID,
                     col::resource_has_descendant::DESCENDANT_ID,
                     &seed,
                     &mut family,
@@ -207,13 +211,19 @@ impl<'s> QueryEngine<'s> {
         Ok(out)
     }
 
-    /// Closure-table expansion for a whole seed set at once: one batched
-    /// B+tree probe against `index_name` covers every seed, then the
-    /// matching closure rows are decoded and `relative_col` collected.
+    /// Closure-table expansion for a whole seed set at once.
+    ///
+    /// With fresh statistics, the expansion is itself planned: a batched
+    /// B+tree probe costs `seeds × (probe + fanout × fetch)`, a scan of
+    /// the closure table costs one unit per row. Large seed sets over
+    /// small closure tables take the scan; everything else (including
+    /// every un-ANALYZEd store) takes the batched probe, exactly as
+    /// before the planner existed.
     fn expand_closure_batch(
         &self,
         index_name: &str,
         table: perftrack_store::TableId,
+        seed_col: usize,
         relative_col: usize,
         seeds: &[i64],
         into: &mut HashSet<i64>,
@@ -223,6 +233,33 @@ impl<'s> QueryEngine<'s> {
         }
         let db = self.store.db();
         let idx = db.index_id(index_name)?;
+        if let (StatsState::Fresh(rows), Some(fanout)) =
+            (db.table_stats_state(table), db.index_avg_fanout(idx))
+        {
+            let probe_cost = seeds.len() as f64 * (COST_PROBE + fanout * COST_FETCH_ROW);
+            if rows as f64 * COST_SCAN_ROW < probe_cost {
+                let seed_set: HashSet<i64> = seeds.iter().copied().collect();
+                let mut bad = None;
+                db.for_each_row(table, |_, row| {
+                    match (row[seed_col].as_int(), row[relative_col].as_int()) {
+                        (Ok(rid), Ok(rel)) => {
+                            if seed_set.contains(&rid) {
+                                into.insert(rel);
+                            }
+                            true
+                        }
+                        (Err(e), _) | (_, Err(e)) => {
+                            bad = Some(e);
+                            false
+                        }
+                    }
+                })?;
+                return match bad {
+                    Some(e) => Err(e.into()),
+                    None => Ok(()),
+                };
+            }
+        }
         let keys: Vec<Vec<Value>> = seeds.iter().map(|&id| vec![Value::Int(id)]).collect();
         for rids in db.index_lookup_many(idx, &keys)? {
             for rid in rids {
@@ -322,14 +359,21 @@ impl<'s> QueryEngine<'s> {
     }
 
     /// Result ids whose context matches every family (the paper's rule).
+    ///
+    /// Families are checked smallest-first — the planner's match-order
+    /// rule, here with exact cardinalities since the sets are already
+    /// materialized — so non-matching contexts fail on the cheapest,
+    /// most selective probe. The result set is order-independent.
     pub fn matching_result_ids(&self, families: &[HashSet<i64>]) -> Result<Vec<i64>> {
         let contexts = self.result_context_map()?;
+        let mut order: Vec<usize> = (0..families.len()).collect();
+        order.sort_by_key(|&i| families[i].len());
         let mut ids: Vec<i64> = contexts
             .iter()
             .filter(|(_, ctx)| {
-                families
+                order
                     .iter()
-                    .all(|fam| ctx.iter().any(|r| fam.contains(r)))
+                    .all(|&i| ctx.iter().any(|r| families[i].contains(r)))
             })
             .map(|(&id, _)| id)
             .collect();
@@ -365,6 +409,13 @@ impl<'s> QueryEngine<'s> {
         Ok(self.run_profiled(filters)?.0)
     }
 
+    /// EXPLAIN the pr-filter pipeline without running it: the planned
+    /// access path, expansion, and match order per filter, as a
+    /// `pt-explain/v1` tree with estimated rows per operator.
+    pub fn explain(&self, filters: &[ResourceFilter]) -> ExplainPlan {
+        explain_filters(&plan_filters(self.store, filters))
+    }
+
     /// Like [`QueryEngine::run`], but also returns a per-operator profile
     /// of the pr-filter pipeline (operator names documented in
     /// `docs/METRICS.md`): one `family` operator per filter, then
@@ -375,17 +426,22 @@ impl<'s> QueryEngine<'s> {
     ) -> Result<(Vec<ResultRow>, QueryProfile)> {
         let total_start = Instant::now();
         let mut profile = QueryProfile::default();
+        let plan = plan_filters(self.store, filters);
+        let planner_metrics = self.store.db().planner_stats();
 
         let mut families = Vec::with_capacity(filters.len());
         for (i, f) in filters.iter().enumerate() {
             let stage = Instant::now();
             let fam = self.family(f)?;
-            profile.push(OperatorProfile::new(
-                format!("family[{i}]"),
-                0,
-                fam.len() as u64,
-                stage.elapsed(),
-            ));
+            let est = plan.filters[i].estimated_family;
+            if let Some(e) = est {
+                planner_metrics.estimated_rows.add(e);
+                planner_metrics.actual_rows.add(fam.len() as u64);
+            }
+            profile.push(
+                OperatorProfile::new(format!("family[{i}]"), 0, fam.len() as u64, stage.elapsed())
+                    .with_estimated_rows(est),
+            );
             families.push(fam);
         }
 
@@ -393,30 +449,34 @@ impl<'s> QueryEngine<'s> {
         // whatever this call actually cost).
         let stage = Instant::now();
         let contexts = self.result_context_map()?;
-        profile.push(OperatorProfile::new(
-            "context-map",
-            0,
-            contexts.len() as u64,
-            stage.elapsed(),
-        ));
+        profile.push(
+            OperatorProfile::new("context-map", 0, contexts.len() as u64, stage.elapsed())
+                .with_estimated_rows(plan.estimated_contexts),
+        );
 
         let stage = Instant::now();
         let ids = self.matching_result_ids(&families)?;
-        profile.push(OperatorProfile::new(
-            "match",
-            contexts.len() as u64,
-            ids.len() as u64,
-            stage.elapsed(),
-        ));
+        profile.push(
+            OperatorProfile::new(
+                "match",
+                contexts.len() as u64,
+                ids.len() as u64,
+                stage.elapsed(),
+            )
+            .with_estimated_rows(plan.estimated_matches),
+        );
 
         let stage = Instant::now();
         let rows = self.fetch_rows(&ids)?;
-        profile.push(OperatorProfile::new(
-            "fetch",
-            ids.len() as u64,
-            rows.len() as u64,
-            stage.elapsed(),
-        ));
+        profile.push(
+            OperatorProfile::new(
+                "fetch",
+                ids.len() as u64,
+                rows.len() as u64,
+                stage.elapsed(),
+            )
+            .with_estimated_rows(plan.estimated_matches),
+        );
 
         profile.total_nanos = total_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         Ok((rows, profile))

@@ -215,6 +215,14 @@ impl<'s> SelectionDialog<'s> {
         Ok(self.retrieve_profiled()?.0)
     }
 
+    /// EXPLAIN the pr-filter the dialog has built so far, without
+    /// running it (the CLI's `--explain` flag surfaces this).
+    pub fn explain(&self) -> perftrack_store::planner::ExplainPlan {
+        let engine = QueryEngine::new(self.store);
+        let filters: Vec<ResourceFilter> = self.selected.iter().map(|p| p.filter.clone()).collect();
+        engine.explain(&filters)
+    }
+
     /// Like [`SelectionDialog::retrieve`], but also returns the
     /// per-operator [`QueryProfile`] of the executed pr-filter pipeline
     /// (the CLI's `--profile` flag surfaces this).

@@ -8,6 +8,7 @@
 
 use crate::error::{Result, StoreError};
 use crate::page::PageId;
+use crate::stats::StatsCatalog;
 use crate::value::{ColumnType, Value};
 use crate::wal::crc32;
 use std::collections::HashMap;
@@ -151,6 +152,11 @@ pub struct Catalog {
     page_owner: HashMap<PageId, TableId>,
     next_table: u32,
     next_index: u32,
+    /// Optimizer statistics from the last ANALYZE pass (see
+    /// [`crate::stats`]). Persisted as a versioned trailing `PTST`
+    /// section of the catalog file, so catalogs written before
+    /// statistics existed load with an empty [`StatsCatalog`].
+    pub stats: StatsCatalog,
 }
 
 impl Catalog {
@@ -346,6 +352,16 @@ impl Catalog {
         out.extend_from_slice(&(body.len() as u32).to_be_bytes());
         out.extend_from_slice(&crc32(&body).to_be_bytes());
         out.extend_from_slice(&body);
+        // Optimizer statistics ride behind the schema body as their own
+        // CRC-framed section; readers that predate statistics never look
+        // past the first frame, so the file stays backward compatible.
+        if !self.stats.is_empty() {
+            let stats_body = self.stats.to_bytes();
+            out.extend_from_slice(b"PTST");
+            out.extend_from_slice(&(stats_body.len() as u32).to_be_bytes());
+            out.extend_from_slice(&crc32(&stats_body).to_be_bytes());
+            out.extend_from_slice(&stats_body);
+        }
         out
     }
 
@@ -423,6 +439,24 @@ impl Catalog {
                     unique,
                 },
             );
+        }
+        // Optional trailing statistics section (absent in catalogs
+        // written before ANALYZE existed).
+        let rest = &bytes[12 + len..];
+        if !rest.is_empty() {
+            if rest.len() < 12 || &rest[0..4] != b"PTST" {
+                return Err(StoreError::Corrupt("bad statistics magic".into()));
+            }
+            let slen = u32::from_be_bytes(rest[4..8].try_into().unwrap()) as usize;
+            let scrc = u32::from_be_bytes(rest[8..12].try_into().unwrap());
+            if rest.len() < 12 + slen {
+                return Err(StoreError::Corrupt("statistics truncated".into()));
+            }
+            let sbody = &rest[12..12 + slen];
+            if crc32(sbody) != scrc {
+                return Err(StoreError::Corrupt("statistics checksum mismatch".into()));
+            }
+            cat.stats = StatsCatalog::from_bytes(sbody)?;
         }
         Ok(cat)
     }
@@ -633,6 +667,38 @@ mod tests {
         assert!(Catalog::from_bytes(&bytes).is_err());
         assert!(Catalog::from_bytes(b"JUNK").is_err());
         assert!(Catalog::from_bytes(&bytes[..5]).is_err());
+    }
+
+    #[test]
+    fn stats_section_roundtrips_and_old_catalogs_load() {
+        use crate::stats::{Bucket, IndexStats, TableStats};
+        let mut c = sample();
+        let t = c.table_id("resource_item").unwrap();
+        let i = c.index_id("resource_item_name").unwrap();
+        c.stats.tables.insert(t, TableStats { row_count: 42 });
+        c.stats.indexes.insert(
+            i,
+            IndexStats {
+                entries: 42,
+                distinct_keys: 7,
+                buckets: vec![Bucket {
+                    upper: vec![9, 9],
+                    rows: 42,
+                    distinct: 7,
+                }],
+            },
+        );
+        let bytes = c.to_bytes();
+        let back = Catalog::from_bytes(&bytes).unwrap();
+        assert_eq!(back.stats, c.stats);
+        // A flipped byte in the statistics frame is caught by its CRC.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(Catalog::from_bytes(&bad).is_err());
+        // A pre-statistics catalog (no trailing section) loads clean.
+        let plain = sample().to_bytes();
+        assert!(Catalog::from_bytes(&plain).unwrap().stats.is_empty());
     }
 
     #[test]

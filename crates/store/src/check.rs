@@ -837,6 +837,49 @@ pub fn verify_database(db: &Database, deep: bool) -> Result<FsckReport> {
         }
     }
 
+    // ANALYZE statistics (the `PTST` catalog section): every statistics
+    // entry must reference a live table or index, and each histogram's
+    // bucket bounds must be in strictly ascending key order — a
+    // violation means `eq_estimate`'s bucket search is meaningless.
+    // Drift is deliberately NOT a finding: stale statistics are a
+    // normal state the planner handles, not corruption.
+    {
+        let stats = db.catalog_read().stats.clone();
+        let mut stat_tables: Vec<TableId> = stats.tables.keys().copied().collect();
+        stat_tables.sort_by_key(|t| t.0);
+        for tid in stat_tables {
+            if !tables.iter().any(|t| t.id == tid) {
+                report.push(Finding::new(
+                    "stats.orphan-table",
+                    Severity::Error,
+                    format!("statistics recorded for missing table id {}", tid.0),
+                ));
+            }
+        }
+        let mut stat_indexes: Vec<_> = stats.indexes.iter().collect();
+        stat_indexes.sort_by_key(|(id, _)| id.0);
+        for (iid, istats) in stat_indexes {
+            let Some(im) = index_metas.iter().find(|m| m.id == *iid) else {
+                report.push(Finding::new(
+                    "stats.orphan-index",
+                    Severity::Error,
+                    format!("statistics recorded for missing index id {}", iid.0),
+                ));
+                continue;
+            };
+            if istats.buckets.windows(2).any(|w| w[0].upper >= w[1].upper) {
+                report.push(
+                    Finding::new(
+                        "stats.histogram-order",
+                        Severity::Error,
+                        "histogram bucket bounds are not strictly ascending".into(),
+                    )
+                    .on_object(&im.name),
+                );
+            }
+        }
+    }
+
     // Pages and rows, per table.
     let mut table_rows: HashMap<TableId, Vec<(RowId, Row)>> = HashMap::new();
     let mut table_clean: HashMap<TableId, bool> = HashMap::new();
@@ -1261,5 +1304,67 @@ mod tests {
         // Human rendering mentions the code and the severity tag.
         assert!(r.render_table().contains("page.overlap"));
         assert!(r.render_table().contains("[E]"));
+    }
+
+    #[test]
+    fn statistics_referential_checks() {
+        use crate::catalog::{Column, IndexId};
+        use crate::db::Database;
+        use crate::stats::{Bucket, IndexStats, TableStats};
+        use crate::value::{ColumnType, Value};
+
+        let db = Database::in_memory();
+        let t = db
+            .create_table("s", vec![Column::new("id", ColumnType::Int)])
+            .unwrap();
+        db.create_index("s_id", t, &["id"], true).unwrap();
+        let mut txn = db.begin();
+        for i in 0..10 {
+            txn.insert(t, vec![Value::Int(i)]).unwrap();
+        }
+        txn.commit().unwrap();
+        db.analyze().unwrap();
+        // Fresh ANALYZE statistics verify clean, deep mode included.
+        let report = verify_database(&db, true).unwrap();
+        assert!(report.is_clean(), "{}", report.render_table());
+
+        // Orphaned entries and an out-of-order histogram become typed
+        // errors. (Fetch the id before stats_mut: the hook holds the
+        // catalog write lock.)
+        let idx = db.index_id("s_id").unwrap();
+        db.stats_mut(|s| {
+            s.tables.insert(TableId(999), TableStats { row_count: 1 });
+            s.indexes.insert(
+                IndexId(998),
+                IndexStats {
+                    entries: 1,
+                    distinct_keys: 1,
+                    buckets: Vec::new(),
+                },
+            );
+            let st = s.indexes.get_mut(&idx).unwrap();
+            st.buckets = vec![
+                Bucket {
+                    upper: vec![9],
+                    rows: 5,
+                    distinct: 5,
+                },
+                Bucket {
+                    upper: vec![3],
+                    rows: 5,
+                    distinct: 5,
+                },
+            ];
+        });
+        let report = verify_database(&db, false).unwrap();
+        let codes: Vec<&str> = report.findings.iter().map(|f| f.code).collect();
+        for code in [
+            "stats.orphan-table",
+            "stats.orphan-index",
+            "stats.histogram-order",
+        ] {
+            assert!(codes.contains(&code), "missing {code}: {codes:?}");
+        }
+        assert_eq!(report.error_count(), 3, "{}", report.render_table());
     }
 }

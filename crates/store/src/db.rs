@@ -20,9 +20,11 @@ use crate::disk::DiskManager;
 use crate::error::{Result, StoreError};
 use crate::lock::DirLock;
 use crate::metrics::{
-    BTreeStatsSnapshot, Counter, IoStatsSnapshot, MetricsSnapshot, TxnStatsSnapshot,
+    BTreeStatsSnapshot, Counter, IoStatsSnapshot, MetricsSnapshot, PlannerStats, TxnStatsSnapshot,
 };
 use crate::page::{PageId, PageMut, PageRef, PageType, RowId, MAX_RECORD, PAGE_SIZE};
+use crate::planner::StatsState;
+use crate::stats::{build_histogram, drifted, IndexStats, StatsCatalog, TableStats};
 use crate::value::{decode_row, encode_key_vec, encode_row_vec, Row, Value};
 use crate::vfs::{StdVfs, Vfs};
 use crate::wal::{Wal, WalOp, WalPayload};
@@ -113,6 +115,15 @@ pub struct Database {
     /// writes are rejected with [`StoreError::ReadOnly`].
     degraded: Arc<AtomicBool>,
     io: Arc<IoStats>,
+    /// Query-planner counters (`planner.*` metrics).
+    planner: PlannerStats,
+    /// Row mutations per table since open (inserts, deletes, updates, and
+    /// rollback compensation all count) — the drift-detection input.
+    mutations: RwLock<HashMap<TableId, u64>>,
+    /// Per-table value of the mutation counter at the last ANALYZE.
+    /// In-memory only: a reopen resets both maps, so freshly loaded
+    /// statistics start un-drifted.
+    stats_epoch: RwLock<HashMap<TableId, u64>>,
     /// Exclusive store-directory lock (persistent opens only). Held for
     /// the database's whole lifetime so a second *process* opening the
     /// same directory fails fast with [`StoreError::Locked`] instead of
@@ -181,6 +192,9 @@ impl Database {
             rollbacks: Counter::new(),
             degraded: Arc::new(AtomicBool::new(false)),
             io: Arc::new(IoStats::default()),
+            planner: PlannerStats::default(),
+            mutations: RwLock::new(HashMap::new()),
+            stats_epoch: RwLock::new(HashMap::new()),
             _dir_lock: None,
         };
         db.install_wal_hook();
@@ -236,6 +250,9 @@ impl Database {
             rollbacks: Counter::new(),
             degraded: Arc::new(AtomicBool::new(false)),
             io: Arc::new(IoStats::default()),
+            planner: PlannerStats::default(),
+            mutations: RwLock::new(HashMap::new()),
+            stats_epoch: RwLock::new(HashMap::new()),
             _dir_lock: Some(dir_lock),
         };
         db.recover()?;
@@ -677,7 +694,157 @@ impl Database {
                 degraded: self.is_degraded(),
                 readonly_rejections: self.io.readonly_rejections.get(),
             },
+            planner: self.planner.snapshot(),
         }
+    }
+
+    // -- optimizer statistics ---------------------------------------------
+
+    /// Live planner counters; [`crate::planner::plan_access`] and the
+    /// profiled executors bump these (see `docs/PLANNER.md`).
+    pub fn planner_stats(&self) -> &PlannerStats {
+        &self.planner
+    }
+
+    /// Record one row mutation against `table` for drift detection.
+    fn note_mutation(&self, table: TableId) {
+        *self.mutations.write().entry(table).or_insert(0) += 1;
+    }
+
+    /// Test-only: mutate the in-memory statistics catalog in place, for
+    /// fsck fixtures that need deliberately inconsistent statistics.
+    #[cfg(test)]
+    pub(crate) fn stats_mut<R>(&self, f: impl FnOnce(&mut StatsCatalog) -> R) -> R {
+        f(&mut self.catalog.write().stats)
+    }
+
+    /// How the planner should treat `table`'s statistics right now:
+    /// fresh, drifted past the invalidation threshold, or never analyzed.
+    pub fn table_stats_state(&self, table: TableId) -> StatsState {
+        let Some(rows) = self
+            .catalog
+            .read()
+            .stats
+            .tables
+            .get(&table)
+            .map(|t| t.row_count)
+        else {
+            return StatsState::Missing;
+        };
+        let current = self.mutations.read().get(&table).copied().unwrap_or(0);
+        let at_analyze = self.stats_epoch.read().get(&table).copied().unwrap_or(0);
+        if drifted(current.saturating_sub(at_analyze), rows) {
+            StatsState::Stale(rows)
+        } else {
+            StatsState::Fresh(rows)
+        }
+    }
+
+    /// Estimated rows matching one equality probe of `index`, from the
+    /// persisted statistics; `None` when the index was never analyzed.
+    pub fn index_eq_estimate(&self, index: IndexId, encoded_key: &[u8]) -> Option<f64> {
+        self.catalog
+            .read()
+            .stats
+            .indexes
+            .get(&index)
+            .map(|s| s.eq_estimate(encoded_key))
+    }
+
+    /// Index-wide average rows per distinct key (no probe key) — the
+    /// core-level pr-filter planning pass costs closure expansion with
+    /// this.
+    pub fn index_avg_fanout(&self, index: IndexId) -> Option<f64> {
+        self.catalog
+            .read()
+            .stats
+            .indexes
+            .get(&index)
+            .map(|s| s.avg_eq_estimate())
+    }
+
+    /// `index`'s name, or `#id` for an unknown id (EXPLAIN labels).
+    pub fn index_name_or_id(&self, index: IndexId) -> String {
+        self.catalog
+            .read()
+            .index(index)
+            .map(|m| m.name.clone())
+            .unwrap_or_else(|_| format!("#{}", index.0))
+    }
+
+    /// `table`'s name, or `#id` for an unknown id (EXPLAIN labels).
+    pub fn table_name_or_id(&self, table: TableId) -> String {
+        self.catalog
+            .read()
+            .table(table)
+            .map(|m| m.name.clone())
+            .unwrap_or_else(|_| format!("#{}", table.0))
+    }
+
+    /// ANALYZE: collect optimizer statistics for every table and index —
+    /// live row counts, distinct-key counts, and equi-depth histograms
+    /// over encoded keys — and store them in the catalog. On persistent
+    /// databases the pass ends with a checkpoint, so the statistics are
+    /// durable (and fsck-checked) immediately. Returns the number of
+    /// `(tables, indexes)` analyzed.
+    pub fn analyze(&self) -> Result<(usize, usize)> {
+        let _w = self.writer.lock();
+        self.check_writable()?;
+        let table_ids: Vec<TableId> = self
+            .catalog
+            .read()
+            .all_tables()
+            .iter()
+            .map(|t| t.id)
+            .collect();
+        let index_metas: Vec<IndexMeta> = {
+            let cat = self.catalog.read();
+            cat.indexes.values().cloned().collect()
+        };
+        let mut stats = StatsCatalog::default();
+        for t in &table_ids {
+            stats.tables.insert(
+                *t,
+                TableStats {
+                    row_count: self.row_count(*t)? as u64,
+                },
+            );
+        }
+        for meta in &index_metas {
+            let tree = self.index_tree(meta.id)?;
+            let guard = tree.read();
+            // One in-order walk; adjacent equal keys collapse into
+            // per-key entry counts for the histogram builder.
+            let mut per_key: Vec<(Vec<u8>, u64)> = Vec::new();
+            guard.for_prefix(&[], |k, _| {
+                match per_key.last_mut() {
+                    Some((lk, n)) if lk.as_slice() == k => *n += 1,
+                    _ => per_key.push((k.to_vec(), 1)),
+                }
+                true
+            });
+            let entries = per_key.iter().map(|(_, n)| n).sum();
+            stats.indexes.insert(
+                meta.id,
+                IndexStats {
+                    entries,
+                    distinct_keys: per_key.len() as u64,
+                    buckets: build_histogram(&per_key),
+                },
+            );
+        }
+        {
+            let mods = self.mutations.read();
+            let mut epoch = self.stats_epoch.write();
+            epoch.clear();
+            for t in &table_ids {
+                epoch.insert(*t, mods.get(t).copied().unwrap_or(0));
+            }
+        }
+        let counts = (table_ids.len(), index_metas.len());
+        self.catalog.write().stats = stats;
+        self.checkpoint_locked()?;
+        Ok(counts)
     }
 
     /// Pages allocated in the page file.
@@ -1034,6 +1201,7 @@ impl<'db> Txn<'db> {
                 .insert(&key, rowid.to_u64());
         }
         self.undo.push(UndoOp::Insert { table, rowid, row });
+        self.db.note_mutation(table);
         Ok(rowid)
     }
 
@@ -1066,6 +1234,7 @@ impl<'db> Txn<'db> {
             rowid,
             row: old,
         });
+        self.db.note_mutation(table);
         Ok(())
     }
 
@@ -1144,6 +1313,7 @@ impl<'db> Txn<'db> {
             old,
             new,
         });
+        self.db.note_mutation(table);
         Ok(())
     }
 
@@ -1176,6 +1346,14 @@ impl<'db> Txn<'db> {
         self.finished = true;
         self.db.rollbacks.inc();
         while let Some(op) = self.undo.pop() {
+            // Each compensation is itself a physical row mutation; count
+            // it for drift detection (conservative over-counting is fine —
+            // it only makes statistics go stale sooner).
+            match &op {
+                UndoOp::Insert { table, .. }
+                | UndoOp::Delete { table, .. }
+                | UndoOp::Update { table, .. } => self.db.note_mutation(*table),
+            }
             match op {
                 UndoOp::Insert { table, rowid, row } => {
                     self.db.pool.with_page_mut(rowid.page, |buf| {

@@ -24,7 +24,11 @@
 //!   store; a second opener gets a typed [`StoreError::Locked`]).
 //! * [`db`] — [`db::Database`]: transactions, recovery, scans, lookups.
 //! * [`query`] — expressions, filter/project/join/group-by/order-by
-//!   operators, and a single-table access planner.
+//!   operators, and the single-table query builder.
+//! * [`stats`] — ANALYZE statistics: row counts, distinct-key counts,
+//!   equi-depth histograms, and the drift-invalidation rule.
+//! * [`planner`] — cost-based access planning over those statistics,
+//!   plus the versioned EXPLAIN tree (documented in `docs/PLANNER.md`).
 //! * [`metrics`] — observability: counters, latency histograms,
 //!   per-operator query profiles, and the JSON codec that serializes them
 //!   (schema documented in `docs/METRICS.md`).
@@ -75,7 +79,9 @@ pub mod failpoints;
 pub mod lock;
 pub mod metrics;
 pub mod page;
+pub mod planner;
 pub mod query;
+pub mod stats;
 pub mod value;
 pub mod vfs;
 pub mod wal;
@@ -88,6 +94,11 @@ pub mod prelude {
     pub use crate::error::{Result as StoreResult, StoreError};
     pub use crate::metrics::{Json, MetricsSnapshot, OperatorProfile, QueryProfile};
     pub use crate::page::{PageId, RowId};
+    pub use crate::planner::{
+        plan_access, join_build_left, ExplainNode, ExplainPlan, PlanChoice, PlanSource,
+        StatsState, EXPLAIN_SCHEMA,
+    };
+    pub use crate::stats::{IndexStats, StatsCatalog, TableStats};
     pub use crate::query::{
         group_by, hash_join, order_by, top_k_by, AccessPath, AggFn, CmpOp, Expr, TableQuery,
     };

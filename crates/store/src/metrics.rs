@@ -561,10 +561,13 @@ pub struct OperatorProfile {
     pub rows_out: u64,
     /// Wall-clock time spent in the operator, nanoseconds.
     pub elapsed_nanos: u64,
+    /// The planner's output-row estimate for this operator, when one was
+    /// made — comparing it to `rows_out` makes misestimates visible.
+    pub estimated_rows: Option<u64>,
 }
 
 impl OperatorProfile {
-    /// Build a profile record.
+    /// Build a profile record (no planner estimate attached).
     pub fn new(
         operator: impl Into<String>,
         rows_in: u64,
@@ -576,17 +579,30 @@ impl OperatorProfile {
             rows_in,
             rows_out,
             elapsed_nanos: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+            estimated_rows: None,
         }
     }
 
+    /// Attach the planner's output-row estimate.
+    pub fn with_estimated_rows(mut self, rows: Option<u64>) -> Self {
+        self.estimated_rows = rows;
+        self
+    }
+
     /// JSON object matching the `operator` schema in `docs/METRICS.md`.
+    /// `estimated_rows` is present only when the planner made an
+    /// estimate, so pre-planner consumers see an unchanged document.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("operator".into(), Json::Str(self.operator.clone())),
             ("rows_in".into(), Json::UInt(self.rows_in)),
             ("rows_out".into(), Json::UInt(self.rows_out)),
             ("elapsed_nanos".into(), Json::UInt(self.elapsed_nanos)),
-        ])
+        ];
+        if let Some(est) = self.estimated_rows {
+            pairs.push(("estimated_rows".into(), Json::UInt(est)));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -606,25 +622,34 @@ impl QueryProfile {
         self.operators.push(op);
     }
 
-    /// Human-readable fixed-width table, one operator per row.
+    /// Human-readable fixed-width table, one operator per row. The
+    /// `est rows` column shows the planner's pre-execution estimate
+    /// (`-` when the operator carried none) next to the actual
+    /// `rows out`, so misestimates are visible at a glance.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<28} {:>12} {:>12} {:>14}\n",
-            "operator", "rows in", "rows out", "elapsed"
+            "{:<28} {:>12} {:>12} {:>10} {:>14}\n",
+            "operator", "rows in", "rows out", "est rows", "elapsed"
         ));
         for op in &self.operators {
+            let est = match op.estimated_rows {
+                Some(n) => n.to_string(),
+                None => "-".into(),
+            };
             out.push_str(&format!(
-                "{:<28} {:>12} {:>12} {:>14}\n",
+                "{:<28} {:>12} {:>12} {:>10} {:>14}\n",
                 op.operator,
                 op.rows_in,
                 op.rows_out,
+                est,
                 format_nanos(op.elapsed_nanos)
             ));
         }
         out.push_str(&format!(
-            "{:<28} {:>12} {:>12} {:>14}\n",
+            "{:<28} {:>12} {:>12} {:>10} {:>14}\n",
             "total",
+            "",
             "",
             "",
             format_nanos(self.total_nanos)
@@ -721,6 +746,59 @@ pub struct IoStatsSnapshot {
     pub readonly_rejections: u64,
 }
 
+/// Live planner counters, owned by the [`crate::db::Database`] and bumped
+/// by [`crate::planner::plan_access`] and the profiled execution paths.
+#[derive(Debug, Default)]
+pub struct PlannerStats {
+    /// Access-path plans enumerated (every planning call counts once).
+    pub plans: Counter,
+    /// Plans decided from fresh statistics.
+    pub stats_hits: Counter,
+    /// Plans that wanted statistics but found none (never analyzed, or
+    /// the touched index had no entry).
+    pub stats_misses: Counter,
+    /// Plans that found statistics but judged them drifted and fell back
+    /// to the pre-statistics heuristic.
+    pub stale_fallbacks: Counter,
+    /// Sum of planner row estimates over profiled operators.
+    pub estimated_rows: Counter,
+    /// Sum of actual output rows over those same profiled operators;
+    /// comparing against `estimated_rows` gives the aggregate estimate
+    /// error.
+    pub actual_rows: Counter,
+}
+
+impl PlannerStats {
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> PlannerStatsSnapshot {
+        PlannerStatsSnapshot {
+            plans: self.plans.get(),
+            stats_hits: self.stats_hits.get(),
+            stats_misses: self.stats_misses.get(),
+            stale_fallbacks: self.stale_fallbacks.get(),
+            estimated_rows: self.estimated_rows.get(),
+            actual_rows: self.actual_rows.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`PlannerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStatsSnapshot {
+    /// Access-path plans enumerated.
+    pub plans: u64,
+    /// Plans decided from fresh statistics.
+    pub stats_hits: u64,
+    /// Plans that wanted statistics but found none.
+    pub stats_misses: u64,
+    /// Plans that fell back to the heuristic on drifted statistics.
+    pub stale_fallbacks: u64,
+    /// Sum of planner row estimates over profiled operators.
+    pub estimated_rows: u64,
+    /// Sum of actual output rows over those operators.
+    pub actual_rows: u64,
+}
+
 /// A point-in-time view of every engine-level metric, assembled by
 /// [`crate::db::Database::metrics`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -737,6 +815,8 @@ pub struct MetricsSnapshot {
     pub txn: TxnStatsSnapshot,
     /// I/O fault-handling counters and degraded-mode flag.
     pub io: IoStatsSnapshot,
+    /// Query-planner counters (see `docs/PLANNER.md`).
+    pub planner: PlannerStatsSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -812,6 +892,23 @@ impl MetricsSnapshot {
                     ),
                 ]),
             ),
+            (
+                "planner".into(),
+                Json::Obj(vec![
+                    ("plans".into(), Json::UInt(self.planner.plans)),
+                    ("stats_hits".into(), Json::UInt(self.planner.stats_hits)),
+                    ("stats_misses".into(), Json::UInt(self.planner.stats_misses)),
+                    (
+                        "stale_fallbacks".into(),
+                        Json::UInt(self.planner.stale_fallbacks),
+                    ),
+                    (
+                        "estimated_rows".into(),
+                        Json::UInt(self.planner.estimated_rows),
+                    ),
+                    ("actual_rows".into(), Json::UInt(self.planner.actual_rows)),
+                ]),
+            ),
         ])
     }
 
@@ -864,6 +961,21 @@ impl MetricsSnapshot {
             "io.readonly_rejections",
             self.io.readonly_rejections.to_string(),
         );
+        line("planner.plans", self.planner.plans.to_string());
+        line("planner.stats_hits", self.planner.stats_hits.to_string());
+        line(
+            "planner.stats_misses",
+            self.planner.stats_misses.to_string(),
+        );
+        line(
+            "planner.stale_fallbacks",
+            self.planner.stale_fallbacks.to_string(),
+        );
+        line(
+            "planner.estimated_rows",
+            self.planner.estimated_rows.to_string(),
+        );
+        line("planner.actual_rows", self.planner.actual_rows.to_string());
         out
     }
 }

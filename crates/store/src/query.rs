@@ -11,6 +11,7 @@ use crate::db::Database;
 use crate::error::{Result, StoreError};
 use crate::metrics::{OperatorProfile, QueryProfile};
 use crate::page::RowId;
+use crate::planner::{self, ExplainNode, ExplainPlan, PlanChoice};
 use crate::value::{Row, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -277,8 +278,10 @@ pub fn hash_join(
             "join key arity mismatch".to_string(),
         ));
     }
-    // Build on the smaller side for cache efficiency; probe with the other.
-    let build_left = left.len() <= right.len();
+    // Build on the smaller side for cache efficiency; probe with the
+    // other. The planner makes the same call from estimates — at runtime
+    // the cardinalities are exact.
+    let build_left = planner::join_build_left(left.len() as u64, right.len() as u64);
     let (build, probe, build_cols, probe_cols) = if build_left {
         (left, right, left_cols, right_cols)
     } else {
@@ -522,29 +525,64 @@ impl<'db> TableQuery<'db> {
         self
     }
 
+    /// The full planner decision: chosen path, probe key, estimates, and
+    /// how the choice was made. `plan()`, `run()`, and `explain()` all
+    /// derive from this single call, so they can never disagree.
+    pub fn plan_choice(&self) -> PlanChoice {
+        planner::plan_access(self.db, self.table, &self.eq, self.force_scan)
+    }
+
     /// The access path the planner would choose.
     pub fn plan(&self) -> Result<AccessPath> {
-        if self.force_scan || self.eq.is_empty() {
-            return Ok(AccessPath::FullScan);
-        }
-        // Find an index whose leading columns are a subset of the equality
-        // constraints; prefer the one covering the most columns.
-        let cat_indexes: Vec<(IndexId, Vec<usize>)> = self.db.indexes_for_plan(self.table);
-        let eq_cols: Vec<usize> = self.eq.iter().map(|(c, _)| *c).collect();
-        let mut best: Option<(IndexId, usize)> = None;
-        for (id, cols) in cat_indexes {
-            let covered = cols.iter().take_while(|c| eq_cols.contains(c)).count();
-            if covered == cols.len() && covered > 0 {
-                // Full key covered by equality constraints.
-                if best.is_none_or(|(_, n)| covered > n) {
-                    best = Some((id, covered));
-                }
+        Ok(self.plan_choice().path)
+    }
+
+    /// The EXPLAIN tree for this query: the planned operator pipeline
+    /// with estimated rows per node (`pt-explain/v1`). Nothing executes.
+    pub fn explain(&self) -> ExplainPlan {
+        let choice = self.plan_choice();
+        let source = choice.source.label();
+        let mut node = match choice.path {
+            AccessPath::IndexEq { index } => ExplainNode::new(
+                "index-eq",
+                &format!("{} [{source}]", self.db.index_name_or_id(index)),
+            ),
+            AccessPath::FullScan => {
+                let op = if self.parallel.is_some() {
+                    "parallel-scan"
+                } else {
+                    "full-scan"
+                };
+                ExplainNode::new(
+                    op,
+                    &format!("table {} [{source}]", self.db.table_name_or_id(self.table)),
+                )
             }
         }
-        Ok(match best {
-            Some((index, _)) => AccessPath::IndexEq { index },
-            None => AccessPath::FullScan,
-        })
+        .with_estimate(choice.estimated_rows);
+        let mut est = choice.estimated_rows;
+        if !self.order.is_empty() {
+            let keys: Vec<String> = self
+                .order
+                .iter()
+                .map(|&(c, asc)| format!("col{c} {}", if asc { "asc" } else { "desc" }))
+                .collect();
+            node = ExplainNode::new("sort", &keys.join(", "))
+                .with_estimate(est)
+                .child(node);
+        }
+        if let Some(n) = self.limit {
+            est = est.map(|e| e.min(n as u64));
+            node = ExplainNode::new("limit", &n.to_string())
+                .with_estimate(est)
+                .child(node);
+        }
+        if let Some(cols) = &self.projection {
+            node = ExplainNode::new("project", &format!("{} cols", cols.len()))
+                .with_estimate(est)
+                .child(node);
+        }
+        ExplainPlan { root: node }
     }
 
     /// Execute, returning `(RowId, Row)` pairs (projection applied to the
@@ -561,23 +599,20 @@ impl<'db> TableQuery<'db> {
     pub fn run_profiled(self) -> Result<(Vec<(RowId, Row)>, QueryProfile)> {
         let total_start = Instant::now();
         let mut profile = QueryProfile::default();
-        let plan = self.plan()?;
+        // One planner call decides the access path for both the
+        // inspection API and this executor (they used to re-derive the
+        // rule separately and could disagree).
+        let choice = self.plan_choice();
         let pred = self.full_predicate();
-        let mut rows: Vec<(RowId, Row)> = match plan {
+        let mut rows: Vec<(RowId, Row)> = match choice.path {
             AccessPath::IndexEq { index } => {
                 let stage = Instant::now();
-                // Build the key in index column order.
-                let key_cols = self.db.index_columns(index)?;
-                let key: Vec<Value> = key_cols
-                    .iter()
-                    .map(|c| {
-                        self.eq
-                            .iter()
-                            .find(|(ec, _)| ec == c)
-                            .map(|(_, v)| v.clone())
-                            .expect("planner guaranteed coverage")
-                    })
-                    .collect();
+                // The probe key comes from the planner, already in index
+                // column order.
+                let key = choice
+                    .key
+                    .clone()
+                    .expect("index plan always carries its probe key");
                 let rids = self.db.index_lookup(index, &key)?;
                 let candidates = rids.len() as u64;
                 let mut out = Vec::with_capacity(rids.len());
@@ -587,12 +622,10 @@ impl<'db> TableQuery<'db> {
                         out.push((rid, row));
                     }
                 }
-                profile.push(OperatorProfile::new(
-                    "index-eq",
-                    candidates,
-                    out.len() as u64,
-                    stage.elapsed(),
-                ));
+                profile.push(
+                    OperatorProfile::new("index-eq", candidates, out.len() as u64, stage.elapsed())
+                        .with_estimated_rows(choice.estimated_rows),
+                );
                 out
             }
             AccessPath::FullScan => {
@@ -608,12 +641,15 @@ impl<'db> TableQuery<'db> {
                             .as_ref()
                             .is_none_or(|p| p.eval_bool(row).unwrap_or(false))
                     })?;
-                    profile.push(OperatorProfile::new(
-                        "parallel-scan",
-                        examined.load(std::sync::atomic::Ordering::Relaxed),
-                        out.len() as u64,
-                        stage.elapsed(),
-                    ));
+                    profile.push(
+                        OperatorProfile::new(
+                            "parallel-scan",
+                            examined.load(std::sync::atomic::Ordering::Relaxed),
+                            out.len() as u64,
+                            stage.elapsed(),
+                        )
+                        .with_estimated_rows(choice.estimated_rows),
+                    );
                     out
                 } else {
                     // Stream rows straight out of the page decoder: each
@@ -628,16 +664,26 @@ impl<'db> TableQuery<'db> {
                             out.push((rid, row));
                         }
                     }
-                    profile.push(OperatorProfile::new(
-                        "full-scan",
-                        examined,
-                        out.len() as u64,
-                        stage.elapsed(),
-                    ));
+                    profile.push(
+                        OperatorProfile::new(
+                            "full-scan",
+                            examined,
+                            out.len() as u64,
+                            stage.elapsed(),
+                        )
+                        .with_estimated_rows(choice.estimated_rows),
+                    );
                     out
                 }
             }
         };
+        // Accumulate estimate error: the planner predicted
+        // `estimated_rows` out of the access path; `rows` is the truth.
+        if let Some(est) = choice.estimated_rows {
+            let m = self.db.planner_stats();
+            m.estimated_rows.add(est);
+            m.actual_rows.add(rows.len() as u64);
+        }
         // Order and truncate on the full rows (ordinals are
         // pre-projection), then project.
         let mut limited = false;

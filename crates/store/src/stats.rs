@@ -1,0 +1,345 @@
+//! ANALYZE-style optimizer statistics: per-table row counts, per-index
+//! distinct-key counts, and small equi-depth histograms over encoded
+//! index keys.
+//!
+//! The paper's case for building PerfTrack on a real DBMS is that the
+//! database's optimizer — not hand-tuned application code — keeps
+//! comparison queries fast as experiment collections grow. Statistics
+//! are the optimizer's raw material: [`crate::db::Database::analyze`]
+//! collects a [`StatsCatalog`] under the writer lock, the catalog
+//! persists it as a versioned CRC-framed section (surviving reopen and
+//! fsck), and [`crate::planner`] consumes it to cost access paths.
+//!
+//! Statistics are advisory and go stale as rows are written; the
+//! planner detects drift via per-table mutation counters (see
+//! [`drifted`]) and falls back to the pre-statistics heuristic rather
+//! than trusting numbers that no longer describe the table. The format,
+//! lifecycle, and invalidation rule are documented in `docs/PLANNER.md`.
+
+use crate::catalog::{IndexId, TableId};
+use crate::error::{Result, StoreError};
+use std::collections::HashMap;
+
+/// Version tag of the serialized statistics section. Bump on layout
+/// changes; unknown versions are rejected as corruption rather than
+/// misread.
+pub const STATS_VERSION: u32 = 1;
+
+/// Number of equi-depth histogram buckets collected per index. Small on
+/// purpose: the histogram answers "roughly how skewed is this key?",
+/// not point queries, and 16 buckets keep the catalog footprint tiny.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    /// Live rows at ANALYZE time.
+    pub row_count: u64,
+}
+
+/// One equi-depth histogram bucket over encoded index keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    /// Largest encoded key that falls in this bucket (inclusive).
+    pub upper: Vec<u8>,
+    /// Index entries in the bucket.
+    pub rows: u64,
+    /// Distinct keys in the bucket.
+    pub distinct: u64,
+}
+
+/// Statistics for one index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Total entries at ANALYZE time.
+    pub entries: u64,
+    /// Distinct full keys at ANALYZE time.
+    pub distinct_keys: u64,
+    /// Equi-depth histogram over encoded keys, in key order. Empty for
+    /// an empty index.
+    pub buckets: Vec<Bucket>,
+}
+
+impl IndexStats {
+    /// Estimated rows matching one equality probe, refined by the
+    /// histogram bucket the encoded key falls into (captures skew the
+    /// index-wide average would smear out).
+    pub fn eq_estimate(&self, encoded_key: &[u8]) -> f64 {
+        let avg = self.entries as f64 / (self.distinct_keys.max(1)) as f64;
+        // First bucket whose upper bound is >= the key holds it.
+        match self
+            .buckets
+            .iter()
+            .find(|b| b.upper.as_slice() >= encoded_key)
+        {
+            Some(b) => b.rows as f64 / (b.distinct.max(1)) as f64,
+            None if self.buckets.is_empty() => avg,
+            // Key above every bound: nothing like it was seen at
+            // ANALYZE time; assume average density.
+            None => avg,
+        }
+    }
+
+    /// Index-wide average rows per distinct key (no specific probe key).
+    pub fn avg_eq_estimate(&self) -> f64 {
+        self.entries as f64 / (self.distinct_keys.max(1)) as f64
+    }
+}
+
+/// The whole statistics catalog, persisted alongside the schema catalog.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsCatalog {
+    /// Per-table statistics.
+    pub tables: HashMap<TableId, TableStats>,
+    /// Per-index statistics.
+    pub indexes: HashMap<IndexId, IndexStats>,
+}
+
+/// Drift rule: statistics are stale once the mutations applied since
+/// ANALYZE exceed 25% of the analyzed row count (with a small absolute
+/// floor so tiny tables aren't invalidated by a single insert).
+pub fn drifted(mutations_since_analyze: u64, analyzed_rows: u64) -> bool {
+    mutations_since_analyze * 4 > analyzed_rows.max(64)
+}
+
+/// Build an equi-depth histogram from per-key entry counts, which must
+/// arrive in ascending key order (as a B+tree scan yields them).
+pub fn build_histogram(per_key: &[(Vec<u8>, u64)]) -> Vec<Bucket> {
+    let total: u64 = per_key.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let want = HISTOGRAM_BUCKETS as u64;
+    let mut buckets = Vec::new();
+    let mut rows = 0u64;
+    let mut distinct = 0u64;
+    let mut cum = 0u64;
+    for (key, n) in per_key {
+        rows += n;
+        distinct += 1;
+        cum += n;
+        // Close the bucket once the cumulative count crosses the next
+        // equi-depth boundary (i * total / want for bucket i); this keeps
+        // depths balanced instead of letting rounding drift accumulate.
+        let boundary = (buckets.len() as u64 + 1) * total / want;
+        if cum >= boundary && (buckets.len() as u64) < want {
+            buckets.push(Bucket {
+                upper: key.clone(),
+                rows,
+                distinct,
+            });
+            rows = 0;
+            distinct = 0;
+        }
+    }
+    if rows > 0 {
+        let upper = per_key.last().unwrap().0.clone();
+        if buckets.len() as u64 == want {
+            let last = buckets.last_mut().unwrap();
+            last.rows += rows;
+            last.distinct += distinct;
+            last.upper = upper;
+        } else {
+            buckets.push(Bucket {
+                upper,
+                rows,
+                distinct,
+            });
+        }
+    }
+    buckets
+}
+
+impl StatsCatalog {
+    /// True when no table or index has statistics.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty() && self.indexes.is_empty()
+    }
+
+    // -- serialization ----------------------------------------------------
+    //
+    // The stats body rides inside the catalog file as a trailing
+    // CRC-framed `PTST` section (see `catalog.rs`); this is just the
+    // body layout, version-tagged so future shapes can coexist.
+
+    /// Serialize the statistics body (no framing).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(256);
+        b.extend_from_slice(&STATS_VERSION.to_be_bytes());
+        let mut tables: Vec<(&TableId, &TableStats)> = self.tables.iter().collect();
+        tables.sort_by_key(|(id, _)| **id);
+        b.extend_from_slice(&(tables.len() as u32).to_be_bytes());
+        for (id, t) in tables {
+            b.extend_from_slice(&id.0.to_be_bytes());
+            b.extend_from_slice(&t.row_count.to_be_bytes());
+        }
+        let mut indexes: Vec<(&IndexId, &IndexStats)> = self.indexes.iter().collect();
+        indexes.sort_by_key(|(id, _)| **id);
+        b.extend_from_slice(&(indexes.len() as u32).to_be_bytes());
+        for (id, s) in indexes {
+            b.extend_from_slice(&id.0.to_be_bytes());
+            b.extend_from_slice(&s.entries.to_be_bytes());
+            b.extend_from_slice(&s.distinct_keys.to_be_bytes());
+            b.extend_from_slice(&(s.buckets.len() as u32).to_be_bytes());
+            for bucket in &s.buckets {
+                b.extend_from_slice(&(bucket.upper.len() as u32).to_be_bytes());
+                b.extend_from_slice(&bucket.upper);
+                b.extend_from_slice(&bucket.rows.to_be_bytes());
+                b.extend_from_slice(&bucket.distinct.to_be_bytes());
+            }
+        }
+        b
+    }
+
+    /// Parse a statistics body produced by [`StatsCatalog::to_bytes`].
+    pub fn from_bytes(body: &[u8]) -> Result<Self> {
+        let mut d = Dec { buf: body, pos: 0 };
+        let version = d.u32()?;
+        if version != STATS_VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unknown statistics version {version}"
+            )));
+        }
+        let mut out = StatsCatalog::default();
+        let ntables = d.u32()? as usize;
+        for _ in 0..ntables {
+            let id = TableId(d.u32()?);
+            let row_count = d.u64()?;
+            out.tables.insert(id, TableStats { row_count });
+        }
+        let nindexes = d.u32()? as usize;
+        for _ in 0..nindexes {
+            let id = IndexId(d.u32()?);
+            let entries = d.u64()?;
+            let distinct_keys = d.u64()?;
+            let nbuckets = d.u32()? as usize;
+            let mut buckets = Vec::with_capacity(nbuckets);
+            for _ in 0..nbuckets {
+                let klen = d.u32()? as usize;
+                let upper = d.take(klen)?.to_vec();
+                let rows = d.u64()?;
+                let distinct = d.u64()?;
+                buckets.push(Bucket {
+                    upper,
+                    rows,
+                    distinct,
+                });
+            }
+            out.indexes.insert(
+                id,
+                IndexStats {
+                    entries,
+                    distinct_keys,
+                    buckets,
+                },
+            );
+        }
+        Ok(out)
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(StoreError::Corrupt("statistics body truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatsCatalog {
+        let mut s = StatsCatalog::default();
+        s.tables.insert(TableId(0), TableStats { row_count: 100 });
+        s.tables.insert(TableId(3), TableStats { row_count: 0 });
+        s.indexes.insert(
+            IndexId(1),
+            IndexStats {
+                entries: 100,
+                distinct_keys: 5,
+                buckets: vec![
+                    Bucket {
+                        upper: vec![1, 2],
+                        rows: 60,
+                        distinct: 2,
+                    },
+                    Bucket {
+                        upper: vec![9],
+                        rows: 40,
+                        distinct: 3,
+                    },
+                ],
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let back = StatsCatalog::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[3] = 99;
+        assert!(StatsCatalog::from_bytes(&bytes).is_err());
+        assert!(StatsCatalog::from_bytes(&bytes[..6]).is_err());
+    }
+
+    #[test]
+    fn eq_estimate_uses_bucket_density() {
+        let s = sample();
+        let idx = &s.indexes[&IndexId(1)];
+        // Key in the first (denser) bucket: 60 rows / 2 keys.
+        assert_eq!(idx.eq_estimate(&[1, 1]), 30.0);
+        // Key in the second bucket: 40 rows / 3 keys.
+        assert!((idx.eq_estimate(&[5]) - 40.0 / 3.0).abs() < 1e-9);
+        // Key above every bound: index-wide average.
+        assert_eq!(idx.eq_estimate(&[200]), 20.0);
+        assert_eq!(idx.avg_eq_estimate(), 20.0);
+    }
+
+    #[test]
+    fn histogram_is_equi_depth() {
+        let per_key: Vec<(Vec<u8>, u64)> = (0u8..100).map(|k| (vec![k], 4u64)).collect();
+        let buckets = build_histogram(&per_key);
+        assert_eq!(buckets.len(), HISTOGRAM_BUCKETS);
+        let total: u64 = buckets.iter().map(|b| b.rows).sum();
+        assert_eq!(total, 400);
+        // Bounds ascend and depths are balanced.
+        for w in buckets.windows(2) {
+            assert!(w[0].upper < w[1].upper);
+        }
+        assert!(buckets.iter().all(|b| b.rows >= 24 && b.rows <= 28));
+        assert!(build_histogram(&[]).is_empty());
+    }
+
+    #[test]
+    fn drift_threshold() {
+        assert!(!drifted(0, 1000));
+        assert!(!drifted(250, 1000));
+        assert!(drifted(251, 1000));
+        // Small tables get an absolute floor.
+        assert!(!drifted(16, 0));
+        assert!(drifted(17, 0));
+    }
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Plan-regression gate: replan the fixture queries and diff against the
+# committed EXPLAIN fixtures in tests/plans/.
+#
+# The fixture store is built from the fixed hand-written
+# tests/plans/fixture.ptdf (never `pt gen`, whose data varies with the
+# RNG), so every estimate in the committed plans is an exact consequence
+# of the planner logic and ANALYZE statistics alone. A cost-model or
+# statistics change therefore shows up here as a reviewable fixture
+# diff, not a silent plan flip in production queries.
+#
+# Usage: tools/check-plans.sh [--bless] [out-dir]
+#   PT=path/to/pt   binary to drive (default ./target/release/pt)
+#   --bless         rewrite the committed fixtures from current output
+#   out-dir         where actual plans and plans.diff are written
+#                   (default plan-out)
+set -u
+cd "$(dirname "$0")/.."
+
+PT=${PT:-./target/release/pt}
+bless=0
+out=plan-out
+for arg in "$@"; do
+  case "$arg" in
+    --bless) bless=1 ;;
+    *) out="$arg" ;;
+  esac
+done
+
+if [ ! -x "$PT" ]; then
+  echo "check-plans: pt binary not found at $PT (set PT=...)" >&2
+  exit 2
+fi
+
+mkdir -p "$out"
+store=$(mktemp -d)/store
+trap 'rm -rf "$(dirname "$store")"' EXIT
+
+run() { # run <fixture-name> <pt-args...>
+  local name=$1
+  shift
+  if ! "$PT" "$@" >"$out/$name" 2>"$out/$name.err"; then
+    echo "check-plans: pt $* failed:" >&2
+    cat "$out/$name.err" >&2
+    exit 2
+  fi
+  rm -f "$out/$name.err"
+}
+
+"$PT" load "$store" tests/plans/fixture.ptdf >/dev/null
+
+# Phase 1 — no statistics: plans must be heuristic, estimate-free, and
+# still ordinary plans (stale/missing stats never error).
+run 00-heuristic-name.plan explain "$store" --name a.c --relatives D
+
+"$PT" analyze "$store" >/dev/null
+
+# Phase 2 — fresh statistics: estimates appear and the match order is
+# driven by them (the selective build-typed family is checked first).
+run 10-stats-reorder.plan explain "$store" --name a.c --relatives D --type build
+run 11-stats-reorder-json.plan explain "$store" --name a.c --relatives D --type build --json
+run 12-stats-type.plan explain "$store" --type build/module/function
+run 13-stats-via-query.plan query "$store" --name b.c --relatives B --explain
+
+if [ "$bless" -eq 1 ]; then
+  cp "$out"/*.plan tests/plans/
+  echo "check-plans: blessed $(ls "$out"/*.plan | wc -l) fixtures into tests/plans/"
+  exit 0
+fi
+
+bad=0
+for f in tests/plans/*.plan; do
+  name=$(basename "$f")
+  if [ ! -f "$out/$name" ]; then
+    echo "check-plans: committed fixture $name was not regenerated" >&2
+    bad=1
+    continue
+  fi
+  if ! diff -u "$f" "$out/$name" >>"$out/plans.diff"; then
+    echo "check-plans: plan drift in $name" >&2
+    bad=1
+  fi
+done
+for f in "$out"/*.plan; do
+  name=$(basename "$f")
+  if [ ! -f "tests/plans/$name" ]; then
+    echo "check-plans: new plan $name has no committed fixture" >&2
+    bad=1
+  fi
+done
+
+if [ "$bad" -ne 0 ]; then
+  echo "check-plans: plans drifted from tests/plans/ — inspect $out/plans.diff;" >&2
+  echo "check-plans: if the change is intentional, re-bless with tools/check-plans.sh --bless" >&2
+  exit 1
+fi
+echo "check-plans: $(ls tests/plans/*.plan | wc -l) plans match the committed fixtures"
